@@ -1,0 +1,76 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/analytics"
+	"repro/internal/dgraph"
+	"repro/internal/mpi"
+	"repro/internal/spmv"
+)
+
+// AnalyticResult reports one distributed analytic's execution.
+type AnalyticResult = analytics.Result
+
+// RunAnalytics distributes the generator's graph over ranks simulated
+// nodes according to parts (vertex gid -> node, as produced by any
+// partitioner with p == ranks) and executes the paper's six analytics
+// (HC, KC, LP, PR, SCC, WCC). hcSources bounds the harmonic centrality
+// BFS count (the paper uses 100).
+func RunAnalytics(g *Generator, parts []int32, ranks int, hcSources int) ([]AnalyticResult, error) {
+	if int64(len(parts)) != g.N {
+		return nil, fmt.Errorf("repro: %d part assignments for %d vertices", len(parts), g.N)
+	}
+	for v, pt := range parts {
+		if pt < 0 || int(pt) >= ranks {
+			return nil, fmt.Errorf("repro: vertex %d assigned node %d outside [0,%d)", v, pt, ranks)
+		}
+	}
+	var out []AnalyticResult
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		dg, err := dgraph.FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()),
+			dgraph.PartsDist{Parts: parts})
+		if err != nil {
+			panic(err) // parts validated above; construction is total
+		}
+		res := analytics.RunAll(dg, hcSources)
+		if c.Rank() == 0 {
+			out = res
+		}
+	})
+	return out, nil
+}
+
+// SpMVResult reports one distributed SpMV experiment.
+type SpMVResult = spmv.Result
+
+// SpMV layout names.
+const (
+	Layout1D = "1d"
+	Layout2D = "2d"
+)
+
+// RunSpMV executes iters chained sparse matrix-vector products of the
+// graph's adjacency matrix on ranks simulated nodes, with the vector
+// distributed by parts and nonzeros placed by the named layout ("1d"
+// row layout, or "2d" processor-grid layout per Boman et al.).
+func RunSpMV(g *Graph, parts []int32, ranks int, layout string, iters int) (SpMVResult, error) {
+	var l spmv.Layout
+	switch layout {
+	case Layout1D:
+		l = spmv.OneD
+	case Layout2D:
+		l = spmv.TwoD
+	default:
+		return SpMVResult{}, fmt.Errorf("repro: unknown layout %q (1d|2d)", layout)
+	}
+	var out SpMVResult
+	var runErr error
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		res, err := spmv.Run(c, g, parts, spmv.Options{Layout: l, Iterations: iters})
+		if c.Rank() == 0 {
+			out, runErr = res, err
+		}
+	})
+	return out, runErr
+}

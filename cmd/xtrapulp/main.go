@@ -1,0 +1,116 @@
+// Command xtrapulp partitions a graph with the XtraPuLP distributed
+// partitioner (simulated MPI ranks) or any baseline method, reports
+// the paper's quality metrics, and optionally writes the assignment.
+//
+// Usage:
+//
+//	xtrapulp -graph web.txt -parts 16 -ranks 4 [-method xtrapulp] [-out parts.txt]
+//	xtrapulp -gen rmat -scale 18 -deg 16 -parts 16 -ranks 8
+//
+// Graph files are edge lists (text "u v" lines, or .bin binary); the
+// -gen families mirror the paper's synthetic inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/partition"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "edge-list file to partition (.txt or .bin)")
+	genName := flag.String("gen", "", "synthetic family: rmat|er|hd|mesh|ws|powerlaw")
+	scale := flag.Int("scale", 16, "log2 vertex count for -gen")
+	deg := flag.Int64("deg", 16, "average degree for -gen")
+	parts := flag.Int("parts", 16, "number of parts")
+	ranks := flag.Int("ranks", 4, "simulated MPI ranks")
+	threads := flag.Int("threads", 1, "threads per rank")
+	method := flag.String("method", repro.MethodXtraPuLP, fmt.Sprintf("partitioner: %v", repro.Methods()))
+	seed := flag.Uint64("seed", 1, "random seed")
+	single := flag.Bool("single", false, "single-constraint single-objective mode")
+	blockDist := flag.Bool("blockdist", false, "use block vertex distribution instead of random")
+	out := flag.String("out", "", "write per-vertex part ids to this file")
+	flag.Parse()
+
+	g, name, err := loadOrGenerate(*graphPath, *genName, *scale, *deg, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph %s: n=%d m=%d davg=%.1f dmax=%d\n",
+		name, g.N, g.NumEdges(), g.AvgDegree(), g.MaxDegree())
+
+	start := time.Now()
+	var assignment []int32
+	if *method == repro.MethodXtraPuLP {
+		var rep repro.Report
+		assignment, rep, err = repro.XtraPuLP(g, repro.Config{
+			Parts: *parts, Ranks: *ranks, ThreadsPerRank: *threads,
+			RandomDist: !*blockDist, SingleConstraint: *single, Seed: *seed,
+		})
+		if err == nil {
+			fmt.Printf("stages: init=%.3fs (%d rounds) vert=%.3fs edge=%.3fs comm=%d elems\n",
+				rep.InitTime.Seconds(), rep.InitIters, rep.VertTime.Seconds(),
+				rep.EdgeTime.Seconds(), rep.CommVolume)
+		}
+	} else {
+		assignment, err = repro.Partition(*method, g, *parts, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	q := repro.Evaluate(g, assignment, *parts)
+	fmt.Printf("method=%s parts=%d time=%.3fs\n", *method, *parts, elapsed.Seconds())
+	fmt.Printf("edge cut ratio      %.4f  (%d of %d edges)\n", q.EdgeCutRatio, q.CutEdges, g.NumEdges())
+	fmt.Printf("scaled max cut      %.4f\n", q.ScaledMaxCutRatio)
+	fmt.Printf("vertex imbalance    %.4f\n", q.VertexImbalance)
+	fmt.Printf("edge imbalance      %.4f\n", q.EdgeImbalance)
+
+	if *out != "" {
+		if err := partition.SaveParts(*out, assignment); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func loadOrGenerate(path, genName string, scale int, deg int64, seed uint64) (*repro.Graph, string, error) {
+	if path != "" {
+		g, err := repro.LoadGraph(path)
+		return g, path, err
+	}
+	n := int64(1) << uint(scale)
+	var gen *repro.Generator
+	switch genName {
+	case "rmat":
+		gen = repro.RMAT(scale, deg, seed)
+	case "er":
+		gen = repro.RandER(n, n*deg/2, seed)
+	case "hd":
+		gen = repro.RandHD(n, deg, seed)
+	case "mesh":
+		side := int64(1)
+		for side*side*side < n {
+			side++
+		}
+		gen = repro.Mesh3D(side, side, side)
+	case "ws":
+		gen = repro.SmallWorld(n, deg, 0.1, seed)
+	case "powerlaw":
+		gen = repro.PowerLaw(n, n*deg/2, 2.2, seed)
+	case "":
+		return nil, "", fmt.Errorf("xtrapulp: pass -graph FILE or -gen FAMILY")
+	default:
+		return nil, "", fmt.Errorf("xtrapulp: unknown generator %q", genName)
+	}
+	g, err := gen.Build()
+	return g, gen.Name, err
+}

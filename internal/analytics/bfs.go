@@ -1,0 +1,201 @@
+package analytics
+
+import (
+	"time"
+
+	"repro/internal/dgraph"
+	"repro/internal/mpi"
+)
+
+// BFS runs a distributed breadth-first search from the global vertex
+// srcGID, returning hop levels for owned vertices (-1 if unreachable)
+// and the eccentricity of the source. Each round performs local
+// frontier expansion, pushes discoveries of remote-owned vertices to
+// their owners, refreshes ghost copies, and tests global termination.
+func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
+	all := make([]int64, g.NTotal())
+	for i := range all {
+		all[i] = -1
+	}
+	var frontier []int32
+	if lid, ok := g.G2L[srcGID]; ok {
+		all[lid] = 0
+		if !g.IsGhost(lid) {
+			frontier = append(frontier, lid)
+		}
+	}
+	depth := int64(0)
+	for {
+		next := make([]int32, 0, len(frontier))
+		var ghostFound []int32
+		var ghostLevels []int64
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if all[u] >= 0 {
+					continue
+				}
+				all[u] = depth + 1
+				if g.IsGhost(u) {
+					ghostFound = append(ghostFound, u)
+					ghostLevels = append(ghostLevels, depth+1)
+				} else {
+					next = append(next, u)
+				}
+			}
+		}
+		// Tell owners about remotely discovered vertices; merge their
+		// pushes into our frontier (first discovery wins).
+		recvL, recvP := g.PushToOwners(ghostFound, ghostLevels)
+		for i, lid := range recvL {
+			if all[lid] < 0 {
+				all[lid] = recvP[i]
+				next = append(next, lid)
+			}
+		}
+		// Refresh ghost copies of the new frontier so the next round's
+		// expansion does not rediscover them remotely.
+		g.ExchangeInt64(next, all)
+		total := mpi.AllreduceScalar(g.Comm, int64(len(next)), mpi.Sum)
+		if total == 0 {
+			break
+		}
+		depth++
+		frontier = next
+	}
+	var maxLevel int64
+	for v := 0; v < g.NLocal; v++ {
+		if all[v] > maxLevel {
+			maxLevel = all[v]
+		}
+	}
+	e := mpi.AllreduceScalar(g.Comm, maxLevel, mpi.Max)
+	return all[:g.NLocal], e
+}
+
+// HarmonicCentrality computes harmonic centrality for the given source
+// vertices (the paper uses 100 sources on WDC12; scaled runs pass
+// fewer): for each source a full BFS accumulates 1/d(s, v) onto every
+// reached vertex. It returns the accumulated centralities for owned
+// vertices.
+func HarmonicCentrality(g *dgraph.Graph, sources []int64) ([]float64, Result) {
+	start := time.Now()
+	hc := make([]float64, g.NLocal)
+	rounds := 0
+	for _, s := range sources {
+		levels, _ := BFS(g, s)
+		rounds++
+		for v := 0; v < g.NLocal; v++ {
+			if levels[v] > 0 {
+				hc[v] += 1.0 / float64(levels[v])
+			}
+		}
+	}
+	var maxHC float64
+	for _, h := range hc {
+		if h > maxHC {
+			maxHC = h
+		}
+	}
+	maxHC = mpi.AllreduceScalar(g.Comm, maxHC, mpi.Max)
+	return hc, Result{Name: "HC", Iterations: rounds, Time: time.Since(start), Value: maxHC}
+}
+
+// SCC extracts the pivot's strongly connected component with the FW-BW
+// double sweep (forward reachability, backward reachability, and their
+// intersection) from the globally maximum-degree vertex. On the
+// undirected proxies both sweeps coincide (see the package comment for
+// the substitution rationale); both are executed to preserve the
+// communication pattern. Returns owned membership flags (1 = in the
+// pivot's SCC) and the component size.
+func SCC(g *dgraph.Graph) ([]int64, Result) {
+	start := time.Now()
+
+	// Pivot selection: globally maximum degree, ties to smaller gid.
+	var bestDeg, bestGID int64 = -1, -1
+	for v := 0; v < g.NLocal; v++ {
+		d := g.Degree(int32(v))
+		if d > bestDeg || (d == bestDeg && g.L2G[v] < bestGID) {
+			bestDeg, bestGID = d, g.L2G[v]
+		}
+	}
+	cands := mpi.Allgatherv(g.Comm, []int64{bestDeg, bestGID})
+	pivot := int64(-1)
+	var pivotDeg int64 = -1
+	for _, c := range cands {
+		deg, gid := c[0], c[1]
+		if gid < 0 {
+			continue // rank owned no vertices
+		}
+		if deg > pivotDeg || (deg == pivotDeg && gid < pivot) {
+			pivotDeg, pivot = deg, gid
+		}
+	}
+
+	fw, _ := BFS(g, pivot) // forward sweep
+	bw, _ := BFS(g, pivot) // backward sweep (transpose == same graph)
+
+	member := make([]int64, g.NLocal)
+	var sizeLocal int64
+	for v := 0; v < g.NLocal; v++ {
+		if fw[v] >= 0 && bw[v] >= 0 {
+			member[v] = 1
+			sizeLocal++
+		}
+	}
+	size := mpi.AllreduceScalar(g.Comm, sizeLocal, mpi.Sum)
+	return member, Result{Name: "SCC", Iterations: 2, Time: time.Since(start), Value: float64(size)}
+}
+
+// RunAll executes the paper's six analytics in Fig. 8's order (HC, KC,
+// LP, PR, SCC, WCC) with scaled default parameters and returns their
+// results.
+func RunAll(g *dgraph.Graph, hcSources int) []Result {
+	srcs := make([]int64, 0, hcSources)
+	for i := 0; len(srcs) < hcSources && int64(i) < g.NGlobal; i++ {
+		srcs = append(srcs, (int64(i)*2654435761)%g.NGlobal)
+	}
+	_, hc := HarmonicCentrality(g, srcs)
+	_, kc := KCore(g, 50)
+	_, lp := LabelProp(g, 10)
+	_, pr := PageRank(g, 20, 0.85)
+	_, scc := SCC(g)
+	_, wcc := WCC(g)
+	return []Result{hc, kc, lp, pr, scc, wcc}
+}
+
+// ApproxDiameter estimates the graph diameter with the paper's §IV
+// procedure, distributed: run `rounds` BFS sweeps, each starting from
+// a vertex on the farthest level of the previous sweep, and report the
+// largest eccentricity seen. Root selection is deterministic (smallest
+// gid on the farthest level) so every rank agrees without extra
+// communication beyond the existing reductions.
+func ApproxDiameter(g *dgraph.Graph, rounds int, startGID int64) int64 {
+	if g.NGlobal == 0 || rounds <= 0 {
+		return 0
+	}
+	src := startGID % g.NGlobal
+	var best int64
+	for i := 0; i < rounds; i++ {
+		levels, ecc := BFS(g, src)
+		if ecc > best {
+			best = ecc
+		}
+		// Next source: globally smallest gid on the farthest level.
+		next := int64(-1)
+		for v := 0; v < g.NLocal; v++ {
+			if levels[v] == ecc && (next < 0 || g.L2G[v] < next) {
+				next = g.L2G[v]
+			}
+		}
+		// Encode "no candidate" as max so Min picks a real gid.
+		if next < 0 {
+			next = g.NGlobal
+		}
+		next = mpi.AllreduceScalar(g.Comm, next, mpi.Min)
+		if next >= g.NGlobal {
+			break // no vertex reached; disconnected from everything
+		}
+		src = next
+	}
+	return best
+}

@@ -1,0 +1,73 @@
+package dgraph
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/partition"
+)
+
+// EvaluateDistributed computes the paper's partition quality metrics
+// collectively. parts must hold assignments for owned and ghost
+// vertices (length NTotal) with ghost labels current, as maintained by
+// the partitioner's exchange phases. Every rank returns the same
+// Quality.
+func EvaluateDistributed(g *Graph, parts []int32, p int) partition.Quality {
+	// Local tallies over owned vertices. Cut arcs are observed twice
+	// globally (once from each endpoint's owner); per-part incident
+	// cuts are observed exactly once per (edge, incident part).
+	local := make([]int64, 3*p+1) // [verts | degrees | partCut | cutArcs]
+	verts := local[0:p]
+	degs := local[p : 2*p]
+	partCut := local[2*p : 3*p]
+	for v := 0; v < g.NLocal; v++ {
+		pv := parts[v]
+		verts[pv]++
+		degs[pv] += g.Degree(int32(v))
+		for _, u := range g.Neighbors(int32(v)) {
+			if parts[u] != pv {
+				partCut[pv]++
+				local[3*p]++
+			}
+		}
+	}
+	global := mpi.Allreduce(g.Comm, local, mpi.Sum)
+
+	q := partition.Quality{
+		NumParts:    p,
+		PartVerts:   global[0:p],
+		PartDegrees: global[p : 2*p],
+		PartCut:     global[2*p : 3*p],
+		CutEdges:    global[3*p] / 2,
+	}
+	m := g.MGlobal
+	if m > 0 {
+		q.EdgeCutRatio = float64(q.CutEdges) / float64(m)
+	}
+	var maxCut, sumCut, maxV, maxD, sumD int64
+	for i := 0; i < p; i++ {
+		if q.PartCut[i] > maxCut {
+			maxCut = q.PartCut[i]
+		}
+		sumCut += q.PartCut[i]
+		if q.PartVerts[i] > maxV {
+			maxV = q.PartVerts[i]
+		}
+		if q.PartDegrees[i] > maxD {
+			maxD = q.PartDegrees[i]
+		}
+		sumD += q.PartDegrees[i]
+	}
+	q.MaxPartCut = maxCut
+	if m > 0 && p > 0 {
+		q.ScaledMaxCutRatio = float64(maxCut) / (float64(m) / float64(p))
+	}
+	if sumCut > 0 {
+		q.CutImbalance = float64(maxCut) / (float64(sumCut) / float64(p))
+	}
+	if g.NGlobal > 0 && p > 0 {
+		q.VertexImbalance = float64(maxV) / (float64(g.NGlobal) / float64(p))
+	}
+	if sumD > 0 && p > 0 {
+		q.EdgeImbalance = float64(maxD) / (float64(sumD) / float64(p))
+	}
+	return q
+}

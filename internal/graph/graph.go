@@ -1,0 +1,241 @@
+// Package graph provides the shared-memory compressed-sparse-row graph
+// representation used by the single-node baseline partitioners (PuLP,
+// the multilevel METIS/KaHIP stand-ins) and by graph generators before
+// distribution. Vertices are identified by int64 global ids in [0, N).
+//
+// Graphs are stored undirected by default: every edge {u, v} appears in
+// both adjacency lists, matching the paper's treatment ("we treat all
+// graph edges as undirected"). A directed view (separate out/in CSR) is
+// available for the SCC analytic.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one endpoint pair. For undirected construction each input edge
+// should appear once; the builder mirrors it.
+type Edge struct {
+	U, V int64
+}
+
+// Graph is an immutable CSR adjacency structure.
+type Graph struct {
+	// N is the number of vertices; valid ids are [0, N).
+	N int64
+	// Offsets has length N+1; the neighbors of v are
+	// Adj[Offsets[v]:Offsets[v+1]].
+	Offsets []int64
+	// Adj holds neighbor ids.
+	Adj []int64
+}
+
+// NumEdges returns the number of undirected edges (half the stored
+// directed arc count).
+func (g *Graph) NumEdges() int64 {
+	return int64(len(g.Adj)) / 2
+}
+
+// NumArcs returns the stored directed arc count, i.e. the sum of
+// degrees. For undirected graphs this is 2|E|.
+func (g *Graph) NumArcs() int64 {
+	return int64(len(g.Adj))
+}
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int64) int64 {
+	return g.Offsets[v+1] - g.Offsets[v]
+}
+
+// Neighbors returns the adjacency slice of v. The slice aliases the
+// graph's storage and must not be modified.
+func (g *Graph) Neighbors(v int64) []int64 {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// MaxDegree returns the maximum vertex degree, or 0 for empty graphs.
+func (g *Graph) MaxDegree() int64 {
+	var max int64
+	for v := int64(0); v < g.N; v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average degree (arcs per vertex).
+func (g *Graph) AvgDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(len(g.Adj)) / float64(g.N)
+}
+
+// FromEdges builds an undirected CSR graph on n vertices from an edge
+// list. Each input edge {u, v} is mirrored into both adjacency lists.
+// Self loops are kept as a single arc on their vertex. Duplicate edges
+// are preserved (multigraph semantics), matching how raw crawls and
+// generators emit edges; callers that need simple graphs should
+// deduplicate first (see Simplify).
+func FromEdges(n int64, edges []Edge) (*Graph, error) {
+	deg := make([]int64, n)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			deg[e.U]++
+			continue
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	offsets := make([]int64, n+1)
+	for v := int64(0); v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adj := make([]int64, offsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range edges {
+		adj[cursor[e.U]] = e.V
+		cursor[e.U]++
+		if e.U != e.V {
+			adj[cursor[e.V]] = e.U
+			cursor[e.V]++
+		}
+	}
+	return &Graph{N: n, Offsets: offsets, Adj: adj}, nil
+}
+
+// FromArcs builds a directed CSR graph on n vertices where each Edge is
+// a directed arc U->V (no mirroring).
+func FromArcs(n int64, arcs []Edge) (*Graph, error) {
+	deg := make([]int64, n)
+	for _, e := range arcs {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: arc (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		deg[e.U]++
+	}
+	offsets := make([]int64, n+1)
+	for v := int64(0); v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adj := make([]int64, offsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range arcs {
+		adj[cursor[e.U]] = e.V
+		cursor[e.U]++
+	}
+	return &Graph{N: n, Offsets: offsets, Adj: adj}, nil
+}
+
+// Simplify returns a copy of g with sorted adjacency lists, duplicate
+// arcs removed, and self loops dropped.
+func (g *Graph) Simplify() *Graph {
+	offsets := make([]int64, g.N+1)
+	adj := make([]int64, 0, len(g.Adj))
+	buf := make([]int64, 0, 64)
+	for v := int64(0); v < g.N; v++ {
+		buf = buf[:0]
+		buf = append(buf, g.Neighbors(v)...)
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		var prev int64 = -1
+		for _, u := range buf {
+			if u == v || u == prev {
+				continue
+			}
+			adj = append(adj, u)
+			prev = u
+		}
+		offsets[v+1] = int64(len(adj))
+	}
+	return &Graph{N: g.N, Offsets: offsets, Adj: adj}
+}
+
+// Edges returns the undirected edge list (u <= v once per edge) of a
+// graph whose arcs are symmetric. Self loops are emitted once.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.Adj)/2)
+	for v := int64(0); v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			if v <= u {
+				out = append(out, Edge{U: v, V: u})
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the graph with all arcs reversed. For symmetric
+// (undirected) graphs the transpose is isomorphic to the input.
+func (g *Graph) Transpose() *Graph {
+	deg := make([]int64, g.N)
+	for _, u := range g.Adj {
+		deg[u]++
+	}
+	offsets := make([]int64, g.N+1)
+	for v := int64(0); v < g.N; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adj := make([]int64, len(g.Adj))
+	cursor := make([]int64, g.N)
+	copy(cursor, offsets[:g.N])
+	for v := int64(0); v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			adj[cursor[u]] = v
+			cursor[u]++
+		}
+	}
+	return &Graph{N: g.N, Offsets: offsets, Adj: adj}
+}
+
+// Validate checks CSR structural invariants and returns a descriptive
+// error on the first violation.
+func (g *Graph) Validate() error {
+	if int64(len(g.Offsets)) != g.N+1 {
+		return fmt.Errorf("graph: offsets length %d != N+1 = %d", len(g.Offsets), g.N+1)
+	}
+	if g.N > 0 && g.Offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.Offsets[0])
+	}
+	for v := int64(0); v < g.N; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+	}
+	if g.N >= 0 && int64(len(g.Adj)) != g.Offsets[g.N] {
+		return fmt.Errorf("graph: adj length %d != offsets[N] = %d", len(g.Adj), g.Offsets[g.N])
+	}
+	for i, u := range g.Adj {
+		if u < 0 || u >= g.N {
+			return fmt.Errorf("graph: adj[%d] = %d out of range [0,%d)", i, u, g.N)
+		}
+	}
+	return nil
+}
+
+// IsSymmetric reports whether every arc (u,v) has a matching arc (v,u),
+// i.e. the graph is a valid undirected CSR.
+func (g *Graph) IsSymmetric() bool {
+	type arc struct{ u, v int64 }
+	counts := make(map[arc]int64, len(g.Adj))
+	for v := int64(0); v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			counts[arc{v, u}]++
+		}
+	}
+	for a, c := range counts {
+		if a.u == a.v {
+			continue
+		}
+		if counts[arc{a.v, a.u}] != c {
+			return false
+		}
+	}
+	return true
+}

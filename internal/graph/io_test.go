@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 3}}
+	var buf bytes.Buffer
+	if err := WriteEdgeListText(&buf, 5, edges); err != nil {
+		t.Fatal(err)
+	}
+	n, got, err := ReadEdgeListText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || len(got) != len(edges) {
+		t.Fatalf("n=%d edges=%d, want 5, %d", n, len(got), len(edges))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: %v != %v", i, got[i], edges[i])
+		}
+	}
+}
+
+func TestTextInferNFromMaxID(t *testing.T) {
+	in := "0 5\n2 3\n"
+	n, edges, err := ReadEdgeListText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 || len(edges) != 2 {
+		t.Fatalf("n=%d edges=%d", n, len(edges))
+	}
+}
+
+func TestTextCommentsAndBlank(t *testing.T) {
+	in := "# 4 2\n% ignored\n\n0 1\n2 3\n"
+	n, edges, err := ReadEdgeListText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || len(edges) != 2 {
+		t.Fatalf("n=%d edges=%d", n, len(edges))
+	}
+}
+
+func TestTextMalformed(t *testing.T) {
+	cases := []string{"0\n", "a b\n", "1 x\n"}
+	for _, in := range cases {
+		if _, _, err := ReadEdgeListText(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q: expected parse error", in)
+		}
+	}
+}
+
+func TestTextHeaderTooSmall(t *testing.T) {
+	in := "# 2 1\n0 5\n"
+	if _, _, err := ReadEdgeListText(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error when id exceeds declared n")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	edges := []Edge{{0, 1}, {100, 200}, {1 << 40, 2}}
+	var buf bytes.Buffer
+	if err := WriteEdgeListBinary(&buf, 1<<41, edges); err != nil {
+		t.Fatal(err)
+	}
+	n, got, err := ReadEdgeListBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1<<41 || len(got) != 3 {
+		t.Fatalf("n=%d edges=%d", n, len(got))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: %v != %v", i, got[i], edges[i])
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	buf := bytes.Repeat([]byte{0}, 32)
+	if _, _, err := ReadEdgeListBinary(bytes.NewReader(buf)); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEdgeListBinary(&buf, 4, []Edge{{0, 1}, {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-8]
+	if _, _, err := ReadEdgeListBinary(bytes.NewReader(short)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestSaveLoadFileTextAndBinary(t *testing.T) {
+	dir := t.TempDir()
+	g := cycle(8)
+	for _, name := range []string{"g.txt", "g.bin"} {
+		p := filepath.Join(dir, name)
+		if err := SaveFile(p, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g2, err := LoadFile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g2.N != g.N || g2.NumArcs() != g.NumArcs() {
+			t.Fatalf("%s: round trip N=%d arcs=%d, want N=%d arcs=%d",
+				name, g2.N, g2.NumArcs(), g.N, g.NumArcs())
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	_, err := LoadFile(filepath.Join(t.TempDir(), "nope.txt"))
+	if err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if !os.IsNotExist(err) {
+		t.Fatalf("expected not-exist error, got %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+package graph
+
+import "repro/internal/rng"
+
+// BFS runs a breadth-first search from src and returns the level (hop
+// distance) of every vertex, with -1 for unreachable vertices, together
+// with the index of the last non-empty level (the eccentricity of src
+// within its component).
+func (g *Graph) BFS(src int64) (levels []int64, maxLevel int64) {
+	levels = make([]int64, g.N)
+	for i := range levels {
+		levels[i] = -1
+	}
+	if g.N == 0 {
+		return levels, 0
+	}
+	levels[src] = 0
+	frontier := []int64{src}
+	next := make([]int64, 0, len(frontier))
+	var depth int64
+	for len(frontier) > 0 {
+		next = next[:0]
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if levels[u] < 0 {
+					levels[u] = depth + 1
+					next = append(next, u)
+				}
+			}
+		}
+		if len(next) > 0 {
+			depth++
+		}
+		frontier, next = next, frontier
+	}
+	return levels, depth
+}
+
+// ApproxDiameter estimates the graph diameter with the paper's method
+// (§IV): iterate BFS rounds, each starting from a vertex randomly chosen
+// from the farthest level of the previous search, and report the largest
+// eccentricity observed. rounds is typically 10.
+func (g *Graph) ApproxDiameter(rounds int, seed uint64) int64 {
+	if g.N == 0 || rounds <= 0 {
+		return 0
+	}
+	r := rng.New(seed)
+	src := r.Int64n(g.N)
+	var best int64
+	for i := 0; i < rounds; i++ {
+		levels, ecc := g.BFS(src)
+		if ecc > best {
+			best = ecc
+		}
+		// Collect the farthest level and pick the next source from it.
+		var far []int64
+		for v := int64(0); v < g.N; v++ {
+			if levels[v] == ecc {
+				far = append(far, v)
+			}
+		}
+		if len(far) == 0 {
+			break
+		}
+		src = far[r.Intn(len(far))]
+	}
+	return best
+}
+
+// ConnectedComponents labels every vertex with a component id (the
+// smallest vertex id in its component) and returns the labels plus the
+// component count. The graph must be symmetric.
+func (g *Graph) ConnectedComponents() (labels []int64, count int64) {
+	labels = make([]int64, g.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	stack := make([]int64, 0, 1024)
+	for s := int64(0); s < g.N; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		count++
+		labels[s] = s
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range g.Neighbors(v) {
+				if labels[u] < 0 {
+					labels[u] = s
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent returns the vertex ids of the largest connected
+// component in increasing order.
+func (g *Graph) LargestComponent() []int64 {
+	labels, _ := g.ConnectedComponents()
+	sizes := make(map[int64]int64)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	var bestLabel, bestSize int64 = -1, 0
+	for l, s := range sizes {
+		if s > bestSize || (s == bestSize && l < bestLabel) {
+			bestLabel, bestSize = l, s
+		}
+	}
+	out := make([]int64, 0, bestSize)
+	for v := int64(0); v < g.N; v++ {
+		if labels[v] == bestLabel {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Stats summarizes a graph for Table I style reporting.
+type Stats struct {
+	N         int64
+	M         int64 // undirected edge count
+	AvgDeg    float64
+	MaxDeg    int64
+	DiamEst   int64
+	NumComps  int64
+	LargestCC int64
+}
+
+// ComputeStats gathers Table-I statistics (n, m, average and max degree,
+// approximate diameter, component structure).
+func (g *Graph) ComputeStats(diamRounds int, seed uint64) Stats {
+	labels, comps := g.ConnectedComponents()
+	sizes := make(map[int64]int64)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	var largest int64
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	return Stats{
+		N:         g.N,
+		M:         g.NumEdges(),
+		AvgDeg:    g.AvgDegree(),
+		MaxDeg:    g.MaxDegree(),
+		DiamEst:   g.ApproxDiameter(diamRounds, seed),
+		NumComps:  comps,
+		LargestCC: largest,
+	}
+}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunSmall executes every experiment at Small scale
+// and checks it produces a non-trivial table. This is the end-to-end
+// integration test of the whole repository: generators, the MPI
+// simulator, the distributed graph, XtraPuLP, every baseline, the
+// analytics, and SpMV all execute inside it.
+func TestAllExperimentsRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped in -short")
+	}
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := Config{W: &buf, Scale: Small, Seed: 1}
+			if err := Run(name, cfg); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out := buf.String()
+			lines := strings.Count(out, "\n")
+			if lines < 3 {
+				t.Fatalf("%s produced only %d lines:\n%s", name, lines, out)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", Config{W: &buf}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	if s, err := ParseScale("small"); err != nil || s != Small {
+		t.Fatalf("small: %v %v", s, err)
+	}
+	if s, err := ParseScale("FULL"); err != nil || s != Full {
+		t.Fatalf("full: %v %v", s, err)
+	}
+	if _, err := ParseScale("medium"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTablePrinterAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	tab := newTable(&buf, "A", "LongHeader")
+	tab.add("xxxx", "1")
+	tab.add("y", "22")
+	tab.flush()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "A     LongHeader") {
+		t.Fatalf("header misaligned: %q", lines[0])
+	}
+}
+
+func TestCorpusCoversAllClasses(t *testing.T) {
+	classes := map[string]bool{}
+	for _, g := range corpus(Small, 1) {
+		classes[g.class] = true
+	}
+	for _, want := range []string{"social", "crawl", "rmat", "mesh"} {
+		if !classes[want] {
+			t.Errorf("corpus missing class %s", want)
+		}
+	}
+	if len(representatives(Small, 1)) != 6 {
+		t.Errorf("representatives should have 6 graphs")
+	}
+}

@@ -1,0 +1,62 @@
+package mpi
+
+import "sync"
+
+// barrierPoisoned is the panic payload delivered to ranks parked in a
+// collective when a sibling rank panics; Run swallows these secondary
+// panics and re-raises only the original.
+type barrierPoisoned struct{}
+
+// barrier is a reusable counting barrier with generation numbers.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	count    int
+	gen      uint64
+	poisoned bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until n goroutines have called wait for the current
+// generation. If the barrier has been poisoned it panics with
+// barrierPoisoned so blocked ranks unwind.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	if b.poisoned {
+		b.mu.Unlock()
+		panic(barrierPoisoned{})
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	poisoned := b.poisoned
+	b.mu.Unlock()
+	if poisoned {
+		panic(barrierPoisoned{})
+	}
+}
+
+// poison wakes all waiters and makes every subsequent wait panic.
+// A poisoned rank also stops counting toward the barrier, so remaining
+// ranks entering future collectives fail fast instead of hanging.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

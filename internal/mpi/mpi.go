@@ -1,0 +1,321 @@
+// Package mpi provides an in-process bulk-synchronous communicator that
+// stands in for MPI in the XtraPuLP reproduction. Each simulated rank is
+// a goroutine; ranks interact only through collective operations
+// (Barrier, Bcast, Allgather, Alltoall, Alltoallv, Allreduce), exactly
+// the set the distributed partitioner uses.
+//
+// Semantics mirror MPI's: every rank in the world must call the same
+// sequence of collectives, and receive buffers are fresh copies — ranks
+// never alias each other's memory through a collective, so code written
+// against this package has true distributed-memory discipline. Deadlock
+// (a rank skipping a collective) manifests as a hang, as it would under
+// MPI; tests guard the collective contracts instead.
+//
+// The communicator records per-rank traffic statistics (element volume
+// and collective counts) so experiments can report communication cost.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// World is the shared state of one communicator group. It is created by
+// Run and never escapes to user code except through Comm handles.
+type world struct {
+	size  int
+	slots []any // one publication slot per rank, reused per collective
+	bar   *barrier
+}
+
+// Comm is one rank's handle on the communicator. A Comm is confined to
+// the goroutine that received it from Run; its methods are not safe for
+// concurrent use by multiple goroutines.
+type Comm struct {
+	w       *world
+	rank    int
+	threads int
+	stats   Stats
+}
+
+// Stats accumulates per-rank communication counters. Volumes count
+// elements (not bytes) since the collectives are generic.
+type Stats struct {
+	Collectives  int64 // number of collective operations entered
+	ElemsSent    int64 // elements this rank contributed to collectives
+	ElemsRecv    int64 // elements this rank received from collectives
+	ExchangeOps  int64 // Alltoallv calls (the partitioner's hot path)
+	ReductionOps int64 // Allreduce calls
+}
+
+// Rank returns this rank's id in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.w.size }
+
+// Threads returns the intra-rank worker thread budget configured at Run
+// time. Rank-local parallel loops (package par) use this value, playing
+// the role of OMP_NUM_THREADS.
+func (c *Comm) Threads() int { return c.threads }
+
+// Stats returns a snapshot of this rank's communication counters.
+func (c *Comm) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the communication counters.
+func (c *Comm) ResetStats() { c.stats = Stats{} }
+
+// Run executes fn on nprocs simulated ranks, each on its own goroutine
+// with one intra-rank worker thread, and returns when all ranks finish.
+// Panics on any rank are re-raised on the caller after all other ranks
+// are released (they would otherwise hang on the next barrier).
+func Run(nprocs int, fn func(c *Comm)) {
+	RunThreads(nprocs, 1, fn)
+}
+
+// RunThreads is Run with an explicit intra-rank thread budget, the
+// equivalent of "one MPI task per node, OpenMP threads per task".
+func RunThreads(nprocs, threadsPerRank int, fn func(c *Comm)) {
+	if nprocs <= 0 {
+		panic(fmt.Sprintf("mpi: Run with nprocs=%d", nprocs))
+	}
+	if threadsPerRank <= 0 {
+		threadsPerRank = 1
+	}
+	w := &world{
+		size:  nprocs,
+		slots: make([]any, nprocs),
+		bar:   newBarrier(nprocs),
+	}
+	var wg sync.WaitGroup
+	panics := make([]any, nprocs)
+	for r := 0; r < nprocs; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+					// Poison the barrier so sibling ranks blocked in a
+					// collective wake up and unwind instead of hanging.
+					w.bar.poison()
+				}
+			}()
+			fn(&Comm{w: w, rank: rank, threads: threadsPerRank})
+		}(r)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			if bp, ok := p.(barrierPoisoned); ok {
+				_ = bp
+				continue // secondary victim of another rank's panic
+			}
+			panic(p)
+		}
+	}
+}
+
+// Barrier blocks until every rank in the world has entered it.
+func (c *Comm) Barrier() {
+	c.stats.Collectives++
+	c.w.bar.wait()
+}
+
+// publish writes v into this rank's slot and synchronizes so all slots
+// are visible; the returned release function must be called after the
+// caller has finished reading other ranks' slots.
+func (c *Comm) publish(v any) (release func()) {
+	c.w.slots[c.rank] = v
+	c.w.bar.wait()
+	return func() {
+		c.w.bar.wait()
+		c.w.slots[c.rank] = nil
+	}
+}
+
+// Bcast distributes root's data to every rank. The root passes the
+// source slice; all ranks (including the root) receive an independent
+// copy. Non-root callers may pass nil.
+func Bcast[T any](c *Comm, root int, data []T) []T {
+	c.stats.Collectives++
+	var pub any
+	if c.rank == root {
+		pub = data
+		c.stats.ElemsSent += int64(len(data))
+	}
+	release := c.publish(pub)
+	src := c.w.slots[root].([]T)
+	out := make([]T, len(src))
+	copy(out, src)
+	c.stats.ElemsRecv += int64(len(out))
+	release()
+	return out
+}
+
+// Allgather collects one value from each rank; out[r] is rank r's value.
+func Allgather[T any](c *Comm, v T) []T {
+	c.stats.Collectives++
+	c.stats.ElemsSent++
+	release := c.publish(v)
+	out := make([]T, c.w.size)
+	for r := 0; r < c.w.size; r++ {
+		out[r] = c.w.slots[r].(T)
+	}
+	c.stats.ElemsRecv += int64(c.w.size)
+	release()
+	return out
+}
+
+// Allgatherv collects a variable-length slice from each rank; out[r] is
+// an independent copy of rank r's contribution.
+func Allgatherv[T any](c *Comm, data []T) [][]T {
+	c.stats.Collectives++
+	c.stats.ElemsSent += int64(len(data))
+	release := c.publish(data)
+	out := make([][]T, c.w.size)
+	for r := 0; r < c.w.size; r++ {
+		src := c.w.slots[r].([]T)
+		cp := make([]T, len(src))
+		copy(cp, src)
+		out[r] = cp
+		c.stats.ElemsRecv += int64(len(cp))
+	}
+	release()
+	return out
+}
+
+// Alltoall exchanges one element per rank pair: send[r] goes to rank r,
+// and out[r] is what rank r sent to this rank. len(send) must be Size().
+func Alltoall[T any](c *Comm, send []T) []T {
+	if len(send) != c.w.size {
+		panic(fmt.Sprintf("mpi: Alltoall send length %d != world size %d", len(send), c.w.size))
+	}
+	c.stats.Collectives++
+	c.stats.ElemsSent += int64(len(send))
+	release := c.publish(send)
+	out := make([]T, c.w.size)
+	for r := 0; r < c.w.size; r++ {
+		out[r] = c.w.slots[r].([]T)[c.rank]
+	}
+	c.stats.ElemsRecv += int64(c.w.size)
+	release()
+	return out
+}
+
+// vPayload is what each rank publishes during Alltoallv: its packed send
+// buffer plus the per-destination counts and exclusive offsets.
+type vPayload[T any] struct {
+	buf     []T
+	counts  []int
+	offsets []int
+}
+
+// Alltoallv performs a variable-size personalized exchange. sendBuf
+// holds the data for all destinations packed contiguously in rank order;
+// sendCounts[r] elements go to rank r. It returns the received data
+// packed in source-rank order along with per-source counts.
+func Alltoallv[T any](c *Comm, sendBuf []T, sendCounts []int) (recv []T, recvCounts []int) {
+	if len(sendCounts) != c.w.size {
+		panic(fmt.Sprintf("mpi: Alltoallv counts length %d != world size %d", len(sendCounts), c.w.size))
+	}
+	total := 0
+	offsets := make([]int, c.w.size+1)
+	for r, n := range sendCounts {
+		if n < 0 {
+			panic("mpi: Alltoallv negative send count")
+		}
+		offsets[r+1] = offsets[r] + n
+		total += n
+	}
+	if total != len(sendBuf) {
+		panic(fmt.Sprintf("mpi: Alltoallv counts sum %d != buffer length %d", total, len(sendBuf)))
+	}
+	c.stats.Collectives++
+	c.stats.ExchangeOps++
+	c.stats.ElemsSent += int64(total)
+
+	release := c.publish(vPayload[T]{buf: sendBuf, counts: sendCounts, offsets: offsets})
+
+	recvCounts = make([]int, c.w.size)
+	rtotal := 0
+	for r := 0; r < c.w.size; r++ {
+		p := c.w.slots[r].(vPayload[T])
+		recvCounts[r] = p.counts[c.rank]
+		rtotal += recvCounts[r]
+	}
+	recv = make([]T, 0, rtotal)
+	for r := 0; r < c.w.size; r++ {
+		p := c.w.slots[r].(vPayload[T])
+		seg := p.buf[p.offsets[c.rank]:p.offsets[c.rank+1]]
+		recv = append(recv, seg...)
+	}
+	c.stats.ElemsRecv += int64(rtotal)
+	release()
+	return recv, recvCounts
+}
+
+// Op selects the reduction operator for Allreduce.
+type Op int
+
+// Reduction operators.
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+// Number is the constraint for reducible element types.
+type Number interface {
+	~int | ~int32 | ~int64 | ~uint64 | ~float64
+}
+
+// Allreduce reduces vals element-wise across all ranks with the given
+// operator and returns the result (identical on every rank). All ranks
+// must pass slices of the same length.
+func Allreduce[T Number](c *Comm, vals []T, op Op) []T {
+	c.stats.Collectives++
+	c.stats.ReductionOps++
+	c.stats.ElemsSent += int64(len(vals))
+	release := c.publish(vals)
+	out := make([]T, len(vals))
+	first := c.w.slots[0].([]T)
+	if len(first) != len(vals) {
+		release()
+		panic("mpi: Allreduce length mismatch across ranks")
+	}
+	copy(out, first)
+	for r := 1; r < c.w.size; r++ {
+		contrib := c.w.slots[r].([]T)
+		if len(contrib) != len(vals) {
+			release()
+			panic("mpi: Allreduce length mismatch across ranks")
+		}
+		switch op {
+		case Sum:
+			for i, v := range contrib {
+				out[i] += v
+			}
+		case Max:
+			for i, v := range contrib {
+				if v > out[i] {
+					out[i] = v
+				}
+			}
+		case Min:
+			for i, v := range contrib {
+				if v < out[i] {
+					out[i] = v
+				}
+			}
+		}
+	}
+	c.stats.ElemsRecv += int64(len(out))
+	release()
+	return out
+}
+
+// AllreduceScalar reduces a single value across ranks.
+func AllreduceScalar[T Number](c *Comm, v T, op Op) T {
+	return Allreduce(c, []T{v}, op)[0]
+}

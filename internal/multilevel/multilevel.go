@@ -1,0 +1,388 @@
+package multilevel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// Coarsener selects the coarsening scheme.
+type Coarsener int
+
+// Coarsening schemes.
+const (
+	// HEM is heavy-edge matching (METIS-style).
+	HEM Coarsener = iota
+	// SCLP is size-constrained label propagation clustering
+	// (KaHIP/Meyerhenke-style).
+	SCLP
+)
+
+// String names the coarsener.
+func (c Coarsener) String() string {
+	if c == SCLP {
+		return "sclp"
+	}
+	return "hem"
+}
+
+// Options configures a multilevel run.
+type Options struct {
+	// NumParts is the part count.
+	NumParts int
+	// Imbalance is the vertex-weight balance constraint ratio (the
+	// paper's Fig. 6 uses 3%).
+	Imbalance float64
+	// Coarsening selects HEM (METIS-like) or SCLP (KaHIP-like).
+	Coarsening Coarsener
+	// CoarsestPerPart stops coarsening once n <= CoarsestPerPart * p.
+	CoarsestPerPart int64
+	// RefineIters is the number of refinement passes per level.
+	RefineIters int
+	// Seed drives matching order, clustering, and seed selection.
+	Seed uint64
+}
+
+// MetisLike returns the METIS-flavored preset for p parts.
+func MetisLike(p int) Options {
+	return Options{
+		NumParts:        p,
+		Imbalance:       0.03,
+		Coarsening:      HEM,
+		CoarsestPerPart: 30,
+		RefineIters:     6,
+		Seed:            1,
+	}
+}
+
+// KahipLike returns the KaHIP-flavored preset (SCLP coarsening) for p
+// parts.
+func KahipLike(p int) Options {
+	o := MetisLike(p)
+	o.Coarsening = SCLP
+	o.RefineIters = 8
+	return o
+}
+
+// Report describes one multilevel run.
+type Report struct {
+	Levels      int
+	CoarsestN   int64
+	CoarsenTime time.Duration
+	InitTime    time.Duration
+	RefineTime  time.Duration
+	TotalTime   time.Duration
+	Quality     partition.Quality
+}
+
+// Partition computes a p-way partition of g with the configured
+// multilevel scheme.
+func Partition(g *graph.Graph, opt Options) ([]int32, Report, error) {
+	if opt.NumParts < 1 {
+		return nil, Report{}, fmt.Errorf("multilevel: NumParts = %d", opt.NumParts)
+	}
+	if opt.CoarsestPerPart <= 0 {
+		opt.CoarsestPerPart = 30
+	}
+	if opt.RefineIters <= 0 {
+		opt.RefineIters = 6
+	}
+	var rep Report
+	start := time.Now()
+	r := rng.New(opt.Seed)
+
+	// Coarsening phase: build the hierarchy.
+	t0 := time.Now()
+	levels := []*wgraph{fromGraph(g)}
+	var maps [][]int64
+	coarsestTarget := opt.CoarsestPerPart * int64(opt.NumParts)
+	for {
+		cur := levels[len(levels)-1]
+		if cur.n <= coarsestTarget {
+			break
+		}
+		var cmap []int64
+		var cn int64
+		if opt.Coarsening == SCLP {
+			cmap, cn = sclpCluster(cur, opt.NumParts, r)
+		} else {
+			cmap, cn = hemMatch(cur, r)
+		}
+		// Stop when coarsening stalls (< 5% shrink) to avoid spinning
+		// on graphs that resist contraction (e.g. stars).
+		if float64(cn) > 0.95*float64(cur.n) {
+			break
+		}
+		levels = append(levels, cur.contract(cmap, cn))
+		maps = append(maps, cmap)
+	}
+	rep.CoarsenTime = time.Since(t0)
+	rep.Levels = len(levels)
+	coarsest := levels[len(levels)-1]
+	rep.CoarsestN = coarsest.n
+
+	// Initial partition at the coarsest level.
+	t0 = time.Now()
+	parts := growInitial(coarsest, opt, r)
+	rep.InitTime = time.Since(t0)
+
+	// Uncoarsening: refine, project, repeat.
+	t0 = time.Now()
+	maxW := (1 + opt.Imbalance) * float64(coarsest.totVW) / float64(opt.NumParts)
+	refine(coarsest, parts, opt.NumParts, maxW, opt.RefineIters)
+	for lvl := len(levels) - 2; lvl >= 0; lvl-- {
+		fine := levels[lvl]
+		cmap := maps[lvl]
+		fineParts := make([]int32, fine.n)
+		for v := int64(0); v < fine.n; v++ {
+			fineParts[v] = parts[cmap[v]]
+		}
+		parts = fineParts
+		refine(fine, parts, opt.NumParts, maxW, opt.RefineIters)
+	}
+	rep.RefineTime = time.Since(t0)
+
+	rep.TotalTime = time.Since(start)
+	rep.Quality = partition.Evaluate(g, parts, opt.NumParts)
+	return parts, rep, nil
+}
+
+// hemMatch computes a heavy-edge matching and returns the contraction
+// map. Vertices are visited in random order; each unmatched vertex
+// pairs with its heaviest-edge unmatched neighbor.
+func hemMatch(w *wgraph, r *rng.Rand) (cmap []int64, cn int64) {
+	match := make([]int64, w.n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := r.Perm(w.n)
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		var best int64 = -1
+		var bestW int64 = -1
+		for e := w.off[v]; e < w.off[v+1]; e++ {
+			u := w.adj[e]
+			if u != v && match[u] < 0 && w.ewt[e] > bestW {
+				bestW = w.ewt[e]
+				best = u
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+	cmap = make([]int64, w.n)
+	cn = 0
+	for v := int64(0); v < w.n; v++ {
+		if match[v] >= v { // representative: smaller endpoint (or self)
+			cmap[v] = cn
+			cn++
+		}
+	}
+	for v := int64(0); v < w.n; v++ {
+		if match[v] < v {
+			cmap[v] = cmap[match[v]]
+		}
+	}
+	return cmap, cn
+}
+
+// sclpCluster runs size-constrained label propagation clustering: each
+// vertex adopts the neighboring cluster with the largest incident edge
+// weight whose total vertex weight stays below totVW/(2p), then the
+// clusters are contracted.
+func sclpCluster(w *wgraph, p int, r *rng.Rand) (cmap []int64, cn int64) {
+	labels := make([]int64, w.n)
+	weight := make(map[int64]int64, w.n)
+	for v := int64(0); v < w.n; v++ {
+		labels[v] = v
+		weight[v] = w.vwt[v]
+	}
+	cap64 := w.totVW / int64(2*p)
+	if cap64 < 2 {
+		cap64 = 2
+	}
+	order := r.Perm(w.n)
+	gain := make(map[int64]int64, 64)
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		moved := int64(0)
+		for _, v := range order {
+			clear(gain)
+			for e := w.off[v]; e < w.off[v+1]; e++ {
+				gain[labels[w.adj[e]]] += w.ewt[e]
+			}
+			cur := labels[v]
+			best, bestG := cur, gain[cur]
+			for l, g := range gain {
+				if g > bestG && (l == cur || weight[l]+w.vwt[v] <= cap64) {
+					best, bestG = l, g
+				}
+			}
+			if best != cur {
+				weight[cur] -= w.vwt[v]
+				weight[best] += w.vwt[v]
+				labels[v] = best
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	// Densify labels.
+	dense := make(map[int64]int64, 1024)
+	cmap = make([]int64, w.n)
+	for v := int64(0); v < w.n; v++ {
+		id, ok := dense[labels[v]]
+		if !ok {
+			id = int64(len(dense))
+			dense[labels[v]] = id
+		}
+		cmap[v] = id
+	}
+	return cmap, int64(len(dense))
+}
+
+// growInitial seeds each part with a random coarse vertex and grows
+// greedily (BFS by vertex weight), always extending the lightest part.
+func growInitial(w *wgraph, opt Options, r *rng.Rand) []int32 {
+	p := opt.NumParts
+	parts := make([]int32, w.n)
+	for i := range parts {
+		parts[i] = -1
+	}
+	weights := make([]int64, p)
+	frontiers := make([][]int64, p)
+	target := w.totVW / int64(p)
+	if target < 1 {
+		target = 1
+	}
+	assigned := int64(0)
+	// Seed parts with distinct random vertices.
+	perm := r.Perm(w.n)
+	next := 0
+	seed := func(part int32) bool {
+		for next < len(perm) {
+			v := perm[next]
+			next++
+			if parts[v] < 0 {
+				parts[v] = part
+				weights[part] += w.vwt[v]
+				frontiers[part] = append(frontiers[part], v)
+				assigned++
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < p; i++ {
+		if !seed(int32(i)) {
+			break
+		}
+	}
+	// Grow: repeatedly extend the lightest part by one frontier vertex.
+	for assigned < w.n {
+		lightest := int32(0)
+		for i := 1; i < p; i++ {
+			if weights[i] < weights[lightest] {
+				lightest = int32(i)
+			}
+		}
+		f := frontiers[lightest]
+		var grabbed bool
+		for len(f) > 0 && !grabbed {
+			v := f[len(f)-1]
+			f = f[:len(f)-1]
+			for e := w.off[v]; e < w.off[v+1]; e++ {
+				u := w.adj[e]
+				if parts[u] < 0 {
+					parts[u] = lightest
+					weights[lightest] += w.vwt[u]
+					f = append(f, u)
+					assigned++
+					grabbed = true
+					break
+				}
+			}
+		}
+		frontiers[lightest] = f
+		if !grabbed {
+			// Frontier exhausted: reseed the lightest part elsewhere.
+			if !seed(lightest) {
+				break
+			}
+		}
+	}
+	// Any stragglers (exhausted perm) go to the lightest part.
+	for v := int64(0); v < w.n; v++ {
+		if parts[v] < 0 {
+			lightest := int32(0)
+			for i := 1; i < p; i++ {
+				if weights[i] < weights[lightest] {
+					lightest = int32(i)
+				}
+			}
+			parts[v] = lightest
+			weights[lightest] += w.vwt[v]
+		}
+	}
+	return parts
+}
+
+// refine performs gain-based boundary refinement: each pass visits all
+// vertices and moves a vertex to the neighboring part with the largest
+// positive cut-weight gain, subject to the weight cap maxW. A move with
+// zero gain is taken only if it strictly improves balance.
+func refine(w *wgraph, parts []int32, p int, maxW float64, iters int) {
+	weights := make([]int64, p)
+	for v := int64(0); v < w.n; v++ {
+		weights[parts[v]] += w.vwt[v]
+	}
+	conn := make([]int64, p)
+	for pass := 0; pass < iters; pass++ {
+		moved := 0
+		for v := int64(0); v < w.n; v++ {
+			x := parts[v]
+			for i := range conn {
+				conn[i] = 0
+			}
+			for e := w.off[v]; e < w.off[v+1]; e++ {
+				conn[parts[w.adj[e]]] += w.ewt[e]
+			}
+			bestPart, bestGain := x, int64(0)
+			for i := 0; i < p; i++ {
+				if int32(i) == x {
+					continue
+				}
+				if float64(weights[i]+w.vwt[v]) > maxW {
+					continue
+				}
+				gain := conn[i] - conn[x]
+				if gain > bestGain ||
+					(gain == bestGain && gain >= 0 && bestPart != x && weights[i] < weights[bestPart]) ||
+					(gain == 0 && bestGain == 0 && bestPart == x && weights[i]+w.vwt[v] < weights[x]) {
+					bestGain = gain
+					bestPart = int32(i)
+				}
+			}
+			if bestPart != x {
+				weights[x] -= w.vwt[v]
+				weights[bestPart] += w.vwt[v]
+				parts[v] = bestPart
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}

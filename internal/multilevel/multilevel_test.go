@@ -1,0 +1,183 @@
+package multilevel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+func TestFromGraphCombinesParallelEdges(t *testing.T) {
+	g, _ := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 0}})
+	w := fromGraph(g)
+	if w.n != 3 || w.totVW != 3 {
+		t.Fatalf("n=%d totVW=%d", w.n, w.totVW)
+	}
+	// Vertex 0: one neighbor (1) with weight 2, self loop dropped.
+	if w.degree(0) != 1 || w.adj[w.off[0]] != 1 || w.ewt[w.off[0]] != 2 {
+		t.Fatalf("vertex 0 adjacency wrong: deg=%d", w.degree(0))
+	}
+	if w.degree(1) != 2 {
+		t.Fatalf("vertex 1 degree %d, want 2", w.degree(1))
+	}
+}
+
+func TestContractPreservesWeight(t *testing.T) {
+	g := gen.ER(200, 800, 3).MustBuild()
+	w := fromGraph(g)
+	cmap, cn := hemMatch(w, rng.New(1))
+	c := w.contract(cmap, cn)
+	if c.totVW != w.totVW {
+		t.Fatalf("totVW changed: %d -> %d", w.totVW, c.totVW)
+	}
+	var sumVW int64
+	for _, vw := range c.vwt {
+		sumVW += vw
+	}
+	if sumVW != w.totVW {
+		t.Fatalf("coarse vertex weights sum %d != %d", sumVW, w.totVW)
+	}
+	if cn >= w.n {
+		t.Fatalf("no shrink: %d -> %d", w.n, cn)
+	}
+}
+
+func TestHEMMatchIsMatching(t *testing.T) {
+	g := gen.RMAT(9, 8, 5).MustBuild()
+	w := fromGraph(g)
+	cmap, cn := hemMatch(w, rng.New(2))
+	counts := make([]int, cn)
+	for _, c := range cmap {
+		counts[c]++
+	}
+	for c, n := range counts {
+		if n < 1 || n > 2 {
+			t.Fatalf("cluster %d has %d members; matching allows 1-2", c, n)
+		}
+	}
+}
+
+func TestSCLPClusterRespectsCap(t *testing.T) {
+	g := gen.ChungLu(2048, 16384, 2.2, 7).MustBuild()
+	w := fromGraph(g)
+	const p = 8
+	cmap, cn := sclpCluster(w, p, rng.New(3))
+	sizes := make([]int64, cn)
+	for v, c := range cmap {
+		sizes[c] += w.vwt[v]
+	}
+	cap64 := w.totVW / int64(2*p)
+	for c, s := range sizes {
+		// A cluster can exceed the cap only via its own initial member
+		// never moving; joined weight is capped. Allow 2x slop.
+		if s > 2*cap64+1 {
+			t.Fatalf("cluster %d weight %d far above cap %d", c, s, cap64)
+		}
+	}
+}
+
+func TestPartitionMeshQuality(t *testing.T) {
+	// METIS-like must shine on regular meshes (the paper's 4th class).
+	g := gen.Grid3D(12, 12, 12).MustBuild()
+	const p = 8
+	parts, rep, err := Partition(g, MetisLike(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partition.Validate(g, parts, p); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quality.VertexImbalance > 1.04 {
+		t.Errorf("imbalance %.3f above 3%% constraint", rep.Quality.VertexImbalance)
+	}
+	qr := partition.Evaluate(g, partition.Random(g, p, 1), p)
+	if rep.Quality.EdgeCutRatio > qr.EdgeCutRatio/4 {
+		t.Errorf("mesh cut %.3f vs random %.3f: multilevel should be far better",
+			rep.Quality.EdgeCutRatio, qr.EdgeCutRatio)
+	}
+	if rep.Levels < 2 {
+		t.Errorf("hierarchy has %d levels", rep.Levels)
+	}
+}
+
+func TestKahipLikeOnSmallWorld(t *testing.T) {
+	g := gen.RMAT(10, 8, 9).MustBuild()
+	const p = 8
+	parts, rep, err := Partition(g, KahipLike(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partition.Validate(g, parts, p); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quality.VertexImbalance > 1.05 {
+		t.Errorf("imbalance %.3f above constraint", rep.Quality.VertexImbalance)
+	}
+	qr := partition.Evaluate(g, partition.Random(g, p, 1), p)
+	if rep.Quality.EdgeCutRatio >= qr.EdgeCutRatio {
+		t.Errorf("cut %.3f not better than random %.3f", rep.Quality.EdgeCutRatio, qr.EdgeCutRatio)
+	}
+}
+
+func TestBothCoarsenersAllPartCounts(t *testing.T) {
+	g := gen.ERAvgDeg(1024, 8, 11).MustBuild()
+	for _, mk := range []func(int) Options{MetisLike, KahipLike} {
+		for _, p := range []int{2, 3, 8, 17} {
+			opt := mk(p)
+			parts, _, err := Partition(g, opt)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", opt.Coarsening, p, err)
+			}
+			if err := partition.Validate(g, parts, p); err != nil {
+				t.Fatalf("%s p=%d: %v", opt.Coarsening, p, err)
+			}
+		}
+	}
+}
+
+func TestPartitionRejectsBadOptions(t *testing.T) {
+	g := gen.ER(64, 128, 1).MustBuild()
+	if _, _, err := Partition(g, Options{NumParts: 0}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := gen.RMAT(9, 8, 13).MustBuild()
+	a, _, _ := Partition(g, MetisLike(4))
+	b, _, _ := Partition(g, MetisLike(4))
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("vertex %d differs across identical runs", v)
+		}
+	}
+}
+
+func TestStarGraphDoesNotHang(t *testing.T) {
+	// A star resists matching (hub can match once); the stall guard
+	// must terminate coarsening.
+	edges := make([]graph.Edge, 999)
+	for i := range edges {
+		edges[i] = graph.Edge{U: 0, V: int64(i + 1)}
+	}
+	g, _ := graph.FromEdges(1000, edges)
+	parts, _, err := Partition(g, MetisLike(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partition.Validate(g, parts, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMetisLikeMesh(b *testing.B) {
+	g := gen.Grid3D(16, 16, 16).MustBuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Partition(g, MetisLike(8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package multilevel implements a from-scratch multilevel graph
+// partitioner standing in for the paper's two traditional baselines:
+//
+//   - METIS-like: heavy-edge-matching (HEM) coarsening, greedy graph
+//     growing at the coarsest level, and gain-based boundary refinement
+//     during uncoarsening — the ParMETIS algorithm family.
+//   - KaHIP-like: size-constrained label propagation (SCLP) clustering
+//     as the coarsener, as in Meyerhenke, Sanders, and Schulz (IPDPS
+//     2015), the comparison target of the paper's §V.C.
+//
+// Both presets solve the single-constraint (vertex balance),
+// single-objective (edge cut) problem, exactly the setting of the
+// paper's Fig. 6 comparison.
+package multilevel
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// wgraph is a weighted CSR used through the multilevel hierarchy:
+// vertex weights carry coarsening multiplicity and edge weights carry
+// combined parallel-edge counts.
+type wgraph struct {
+	n     int64
+	off   []int64
+	adj   []int64
+	ewt   []int64
+	vwt   []int64
+	totVW int64
+}
+
+// fromGraph builds the level-0 weighted graph with unit vertex weights.
+// Parallel arcs are combined into one weighted arc; self loops dropped.
+func fromGraph(g *graph.Graph) *wgraph {
+	w := &wgraph{
+		n:     g.N,
+		off:   make([]int64, g.N+1),
+		vwt:   make([]int64, g.N),
+		totVW: g.N,
+	}
+	adj := make([]int64, 0, len(g.Adj))
+	ewt := make([]int64, 0, len(g.Adj))
+	var buf []int64
+	for v := int64(0); v < g.N; v++ {
+		w.vwt[v] = 1
+		buf = buf[:0]
+		buf = append(buf, g.Neighbors(v)...)
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		for i := 0; i < len(buf); {
+			u := buf[i]
+			j := i
+			for j < len(buf) && buf[j] == u {
+				j++
+			}
+			if u != v {
+				adj = append(adj, u)
+				ewt = append(ewt, int64(j-i))
+			}
+			i = j
+		}
+		w.off[v+1] = int64(len(adj))
+	}
+	w.adj, w.ewt = adj, ewt
+	return w
+}
+
+// degree returns the arc count of v at this level.
+func (w *wgraph) degree(v int64) int64 { return w.off[v+1] - w.off[v] }
+
+// contract builds the coarse graph given a cluster map (fine vertex ->
+// coarse vertex, ids dense in [0, cn)).
+func (w *wgraph) contract(cmap []int64, cn int64) *wgraph {
+	coarse := &wgraph{
+		n:     cn,
+		off:   make([]int64, cn+1),
+		vwt:   make([]int64, cn),
+		totVW: w.totVW,
+	}
+	for v := int64(0); v < w.n; v++ {
+		coarse.vwt[cmap[v]] += w.vwt[v]
+	}
+	// Accumulate combined edges per coarse vertex with a scatter array.
+	// First pass counts distinct coarse neighbors, second pass fills.
+	type edge struct {
+		to int64
+		wt int64
+	}
+	bucket := make([][]edge, cn)
+	for v := int64(0); v < w.n; v++ {
+		cv := cmap[v]
+		for e := w.off[v]; e < w.off[v+1]; e++ {
+			cu := cmap[w.adj[e]]
+			if cu == cv {
+				continue
+			}
+			bucket[cv] = append(bucket[cv], edge{to: cu, wt: w.ewt[e]})
+		}
+	}
+	adj := make([]int64, 0, len(w.adj))
+	ewt := make([]int64, 0, len(w.ewt))
+	for cv := int64(0); cv < cn; cv++ {
+		b := bucket[cv]
+		sort.Slice(b, func(i, j int) bool { return b[i].to < b[j].to })
+		for i := 0; i < len(b); {
+			j := i
+			var sum int64
+			for j < len(b) && b[j].to == b[i].to {
+				sum += b[j].wt
+				j++
+			}
+			adj = append(adj, b[i].to)
+			ewt = append(ewt, sum)
+			i = j
+		}
+		coarse.off[cv+1] = int64(len(adj))
+	}
+	coarse.adj, coarse.ewt = adj, ewt
+	return coarse
+}

@@ -1,0 +1,194 @@
+// Package par provides intra-rank thread-level parallelism: a parallel
+// for-loop over index ranges with static chunking, parallel reductions,
+// and thread-local buffers that merge into a shared queue. It plays the
+// role OpenMP plays inside each MPI task in the original XtraPuLP code:
+// every simulated rank can fan work out across a configurable number of
+// worker threads.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultThreads is the worker count used when a caller passes
+// threads <= 0. It mirrors "number of shared-memory cores" from the
+// paper's experimental setup.
+func DefaultThreads() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs body(i) for every i in [begin, end) using the given number of
+// worker goroutines with contiguous static chunks (OpenMP "schedule
+// (static)"). With threads <= 1 or a small range it runs inline.
+func For(begin, end int, threads int, body func(i int)) {
+	n := end - begin
+	if n <= 0 {
+		return
+	}
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads == 1 {
+		for i := begin; i < end; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := begin + t*chunk
+		hi := lo + chunk
+		if hi > end {
+			hi = end
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForChunk runs body(lo, hi, tid) on contiguous chunks of [begin, end),
+// one chunk per worker thread. This is the idiom for loops that carry
+// thread-local state (queues, count arrays): the body receives its
+// thread id and processes its whole chunk.
+func ForChunk(begin, end int, threads int, body func(lo, hi, tid int)) {
+	n := end - begin
+	if n <= 0 {
+		return
+	}
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads == 1 {
+		body(begin, end, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := begin + t*chunk
+		hi := lo + chunk
+		if hi > end {
+			hi = end
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi, tid int) {
+			defer wg.Done()
+			body(lo, hi, tid)
+		}(lo, hi, t)
+	}
+	wg.Wait()
+}
+
+// ReduceInt64 computes the sum of body(i) over [begin, end) in parallel.
+func ReduceInt64(begin, end int, threads int, body func(i int) int64) int64 {
+	var total atomic.Int64
+	ForChunk(begin, end, threads, func(lo, hi, _ int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += body(i)
+		}
+		total.Add(local)
+	})
+	return total.Load()
+}
+
+// MaxInt64 computes the maximum of body(i) over [begin, end) in parallel.
+// It returns the provided identity when the range is empty.
+func MaxInt64(begin, end int, threads int, identity int64, body func(i int) int64) int64 {
+	if end <= begin {
+		return identity
+	}
+	var mu sync.Mutex
+	global := identity
+	ForChunk(begin, end, threads, func(lo, hi, _ int) {
+		local := identity
+		for i := lo; i < hi; i++ {
+			if v := body(i); v > local {
+				local = v
+			}
+		}
+		mu.Lock()
+		if local > global {
+			global = local
+		}
+		mu.Unlock()
+	})
+	return global
+}
+
+// Queues is a set of per-thread append-only buffers that merge into one
+// slice, mirroring the paper's Qthread -> Qtask merge. Type parameter T
+// is the queued record type (for example a (vertex, part) pair).
+type Queues[T any] struct {
+	lanes [][]T
+}
+
+// NewQueues returns thread-local queues for the given worker count.
+func NewQueues[T any](threads int) *Queues[T] {
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	return &Queues[T]{lanes: make([][]T, threads)}
+}
+
+// Push appends v to thread tid's lane. Each tid must be used by at most
+// one goroutine at a time.
+func (q *Queues[T]) Push(tid int, v T) {
+	q.lanes[tid] = append(q.lanes[tid], v)
+}
+
+// Merge concatenates all lanes into a single slice (Qtask) and resets
+// the lanes for reuse. Ordering is by thread id, then push order.
+func (q *Queues[T]) Merge() []T {
+	total := 0
+	for _, l := range q.lanes {
+		total += len(l)
+	}
+	out := make([]T, 0, total)
+	for i, l := range q.lanes {
+		out = append(out, l...)
+		q.lanes[i] = q.lanes[i][:0]
+	}
+	return out
+}
+
+// Len reports the total queued element count across lanes.
+func (q *Queues[T]) Len() int {
+	total := 0
+	for _, l := range q.lanes {
+		total += len(l)
+	}
+	return total
+}
+
+// PrefixSums returns the exclusive prefix sums of counts with one extra
+// trailing element holding the grand total, matching the offsets arrays
+// used throughout the communication routines.
+func PrefixSums(counts []int) []int {
+	out := make([]int, len(counts)+1)
+	for i, c := range counts {
+		out[i+1] = out[i] + c
+	}
+	return out
+}

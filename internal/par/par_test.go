@@ -1,0 +1,188 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 7} {
+		const n = 1000
+		hits := make([]int32, n)
+		For(0, n, threads, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("threads=%d: index %d visited %d times", threads, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndNegativeRange(t *testing.T) {
+	called := false
+	For(5, 5, 4, func(int) { called = true })
+	For(9, 3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("body called on empty range")
+	}
+}
+
+func TestForNonZeroBegin(t *testing.T) {
+	var sum atomic.Int64
+	For(10, 20, 3, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 145 {
+		t.Fatalf("sum over [10,20) = %d, want 145", got)
+	}
+}
+
+func TestForChunkPartitionsRange(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 8} {
+		const n = 517
+		hits := make([]int32, n)
+		tids := make(map[int]bool)
+		var mu atomic.Int32
+		ForChunk(0, n, threads, func(lo, hi, tid int) {
+			mu.Add(1)
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+			_ = tids
+			if tid < 0 || tid >= threads {
+				t.Errorf("tid %d out of range [0,%d)", tid, threads)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("threads=%d: index %d visited %d times", threads, i, h)
+			}
+		}
+	}
+}
+
+func TestReduceInt64(t *testing.T) {
+	got := ReduceInt64(0, 1001, 4, func(i int) int64 { return int64(i) })
+	if got != 500500 {
+		t.Fatalf("ReduceInt64 = %d, want 500500", got)
+	}
+}
+
+func TestMaxInt64(t *testing.T) {
+	vals := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	got := MaxInt64(0, len(vals), 3, -1, func(i int) int64 { return vals[i] })
+	if got != 9 {
+		t.Fatalf("MaxInt64 = %d, want 9", got)
+	}
+	if got := MaxInt64(0, 0, 3, -7, func(int) int64 { return 0 }); got != -7 {
+		t.Fatalf("MaxInt64 on empty range = %d, want identity -7", got)
+	}
+}
+
+func TestQueuesMerge(t *testing.T) {
+	q := NewQueues[int](3)
+	q.Push(0, 1)
+	q.Push(1, 2)
+	q.Push(2, 3)
+	q.Push(0, 4)
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	got := q.Merge()
+	want := []int{1, 4, 2, 3} // lane 0 first, then lanes 1, 2
+	if len(got) != len(want) {
+		t.Fatalf("Merge returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Merge returned %v, want %v", got, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("Merge did not reset lanes")
+	}
+}
+
+func TestQueuesConcurrentLanes(t *testing.T) {
+	const threads = 4
+	const per = 1000
+	q := NewQueues[int](threads)
+	ForChunk(0, threads*per, threads, func(lo, hi, tid int) {
+		for i := lo; i < hi; i++ {
+			q.Push(tid, i)
+		}
+	})
+	merged := q.Merge()
+	if len(merged) != threads*per {
+		t.Fatalf("merged %d elements, want %d", len(merged), threads*per)
+	}
+	seen := make([]bool, threads*per)
+	for _, v := range merged {
+		if seen[v] {
+			t.Fatalf("duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPrefixSums(t *testing.T) {
+	got := PrefixSums([]int{3, 0, 2, 5})
+	want := []int{0, 3, 3, 5, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PrefixSums = %v, want %v", got, want)
+		}
+	}
+	if e := PrefixSums(nil); len(e) != 1 || e[0] != 0 {
+		t.Fatalf("PrefixSums(nil) = %v, want [0]", e)
+	}
+}
+
+// Property: parallel reduce agrees with a serial loop for arbitrary data.
+func TestQuickReduceMatchesSerial(t *testing.T) {
+	f := func(vals []int64, threadsRaw uint8) bool {
+		threads := int(threadsRaw%8) + 1
+		var serial int64
+		for _, v := range vals {
+			serial += v
+		}
+		got := ReduceInt64(0, len(vals), threads, func(i int) int64 { return vals[i] })
+		return got == serial
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: prefix sums are monotone with correct total for non-negative
+// counts.
+func TestQuickPrefixSums(t *testing.T) {
+	f := func(raw []uint16) bool {
+		counts := make([]int, len(raw))
+		total := 0
+		for i, v := range raw {
+			counts[i] = int(v)
+			total += int(v)
+		}
+		ps := PrefixSums(counts)
+		if len(ps) != len(counts)+1 || ps[0] != 0 || ps[len(counts)] != total {
+			return false
+		}
+		for i := range counts {
+			if ps[i+1]-ps[i] != counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		For(0, 1024, 4, func(int) {})
+	}
+}

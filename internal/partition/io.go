@@ -1,0 +1,112 @@
+package partition
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteParts writes one part id per line (line i = vertex i), the
+// format METIS-family tools exchange partitions in.
+func WriteParts(w io.Writer, parts []int32) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range parts {
+		if _, err := fmt.Fprintln(bw, p); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadParts parses the one-id-per-line partition format. Blank lines
+// and '#' comments are ignored.
+func ReadParts(r io.Reader) ([]int32, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []int32
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("partition: bad part id %q: %w", line, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("partition: negative part id %d", v)
+		}
+		out = append(out, int32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SaveParts writes a partition file at path.
+func SaveParts(path string, parts []int32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteParts(f, parts); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadParts reads a partition file from path.
+func LoadParts(path string) ([]int32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadParts(f)
+}
+
+// RandIndex measures the similarity of two partitions of the same
+// vertex set as the fraction of vertex pairs on which they agree
+// (same-part in both or split in both). 1.0 means identical up to part
+// relabeling; independent random partitions of p parts score about
+// 1 - 2(p-1)/p². It is label-permutation invariant, so it compares
+// partitioners whose part numbering differs.
+func RandIndex(a, b []int32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("partition: RandIndex length mismatch %d vs %d", len(a), len(b))
+	}
+	n := int64(len(a))
+	if n < 2 {
+		return 1, nil
+	}
+	// Pair counting via contingency table: agreements =
+	// C(n,2) + 2·Σ_ij C(n_ij,2) − Σ_i C(a_i,2) − Σ_j C(b_j,2).
+	type cell struct{ x, y int32 }
+	joint := make(map[cell]int64)
+	rowA := make(map[int32]int64)
+	rowB := make(map[int32]int64)
+	for i := range a {
+		joint[cell{a[i], b[i]}]++
+		rowA[a[i]]++
+		rowB[b[i]]++
+	}
+	choose2 := func(k int64) int64 { return k * (k - 1) / 2 }
+	var sumJoint, sumA, sumB int64
+	for _, c := range joint {
+		sumJoint += choose2(c)
+	}
+	for _, c := range rowA {
+		sumA += choose2(c)
+	}
+	for _, c := range rowB {
+		sumB += choose2(c)
+	}
+	total := choose2(n)
+	agreements := total + 2*sumJoint - sumA - sumB
+	return float64(agreements) / float64(total), nil
+}

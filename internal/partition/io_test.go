@@ -1,0 +1,114 @@
+package partition
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestPartsRoundTrip(t *testing.T) {
+	parts := []int32{0, 3, 1, 1, 2, 0}
+	var buf bytes.Buffer
+	if err := WriteParts(&buf, parts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadParts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(parts) {
+		t.Fatalf("got %d ids", len(got))
+	}
+	for i := range parts {
+		if got[i] != parts[i] {
+			t.Fatalf("index %d: %d != %d", i, got[i], parts[i])
+		}
+	}
+}
+
+func TestReadPartsCommentsAndErrors(t *testing.T) {
+	got, err := ReadParts(strings.NewReader("# header\n0\n\n2\n"))
+	if err != nil || len(got) != 2 || got[1] != 2 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	if _, err := ReadParts(strings.NewReader("x\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ReadParts(strings.NewReader("-1\n")); err == nil {
+		t.Fatal("expected negative-id error")
+	}
+}
+
+func TestSaveLoadParts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "parts.txt")
+	parts := []int32{1, 0, 1}
+	if err := SaveParts(path, parts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadParts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRandIndexIdentityAndRelabel(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2, 2}
+	if ri, _ := RandIndex(a, a); ri != 1.0 {
+		t.Fatalf("identical partitions RI = %v", ri)
+	}
+	// Relabeled copy (0<->2) must still score 1.0.
+	b := []int32{2, 2, 1, 1, 0, 0}
+	if ri, _ := RandIndex(a, b); ri != 1.0 {
+		t.Fatalf("relabeled partitions RI = %v", ri)
+	}
+}
+
+func TestRandIndexDisagreement(t *testing.T) {
+	a := []int32{0, 0, 1, 1}
+	b := []int32{0, 1, 0, 1}
+	// Pairs: (0,1) same-a diff-b, (2,3) same-a diff-b, (0,2) diff-a
+	// diff-b? a: 0 vs 1 diff; b: 0 vs 0 same -> disagree. Compute:
+	// agreements are pairs (0,3): a diff, b diff; (1,2): a diff, b diff.
+	// 2 of 6 pairs agree.
+	ri, err := RandIndex(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ri-2.0/6.0) > 1e-12 {
+		t.Fatalf("RI = %v, want %v", ri, 2.0/6.0)
+	}
+}
+
+func TestRandIndexValidation(t *testing.T) {
+	if _, err := RandIndex([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if ri, _ := RandIndex([]int32{0}, []int32{5}); ri != 1.0 {
+		t.Fatal("singleton partitions must agree trivially")
+	}
+}
+
+func TestRandIndexRandomVsStructured(t *testing.T) {
+	g := gen.RMAT(10, 8, 1).MustBuild()
+	const p = 8
+	block := VertexBlock(g, p)
+	blockAgain := VertexBlock(g, p)
+	randA := Random(g, p, 1)
+	randB := Random(g, p, 2)
+	same, _ := RandIndex(block, blockAgain)
+	if same != 1.0 {
+		t.Fatalf("deterministic partitioner disagreement: %v", same)
+	}
+	indep, _ := RandIndex(randA, randB)
+	want := 1 - 2*float64(p-1)/float64(p*p) // expected RI of independent partitions
+	if math.Abs(indep-want) > 0.02 {
+		t.Fatalf("independent random partitions RI = %v, want ≈%v", indep, want)
+	}
+}

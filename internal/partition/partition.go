@@ -1,0 +1,199 @@
+// Package partition defines partition representations, the paper's two
+// architecture-independent quality metrics (edge cut ratio and scaled
+// max per-part cut ratio, §V.B), balance metrics, validation, and the
+// trivial baseline strategies the paper compares against at scale:
+// random, vertex-block, and edge-block partitioning (§V.E).
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Quality summarizes a partition against the paper's metrics. Lower is
+// better for every ratio.
+type Quality struct {
+	NumParts int
+	// CutEdges is |C(G, Π)|, the number of undirected edges whose
+	// endpoints lie in different parts.
+	CutEdges int64
+	// EdgeCutRatio is |C| / |E|.
+	EdgeCutRatio float64
+	// MaxPartCut is max_k |C(G, π_k)|: the largest per-part cut.
+	MaxPartCut int64
+	// ScaledMaxCutRatio is MaxPartCut / (|E| / p) — the paper's "scaled
+	// max edge cut ratio".
+	ScaledMaxCutRatio float64
+	// VertexImbalance is max_i |V(π_i)| / (|V| / p); 1.0 is perfect.
+	VertexImbalance float64
+	// EdgeImbalance is the same ratio for edges incident to each part
+	// (sum of member degrees), the quantity the edge-balance constraint
+	// controls.
+	EdgeImbalance float64
+	// CutImbalance is max_k |C(G, π_k)| / (avg_k |C(G, π_k)|), the
+	// balance of cut edges among parts (secondary objective).
+	CutImbalance float64
+	// PartVerts[i] is |V(π_i)|.
+	PartVerts []int64
+	// PartDegrees[i] is the sum of degrees of vertices in part i.
+	PartDegrees []int64
+	// PartCut[i] is |C(G, π_i)|.
+	PartCut []int64
+}
+
+// Validate checks that parts assigns every vertex of g a part id in
+// [0, p).
+func Validate(g *graph.Graph, parts []int32, p int) error {
+	if int64(len(parts)) != g.N {
+		return fmt.Errorf("partition: got %d assignments for %d vertices", len(parts), g.N)
+	}
+	for v, pt := range parts {
+		if pt < 0 || int(pt) >= p {
+			return fmt.Errorf("partition: vertex %d assigned part %d outside [0,%d)", v, pt, p)
+		}
+	}
+	return nil
+}
+
+// Evaluate computes all quality metrics of parts over g. The graph must
+// be symmetric (undirected CSR); every undirected edge is counted once.
+func Evaluate(g *graph.Graph, parts []int32, p int) Quality {
+	q := Quality{
+		NumParts:    p,
+		PartVerts:   make([]int64, p),
+		PartDegrees: make([]int64, p),
+		PartCut:     make([]int64, p),
+	}
+	for v := int64(0); v < g.N; v++ {
+		pv := parts[v]
+		q.PartVerts[pv]++
+		q.PartDegrees[pv] += g.Degree(v)
+		for _, u := range g.Neighbors(v) {
+			if parts[u] != pv {
+				// Count each cut edge once globally (v < u) but once per
+				// incident part for the per-part cut.
+				q.PartCut[pv]++
+				if v < u {
+					q.CutEdges++
+				} else if u == v {
+					// self loop, never cut
+				}
+			}
+		}
+	}
+	// PartCut counted each cut edge from both sides for the part it is
+	// incident to; an edge with endpoints in parts a and b contributed 1
+	// to each of a and b, which is exactly |C(G, π_k)| per definition.
+	m := g.NumEdges()
+	if m > 0 {
+		q.EdgeCutRatio = float64(q.CutEdges) / float64(m)
+	}
+	var maxCut, sumCut int64
+	for _, c := range q.PartCut {
+		sumCut += c
+		if c > maxCut {
+			maxCut = c
+		}
+	}
+	q.MaxPartCut = maxCut
+	if m > 0 && p > 0 {
+		q.ScaledMaxCutRatio = float64(maxCut) / (float64(m) / float64(p))
+	}
+	if sumCut > 0 {
+		q.CutImbalance = float64(maxCut) / (float64(sumCut) / float64(p))
+	}
+	if g.N > 0 && p > 0 {
+		var maxV int64
+		for _, c := range q.PartVerts {
+			if c > maxV {
+				maxV = c
+			}
+		}
+		q.VertexImbalance = float64(maxV) / (float64(g.N) / float64(p))
+	}
+	if g.NumArcs() > 0 && p > 0 {
+		var maxE int64
+		for _, c := range q.PartDegrees {
+			if c > maxE {
+				maxE = c
+			}
+		}
+		q.EdgeImbalance = float64(maxE) / (float64(g.NumArcs()) / float64(p))
+	}
+	return q
+}
+
+// Random assigns each vertex to a uniformly random part. At the
+// paper's scale this is one of the only two strategies that work
+// without a scalable partitioner; its expected edge cut ratio is
+// (p-1)/p.
+func Random(g *graph.Graph, p int, seed uint64) []int32 {
+	r := rng.New(seed)
+	parts := make([]int32, g.N)
+	for v := range parts {
+		parts[v] = int32(r.Intn(p))
+	}
+	return parts
+}
+
+// VertexBlock assigns contiguous ranges of ⌈n/p⌉ vertices to each part
+// (the paper's "VertexBlock": same number of vertices and all their
+// adjacencies per part).
+func VertexBlock(g *graph.Graph, p int) []int32 {
+	parts := make([]int32, g.N)
+	if g.N == 0 {
+		return parts
+	}
+	for v := int64(0); v < g.N; v++ {
+		parts[v] = int32(v * int64(p) / g.N)
+	}
+	return parts
+}
+
+// EdgeBlock assigns contiguous vertex ranges such that each part holds
+// approximately the same number of incident edges (the paper's
+// "EdgeBlock": contiguous vertices with roughly equal edge counts).
+func EdgeBlock(g *graph.Graph, p int) []int32 {
+	parts := make([]int32, g.N)
+	if g.N == 0 || len(g.Adj) == 0 {
+		return VertexBlock(g, p)
+	}
+	totalArcs := g.NumArcs()
+	target := (totalArcs + int64(p) - 1) / int64(p)
+	var acc int64
+	cur := int32(0)
+	for v := int64(0); v < g.N; v++ {
+		parts[v] = cur
+		acc += g.Degree(v)
+		if acc >= target && int(cur) < p-1 {
+			acc = 0
+			cur++
+		}
+	}
+	return parts
+}
+
+// CutEdges returns just |C(G, Π)| without the full Quality computation.
+func CutEdges(g *graph.Graph, parts []int32) int64 {
+	var cut int64
+	for v := int64(0); v < g.N; v++ {
+		pv := parts[v]
+		for _, u := range g.Neighbors(v) {
+			if v < u && parts[u] != pv {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// PartSizes returns the per-part vertex counts.
+func PartSizes(parts []int32, p int) []int64 {
+	sizes := make([]int64, p)
+	for _, pt := range parts {
+		sizes[pt]++
+	}
+	return sizes
+}

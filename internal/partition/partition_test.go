@@ -1,0 +1,230 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// twoCliques returns two k-cliques joined by a single bridge edge; the
+// natural 2-partition cuts exactly 1 edge.
+func twoCliques(k int64) *graph.Graph {
+	var edges []graph.Edge
+	for i := int64(0); i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+			edges = append(edges, graph.Edge{U: k + i, V: k + j})
+		}
+	}
+	edges = append(edges, graph.Edge{U: 0, V: k})
+	g, err := graph.FromEdges(2*k, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestEvaluatePerfectSplit(t *testing.T) {
+	g := twoCliques(5)
+	parts := make([]int32, g.N)
+	for v := int64(5); v < 10; v++ {
+		parts[v] = 1
+	}
+	q := Evaluate(g, parts, 2)
+	if q.CutEdges != 1 {
+		t.Fatalf("CutEdges = %d, want 1", q.CutEdges)
+	}
+	m := g.NumEdges()
+	if math.Abs(q.EdgeCutRatio-1.0/float64(m)) > 1e-12 {
+		t.Fatalf("EdgeCutRatio = %v", q.EdgeCutRatio)
+	}
+	if q.MaxPartCut != 1 {
+		t.Fatalf("MaxPartCut = %d, want 1", q.MaxPartCut)
+	}
+	if q.VertexImbalance != 1.0 {
+		t.Fatalf("VertexImbalance = %v, want 1.0", q.VertexImbalance)
+	}
+	if q.PartVerts[0] != 5 || q.PartVerts[1] != 5 {
+		t.Fatalf("PartVerts = %v", q.PartVerts)
+	}
+}
+
+func TestEvaluateAllOnePart(t *testing.T) {
+	g := twoCliques(4)
+	parts := make([]int32, g.N)
+	q := Evaluate(g, parts, 2)
+	if q.CutEdges != 0 || q.EdgeCutRatio != 0 {
+		t.Fatalf("cut = %d, ratio = %v; want 0", q.CutEdges, q.EdgeCutRatio)
+	}
+	if q.VertexImbalance != 2.0 {
+		t.Fatalf("VertexImbalance = %v, want 2.0", q.VertexImbalance)
+	}
+}
+
+func TestEvaluatePerPartCutDefinition(t *testing.T) {
+	// Triangle with all vertices in distinct parts: every edge is cut,
+	// and each part is incident to exactly 2 cut edges.
+	g, _ := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	parts := []int32{0, 1, 2}
+	q := Evaluate(g, parts, 3)
+	if q.CutEdges != 3 {
+		t.Fatalf("CutEdges = %d, want 3", q.CutEdges)
+	}
+	for i, c := range q.PartCut {
+		if c != 2 {
+			t.Fatalf("PartCut[%d] = %d, want 2", i, c)
+		}
+	}
+	// ScaledMaxCut = 2 / (3/3) = 2.
+	if math.Abs(q.ScaledMaxCutRatio-2.0) > 1e-12 {
+		t.Fatalf("ScaledMaxCutRatio = %v, want 2.0", q.ScaledMaxCutRatio)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := twoCliques(3)
+	good := make([]int32, g.N)
+	if err := Validate(g, good, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, good[:2], 1); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	bad := make([]int32, g.N)
+	bad[0] = 5
+	if err := Validate(g, bad, 2); err == nil {
+		t.Fatal("expected out-of-range part error")
+	}
+}
+
+func TestRandomPartitionCutApproachesTheory(t *testing.T) {
+	// Paper §V.B: random partitioning's edge cut ratio scales as (p-1)/p.
+	g := gen.ERAvgDeg(4096, 16, 3).MustBuild()
+	for _, p := range []int{2, 8, 32} {
+		parts := Random(g, p, 17)
+		q := Evaluate(g, parts, p)
+		want := float64(p-1) / float64(p)
+		if math.Abs(q.EdgeCutRatio-want) > 0.05 {
+			t.Errorf("p=%d: random cut ratio %.3f, want ≈%.3f", p, q.EdgeCutRatio, want)
+		}
+	}
+}
+
+func TestVertexBlockBalance(t *testing.T) {
+	g := gen.Grid3D(10, 10, 10).MustBuild()
+	for _, p := range []int{2, 3, 7, 16} {
+		parts := VertexBlock(g, p)
+		if err := Validate(g, parts, p); err != nil {
+			t.Fatal(err)
+		}
+		sizes := PartSizes(parts, p)
+		lo, hi := sizes[0], sizes[0]
+		for _, s := range sizes {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		if hi-lo > 1 {
+			t.Errorf("p=%d: vertex block sizes spread %v", p, sizes)
+		}
+	}
+}
+
+func TestVertexBlockLowCutOnMesh(t *testing.T) {
+	// Contiguous blocks of a mesh are z-slabs: cut ratio is exactly
+	// (p-1)*nx*ny / m, far below random's (p-1)/p.
+	g := gen.Grid3D(8, 8, 8).MustBuild()
+	q := Evaluate(g, VertexBlock(g, 8), 8)
+	want := float64(7*8*8) / float64(g.NumEdges())
+	if math.Abs(q.EdgeCutRatio-want) > 1e-12 {
+		t.Errorf("mesh vertex-block cut ratio %.4f, want %.4f", q.EdgeCutRatio, want)
+	}
+	qr := Evaluate(g, Random(g, 8, 1), 8)
+	if q.EdgeCutRatio >= qr.EdgeCutRatio {
+		t.Errorf("vertex block (%.3f) not better than random (%.3f) on mesh",
+			q.EdgeCutRatio, qr.EdgeCutRatio)
+	}
+}
+
+func TestEdgeBlockBalancesDegrees(t *testing.T) {
+	// On a skewed graph, edge-block must balance degrees much better
+	// than vertex-block.
+	g := gen.ChungLu(4096, 32768, 2.0, 5).MustBuild()
+	p := 8
+	qe := Evaluate(g, EdgeBlock(g, p), p)
+	qv := Evaluate(g, VertexBlock(g, p), p)
+	if qe.EdgeImbalance >= qv.EdgeImbalance {
+		t.Errorf("edge block imbalance %.2f not better than vertex block %.2f",
+			qe.EdgeImbalance, qv.EdgeImbalance)
+	}
+	if qe.EdgeImbalance > 1.6 {
+		t.Errorf("edge block imbalance %.2f too high", qe.EdgeImbalance)
+	}
+}
+
+func TestCutEdgesAgreesWithEvaluate(t *testing.T) {
+	g := gen.RMAT(10, 8, 3).MustBuild()
+	parts := Random(g, 4, 9)
+	if CutEdges(g, parts) != Evaluate(g, parts, 4).CutEdges {
+		t.Fatal("CutEdges disagrees with Evaluate")
+	}
+}
+
+func TestPartSizes(t *testing.T) {
+	sizes := PartSizes([]int32{0, 1, 1, 2, 2, 2}, 4)
+	want := []int64{1, 2, 3, 0}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("PartSizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+// Property: for any partition, sum of PartCut equals 2*CutEdges, and
+// part sizes sum to n.
+func TestQuickEvaluateConservation(t *testing.T) {
+	g := gen.ER(300, 1200, 7).MustBuild()
+	f := func(seed uint64, pRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		parts := Random(g, p, seed)
+		q := Evaluate(g, parts, p)
+		var sumCut, sumV, sumDeg int64
+		for i := 0; i < p; i++ {
+			sumCut += q.PartCut[i]
+			sumV += q.PartVerts[i]
+			sumDeg += q.PartDegrees[i]
+		}
+		return sumCut == 2*q.CutEdges && sumV == g.N && sumDeg == g.NumArcs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the edge cut ratio is within [0, 1] for any assignment.
+func TestQuickCutRatioBounded(t *testing.T) {
+	g := gen.RMAT(9, 8, 2).MustBuild()
+	f := func(seed uint64, pRaw uint8) bool {
+		p := int(pRaw%16) + 1
+		q := Evaluate(g, Random(g, p, seed), p)
+		return q.EdgeCutRatio >= 0 && q.EdgeCutRatio <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	g := gen.RMAT(14, 16, 1).MustBuild()
+	parts := Random(g, 16, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(g, parts, 16)
+	}
+}

@@ -1,0 +1,223 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with identical seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsProduceDistinctStreams(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical values out of 1000", same)
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	a, b := NewStream(7, 0), NewStream(7, 1)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			t.Fatalf("streams 0 and 1 collided at step %d", i)
+		}
+	}
+}
+
+func TestMixBijectiveSpotCheck(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Mix collision: Mix(%d) == Mix(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestInt64nRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int64{1, 2, 3, 7, 16, 1000, 1 << 40} {
+		for i := 0; i < 2000; i++ {
+			v := r.Int64n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestInt64nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int64n(0) did not panic")
+		}
+	}()
+	New(1).Int64n(0)
+}
+
+func TestInt64nUniformity(t *testing.T) {
+	// Chi-squared-ish sanity check over 10 buckets.
+	r := New(99)
+	const n, trials = 10, 100000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		counts[r.Int64n(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Fatalf("bucket %d count %d deviates >10%% from expected %.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f too far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	for _, n := range []int64{0, 1, 2, 10, 1000} {
+		p := r.Perm(n)
+		if int64(len(p)) != n {
+			t.Fatalf("Perm(%d) returned %d elements", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid element %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinctAndInRange(t *testing.T) {
+	r := New(13)
+	cases := []struct{ n, k int64 }{{10, 0}, {10, 1}, {10, 10}, {1000, 5}, {1000, 900}}
+	for _, c := range cases {
+		s := r.Sample(c.n, c.k)
+		if int64(len(s)) != c.k {
+			t.Fatalf("Sample(%d,%d) returned %d values", c.n, c.k, len(s))
+		}
+		seen := make(map[int64]bool)
+		for _, v := range s {
+			if v < 0 || v >= c.n {
+				t.Fatalf("Sample(%d,%d) out-of-range value %d", c.n, c.k, v)
+			}
+			if seen[v] {
+				t.Fatalf("Sample(%d,%d) duplicate value %d", c.n, c.k, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSamplePanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(3, 4) did not panic")
+		}
+	}()
+	New(1).Sample(3, 4)
+}
+
+func TestExpPositive(t *testing.T) {
+	r := New(17)
+	sum := 0.0
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		e := r.Exp()
+		if e < 0 {
+			t.Fatalf("Exp returned negative value %v", e)
+		}
+		sum += e
+	}
+	if mean := sum / trials; math.Abs(mean-1.0) > 0.05 {
+		t.Fatalf("Exp mean %.4f too far from 1.0", mean)
+	}
+}
+
+// Property: Int64n is always within range for arbitrary seeds and bounds.
+func TestQuickInt64nWithinBounds(t *testing.T) {
+	f := func(seed uint64, nRaw int64) bool {
+		n := nRaw % (1 << 30)
+		if n <= 0 {
+			n = 1 - n // make positive
+		}
+		if n == 0 {
+			n = 1
+		}
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Int64n(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical (seed, stream) pairs replay identical sequences.
+func TestQuickStreamDeterminism(t *testing.T) {
+	f := func(seed, stream uint64) bool {
+		a, b := NewStream(seed, stream), NewStream(seed, stream)
+		for i := 0; i < 20; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkInt64n(b *testing.B) {
+	r := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += r.Int64n(1000003)
+	}
+	_ = sink
+}

@@ -1,0 +1,176 @@
+package spmv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+)
+
+// serialPower computes k normalized power iterations of the adjacency
+// matrix in shared memory as the reference.
+func serialPower(g *graph.Graph, k int) []float64 {
+	x := make([]float64, g.N)
+	y := make([]float64, g.N)
+	for i := range x {
+		x[i] = 1.0 / float64(g.N)
+	}
+	for it := 0; it < k; it++ {
+		var norm float64
+		for u := int64(0); u < g.N; u++ {
+			var sum float64
+			for _, v := range g.Neighbors(u) {
+				sum += x[v]
+			}
+			y[u] = sum
+			if a := math.Abs(sum); a > norm {
+				norm = a
+			}
+		}
+		if norm == 0 {
+			norm = 1
+		}
+		for i := range x {
+			x[i] = y[i] / norm
+		}
+	}
+	return x
+}
+
+func TestSpMVMatchesSerialBothLayouts(t *testing.T) {
+	g := gen.ERAvgDeg(512, 8, 5).MustBuild()
+	const iters = 10
+	ref := serialPower(g, iters)
+	var refNorm float64
+	for _, v := range ref {
+		if a := math.Abs(v); a > refNorm {
+			refNorm = a
+		}
+	}
+	for _, layout := range []Layout{OneD, TwoD} {
+		for _, p := range []int{1, 4, 6} {
+			parts := partition.VertexBlock(g, p)
+			mpi.Run(p, func(c *mpi.Comm) {
+				res, err := Run(c, g, parts, Options{Layout: layout, Iterations: iters})
+				if err != nil {
+					t.Errorf("%v p=%d: %v", layout, p, err)
+					return
+				}
+				if math.Abs(res.Checksum-refNorm) > 1e-9 {
+					t.Errorf("%v p=%d: checksum %v, want %v", layout, p, res.Checksum, refNorm)
+				}
+			})
+		}
+	}
+}
+
+func TestLayoutsAgreeWithEachOther(t *testing.T) {
+	g := gen.RMAT(9, 8, 7).MustBuild()
+	const p = 4
+	parts := partition.Random(g, p, 3)
+	var cs [2]float64
+	for li, layout := range []Layout{OneD, TwoD} {
+		mpi.Run(p, func(c *mpi.Comm) {
+			res, err := Run(c, g, parts, Options{Layout: layout, Iterations: 5})
+			if err != nil {
+				t.Fatalf("%v: %v", layout, err)
+			}
+			if c.Rank() == 0 {
+				cs[li] = res.Checksum
+			}
+		})
+	}
+	if math.Abs(cs[0]-cs[1]) > 1e-9 {
+		t.Fatalf("1D checksum %v != 2D checksum %v", cs[0], cs[1])
+	}
+}
+
+func Test2DReducesCommOnSkewedGraph(t *testing.T) {
+	// The Table III effect: on a skewed graph with a random vertex
+	// partition, the 2D layout's total communication volume is lower
+	// than 1D's.
+	g := gen.ChungLu(4096, 32768, 2.0, 9).MustBuild()
+	const p = 16
+	parts := partition.Random(g, p, 5)
+	var vol [2]int64
+	for li, layout := range []Layout{OneD, TwoD} {
+		mpi.Run(p, func(c *mpi.Comm) {
+			res, err := Run(c, g, parts, Options{Layout: layout, Iterations: 3})
+			if err != nil {
+				t.Fatalf("%v: %v", layout, err)
+			}
+			v := mpi.AllreduceScalar(c, res.CommVolume, mpi.Sum)
+			if c.Rank() == 0 {
+				vol[li] = v
+			}
+		})
+	}
+	if vol[1] >= vol[0] {
+		t.Errorf("2D volume %d not below 1D volume %d on skewed graph", vol[1], vol[0])
+	}
+}
+
+func TestGoodPartitionReducesCommOver1DRandom(t *testing.T) {
+	// A locality-preserving partition must communicate less than a
+	// random one under the same 1D layout (the premise of Table III).
+	g := gen.Grid3D(12, 12, 12).MustBuild()
+	const p = 8
+	var vol [2]int64
+	for pi, parts := range [][]int32{partition.Random(g, p, 7), partition.VertexBlock(g, p)} {
+		mpi.Run(p, func(c *mpi.Comm) {
+			res, err := Run(c, g, parts, Options{Layout: OneD, Iterations: 3})
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			v := mpi.AllreduceScalar(c, res.CommVolume, mpi.Sum)
+			if c.Rank() == 0 {
+				vol[pi] = v
+			}
+		})
+	}
+	if vol[1] >= vol[0] {
+		t.Errorf("block partition volume %d not below random %d", vol[1], vol[0])
+	}
+}
+
+func TestGridDims(t *testing.T) {
+	cases := []struct{ p, pr, pc int }{
+		{1, 1, 1}, {4, 2, 2}, {6, 2, 3}, {16, 4, 4}, {7, 1, 7}, {12, 3, 4},
+	}
+	for _, c := range cases {
+		pr, pc := gridDims(c.p)
+		if pr*pc != c.p {
+			t.Errorf("gridDims(%d) = %d x %d", c.p, pr, pc)
+		}
+		if pr != c.pr || pc != c.pc {
+			t.Errorf("gridDims(%d) = (%d,%d), want (%d,%d)", c.p, pr, pc, c.pr, c.pc)
+		}
+	}
+}
+
+func TestRejectsBadPartition(t *testing.T) {
+	g := gen.ER(64, 128, 1).MustBuild()
+	parts := make([]int32, g.N)
+	parts[0] = 99
+	mpi.Run(2, func(c *mpi.Comm) {
+		if _, err := Run(c, g, parts, Options{Layout: OneD, Iterations: 1}); err == nil {
+			t.Error("expected error for out-of-range part id")
+		}
+	})
+}
+
+func BenchmarkSpMV1D8Ranks(b *testing.B) {
+	g := gen.RMAT(12, 16, 1).MustBuild()
+	parts := partition.Random(g, 8, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mpi.Run(8, func(c *mpi.Comm) {
+			if _, err := Run(c, g, parts, Options{Layout: OneD, Iterations: 10}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

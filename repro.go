@@ -1,0 +1,248 @@
+// Package repro is a from-scratch Go reproduction of "Partitioning
+// Trillion-edge Graphs in Minutes" (Slota, Rajamanickam, Devine,
+// Madduri; IPDPS 2017): the XtraPuLP distributed-memory label
+// propagation partitioner, every baseline it is evaluated against
+// (PuLP, a METIS-like and a KaHIP-like multilevel partitioner, and the
+// block/random strategies), the distributed substrate it runs on (a
+// simulated MPI communicator with goroutine ranks, a 1D distributed
+// CSR with ghost vertices), and the paper's downstream applications
+// (six distributed graph analytics and 1D/2D SpMV).
+//
+// This file is the public facade: graph generation, one-call
+// partitioning with any of the paper's methods, quality evaluation,
+// and distributed runs. The building blocks live under internal/.
+//
+//	g := repro.RMAT(16, 16, 1).MustBuild()
+//	parts, rep, err := repro.XtraPuLP(g, repro.Config{Parts: 16, Ranks: 4})
+//	q := repro.Evaluate(g, parts, 16)
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dgraph"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+	"repro/internal/pulp"
+)
+
+// Graph is the shared-memory CSR graph type.
+type Graph = graph.Graph
+
+// Generator lazily produces a seeded synthetic graph; see the gen
+// package for the available families.
+type Generator = gen.Generator
+
+// Quality bundles the paper's partition quality metrics.
+type Quality = partition.Quality
+
+// Graph generators for every class in the paper's Table I.
+var (
+	// RMAT builds Graph500 R-MAT graphs (skewed, small-world).
+	RMAT = gen.RMAT
+	// RandER builds Erdős–Rényi G(n, m) graphs.
+	RandER = gen.ER
+	// RandHD builds the paper's high-diameter random graphs.
+	RandHD = gen.RandHD
+	// Mesh3D builds regular 3D grid meshes (InternalMesh stand-ins).
+	Mesh3D = gen.Grid3D
+	// SmallWorld builds Watts–Strogatz rings.
+	SmallWorld = gen.WattsStrogatz
+	// PowerLaw builds Chung–Lu power-law graphs (social/web proxies).
+	PowerLaw = gen.ChungLu
+)
+
+// LoadGraph reads an edge-list file (.bin binary or text).
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// SaveGraph writes an edge-list file (.bin binary or text).
+func SaveGraph(path string, g *Graph) error { return graph.SaveFile(path, g) }
+
+// Evaluate computes the paper's quality metrics for a partition.
+func Evaluate(g *Graph, parts []int32, p int) Quality {
+	return partition.Evaluate(g, parts, p)
+}
+
+// Config drives a distributed XtraPuLP run.
+type Config struct {
+	// Parts is the number of parts to compute (required).
+	Parts int
+	// Ranks is the number of simulated MPI ranks (default 1).
+	Ranks int
+	// ThreadsPerRank is the intra-rank thread budget (default 1).
+	ThreadsPerRank int
+	// RandomDist selects the hashed (random) vertex distribution
+	// instead of block; the paper observes random scales better for
+	// irregular graphs.
+	RandomDist bool
+	// SingleConstraint solves the single-constraint single-objective
+	// problem (§V.C comparison mode).
+	SingleConstraint bool
+	// Init selects the initialization strategy; zero value is the
+	// paper's BFS hybrid.
+	Init core.InitStrategy
+	// OverrideXY, when true, replaces the multiplier schedule's X and
+	// Y parameters with the Config values (needed to sweep X=Y=0).
+	OverrideXY bool
+	// X, Y override the multiplier schedule when OverrideXY is set or
+	// either value is nonzero.
+	X, Y float64
+	// Seed fixes all randomness (default 1).
+	Seed uint64
+}
+
+// Report describes one distributed partitioning run.
+type Report struct {
+	// Stage times from rank 0.
+	InitTime, VertTime, EdgeTime, TotalTime time.Duration
+	// InitIters is the number of initialization propagation rounds.
+	InitIters int
+	// Quality holds the collectively computed final metrics.
+	Quality Quality
+	// CommVolume is the total element volume all ranks exchanged.
+	CommVolume int64
+}
+
+// XtraPuLP partitions g with the paper's distributed partitioner on
+// cfg.Ranks simulated MPI ranks and returns the global part assignment
+// indexed by vertex id.
+func XtraPuLP(g *Graph, cfg Config) ([]int32, Report, error) {
+	gen := staticGenerator(g)
+	return XtraPuLPGen(gen, cfg)
+}
+
+// XtraPuLPGen is XtraPuLP driven by a generator: each rank generates
+// only its chunk of the edge list, so no rank ever materializes the
+// whole graph — the paper's actual usage mode at scale.
+func XtraPuLPGen(g *Generator, cfg Config) ([]int32, Report, error) {
+	if cfg.Parts < 1 {
+		return nil, Report{}, fmt.Errorf("repro: Config.Parts = %d", cfg.Parts)
+	}
+	ranks := cfg.Ranks
+	if ranks < 1 {
+		ranks = 1
+	}
+	threads := cfg.ThreadsPerRank
+	if threads < 1 {
+		threads = 1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	opt := core.DefaultOptions(cfg.Parts)
+	opt.SingleConstraint = cfg.SingleConstraint
+	opt.Init = cfg.Init
+	opt.Seed = seed
+	if cfg.OverrideXY || cfg.X != 0 || cfg.Y != 0 {
+		opt.X, opt.Y = cfg.X, cfg.Y
+	}
+
+	var parts []int32
+	var rep Report
+	var runErr error
+	mpi.RunThreads(ranks, threads, func(c *mpi.Comm) {
+		var dist dgraph.Distribution = dgraph.BlockDist{N: g.N, P: c.Size()}
+		if cfg.RandomDist {
+			dist = dgraph.HashDist{P: c.Size(), Seed: seed}
+		}
+		dg, err := dgraph.FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()), dist)
+		if err != nil {
+			// Construction errors are deterministic and local-input
+			// driven: every rank fails identically, so no collective is
+			// left half-entered.
+			if c.Rank() == 0 {
+				runErr = err
+			}
+			return
+		}
+		local, r, err := core.Partition(dg, opt)
+		if err != nil {
+			if c.Rank() == 0 {
+				runErr = err
+			}
+			return
+		}
+		full := dg.GatherGlobal(local[:dg.NLocal])
+		vol := mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
+		if c.Rank() == 0 {
+			parts = full
+			rep = Report{
+				InitTime: r.InitTime, VertTime: r.VertTime,
+				EdgeTime: r.EdgeTime, TotalTime: r.TotalTime,
+				InitIters: r.InitIters, Quality: r.Quality,
+				CommVolume: vol,
+			}
+		}
+	})
+	if runErr != nil {
+		return nil, Report{}, runErr
+	}
+	return parts, rep, nil
+}
+
+// staticGenerator wraps an in-memory graph as a Generator so the
+// distributed builders can chunk it.
+func staticGenerator(g *Graph) *Generator {
+	edges := g.Edges()
+	return gen.FromEdgeList("static", g.N, edges)
+}
+
+// Method names accepted by Partition.
+const (
+	MethodXtraPuLP    = "xtrapulp"
+	MethodPuLP        = "pulp"
+	MethodMetisLike   = "metis"
+	MethodKahipLike   = "kahip"
+	MethodRandom      = "random"
+	MethodVertexBlock = "vertexblock"
+	MethodEdgeBlock   = "edgeblock"
+)
+
+// Methods lists every partitioning method name accepted by Partition,
+// in the order the paper introduces them.
+func Methods() []string {
+	return []string{
+		MethodXtraPuLP, MethodPuLP, MethodMetisLike, MethodKahipLike,
+		MethodRandom, MethodVertexBlock, MethodEdgeBlock,
+	}
+}
+
+// Partition computes a p-way partition of g with the named method
+// using that method's defaults (XtraPuLP runs on 4 simulated ranks).
+func Partition(method string, g *Graph, p int, seed uint64) ([]int32, error) {
+	switch method {
+	case MethodXtraPuLP:
+		parts, _, err := XtraPuLP(g, Config{Parts: p, Ranks: 4, RandomDist: true, Seed: seed})
+		return parts, err
+	case MethodPuLP:
+		opt := pulp.DefaultOptions(p)
+		opt.Seed = seed
+		parts, _, err := pulp.Partition(g, opt)
+		return parts, err
+	case MethodMetisLike:
+		opt := multilevel.MetisLike(p)
+		opt.Seed = seed
+		parts, _, err := multilevel.Partition(g, opt)
+		return parts, err
+	case MethodKahipLike:
+		opt := multilevel.KahipLike(p)
+		opt.Seed = seed
+		parts, _, err := multilevel.Partition(g, opt)
+		return parts, err
+	case MethodRandom:
+		return partition.Random(g, p, seed), nil
+	case MethodVertexBlock:
+		return partition.VertexBlock(g, p), nil
+	case MethodEdgeBlock:
+		return partition.EdgeBlock(g, p), nil
+	default:
+		return nil, fmt.Errorf("repro: unknown method %q (have %v)", method, Methods())
+	}
+}

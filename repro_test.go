@@ -1,0 +1,112 @@
+package repro
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestXtraPuLPFacade(t *testing.T) {
+	g := RMAT(10, 8, 1).MustBuild()
+	parts, rep, err := XtraPuLP(g, Config{Parts: 8, Ranks: 4, RandomDist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(parts)) != g.N {
+		t.Fatalf("got %d assignments for %d vertices", len(parts), g.N)
+	}
+	q := Evaluate(g, parts, 8)
+	if q.VertexImbalance > 1.15 {
+		t.Errorf("vertex imbalance %.3f", q.VertexImbalance)
+	}
+	if rep.TotalTime <= 0 || rep.CommVolume <= 0 {
+		t.Errorf("report not populated: %+v", rep)
+	}
+	if rep.Quality.CutEdges != q.CutEdges {
+		t.Errorf("report cut %d != evaluated %d", rep.Quality.CutEdges, q.CutEdges)
+	}
+}
+
+func TestXtraPuLPGenDoesNotNeedSharedGraph(t *testing.T) {
+	gen := RandHD(4096, 8, 3)
+	parts, _, err := XtraPuLPGen(gen, Config{Parts: 4, Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(parts)) != gen.N {
+		t.Fatalf("got %d assignments", len(parts))
+	}
+}
+
+func TestPartitionAllMethods(t *testing.T) {
+	g := RMAT(9, 8, 5).MustBuild()
+	const p = 4
+	for _, m := range Methods() {
+		parts, err := Partition(m, g, p, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if int64(len(parts)) != g.N {
+			t.Fatalf("%s: %d assignments", m, len(parts))
+		}
+		for v, pt := range parts {
+			if pt < 0 || int(pt) >= p {
+				t.Fatalf("%s: vertex %d part %d", m, v, pt)
+			}
+		}
+	}
+}
+
+func TestPartitionUnknownMethod(t *testing.T) {
+	g := RandER(64, 128, 1).MustBuild()
+	if _, err := Partition("bogus", g, 2, 1); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := RandER(64, 128, 1).MustBuild()
+	if _, _, err := XtraPuLP(g, Config{Parts: 0}); err == nil {
+		t.Fatal("expected error for Parts=0")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := Mesh3D(4, 4, 4).MustBuild()
+	path := filepath.Join(t.TempDir(), "mesh.bin")
+	if err := SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N != g.N || g2.NumArcs() != g.NumArcs() {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestXtraPuLPQualityBeatsRandomOnAllClasses(t *testing.T) {
+	gens := []*Generator{
+		RMAT(10, 8, 1),
+		RandER(1024, 4096, 2),
+		RandHD(1024, 8, 3),
+		Mesh3D(10, 10, 10),
+		SmallWorld(1024, 8, 0.05, 4),
+		PowerLaw(1024, 4096, 2.2, 5),
+	}
+	const p = 8
+	for _, gn := range gens {
+		g := gn.MustBuild()
+		parts, _, err := XtraPuLP(g, Config{Parts: p, Ranks: 2, RandomDist: true})
+		if err != nil {
+			t.Fatalf("%s: %v", gn.Name, err)
+		}
+		qx := Evaluate(g, parts, p)
+		rparts, _ := Partition(MethodRandom, g, p, 9)
+		qr := Evaluate(g, rparts, p)
+		if qx.EdgeCutRatio >= qr.EdgeCutRatio {
+			t.Errorf("%s: XtraPuLP cut %.3f not below random %.3f",
+				gn.Name, qx.EdgeCutRatio, qr.EdgeCutRatio)
+		}
+	}
+}
