@@ -75,6 +75,46 @@ func BenchmarkXtraPuLPMesh(b *testing.B) {
 		repro.Config{Parts: 16, Ranks: 4, RandomDist: true})
 }
 
+// Sync-vs-async boundary exchange: the same partitioning runs with the
+// asynchronous delta-only exchange, so the communication-path delta
+// shows up directly against the BenchmarkXtraPuLP* baselines above.
+
+func BenchmarkXtraPuLPRMATAsyncDelta(b *testing.B) {
+	benchXtraPuLP(b, repro.RMAT(14, 16, 1),
+		repro.Config{Parts: 16, Ranks: 4, RandomDist: true, AsyncExchange: true})
+}
+
+func BenchmarkXtraPuLPRandERAsyncDelta(b *testing.B) {
+	benchXtraPuLP(b, repro.RandER(1<<14, 1<<17, 1),
+		repro.Config{Parts: 16, Ranks: 4, RandomDist: true, AsyncExchange: true})
+}
+
+func BenchmarkXtraPuLPMeshAsyncDelta(b *testing.B) {
+	benchXtraPuLP(b, repro.Mesh3D(25, 25, 25),
+		repro.Config{Parts: 16, Ranks: 4, RandomDist: true, AsyncExchange: true})
+}
+
+// BenchmarkXtraPuLP8Ranks* compares full end-to-end partitioning runs
+// (graph distribution, initialization, and all stages included) under
+// each exchange mode at a higher rank count, where boundary traffic is
+// a larger share of the work than in the 4-rank benches above.
+
+func benchExchangeMode(b *testing.B, async bool) {
+	b.Helper()
+	g := repro.RMAT(13, 16, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := repro.XtraPuLPGen(g, repro.Config{
+			Parts: 16, Ranks: 8, RandomDist: true, AsyncExchange: async,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXtraPuLP8RanksSync(b *testing.B)       { benchExchangeMode(b, false) }
+func BenchmarkXtraPuLP8RanksAsyncDelta(b *testing.B) { benchExchangeMode(b, true) }
+
 // Ablations: design choices called out in DESIGN.md.
 
 // BenchmarkAblationInitBFS/Random/Block compare the paper's hybrid

@@ -32,6 +32,7 @@ func main() {
 	method := flag.String("method", repro.MethodXtraPuLP, fmt.Sprintf("partitioner: %v", repro.Methods()))
 	seed := flag.Uint64("seed", 1, "random seed")
 	single := flag.Bool("single", false, "single-constraint single-objective mode")
+	async := flag.Bool("async", false, "asynchronous delta-only boundary exchange")
 	blockDist := flag.Bool("blockdist", false, "use block vertex distribution instead of random")
 	out := flag.String("out", "", "write per-vertex part ids to this file")
 	flag.Parse()
@@ -51,11 +52,12 @@ func main() {
 		assignment, rep, err = repro.XtraPuLP(g, repro.Config{
 			Parts: *parts, Ranks: *ranks, ThreadsPerRank: *threads,
 			RandomDist: !*blockDist, SingleConstraint: *single, Seed: *seed,
+			AsyncExchange: *async,
 		})
 		if err == nil {
-			fmt.Printf("stages: init=%.3fs (%d rounds) vert=%.3fs edge=%.3fs comm=%d elems\n",
+			fmt.Printf("stages: init=%.3fs (%d rounds) vert=%.3fs edge=%.3fs comm=%d elems (exchange %d)\n",
 				rep.InitTime.Seconds(), rep.InitIters, rep.VertTime.Seconds(),
-				rep.EdgeTime.Seconds(), rep.CommVolume)
+				rep.EdgeTime.Seconds(), rep.CommVolume, rep.ExchangeVolume)
 		}
 	} else {
 		assignment, err = repro.Partition(*method, g, *parts, *seed)

@@ -31,6 +31,7 @@ func (s *state) vertBalance() {
 		maxV := maxOf(s.sv, s.imbV)
 		mult := s.mult()
 		queues := par.NewQueues[dgraph.Update](threads)
+		s.beginExchange()
 
 		par.ForChunk(0, g.NLocal, threads, func(lo, hi, tid int) {
 			counts := make([]float64, s.p)
@@ -111,7 +112,7 @@ func (s *state) vertBalance() {
 			}
 		})
 
-		s.applyGhostUpdates(g.ExchangeUpdates(queues.Merge()))
+		s.applyGhostUpdates(s.exchange(queues.Merge()))
 		moved := s.settleDeltas(false)
 		s.trace("vbal", mult, moved)
 		s.iterTot++
@@ -136,6 +137,7 @@ func (s *state) vertRefine() {
 
 	for iter := 0; iter < s.opt.Iref; iter++ {
 		queues := par.NewQueues[dgraph.Update](threads)
+		s.beginExchange()
 
 		par.ForChunk(0, g.NLocal, threads, func(lo, hi, tid int) {
 			counts := make([]int64, s.p)
@@ -173,7 +175,7 @@ func (s *state) vertRefine() {
 			}
 		})
 
-		s.applyGhostUpdates(g.ExchangeUpdates(queues.Merge()))
+		s.applyGhostUpdates(s.exchange(queues.Merge()))
 		moved := s.settleDeltas(false)
 		s.trace("vref", mult, moved)
 		s.iterTot++

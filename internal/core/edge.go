@@ -60,6 +60,7 @@ func (s *state) edgeBalance() {
 			rc++
 		}
 		queues := par.NewQueues[dgraph.Update](threads)
+		s.beginExchange()
 
 		par.ForChunk(0, g.NLocal, threads, func(lo, hi, tid int) {
 			counts := make([]float64, s.p)
@@ -182,7 +183,7 @@ func (s *state) edgeBalance() {
 			}
 		})
 
-		s.applyGhostUpdates(g.ExchangeUpdates(queues.Merge()))
+		s.applyGhostUpdates(s.exchange(queues.Merge()))
 		moved := s.settleDeltas(true)
 		s.trace("ebal", mult, moved)
 		s.iterTot++
@@ -204,6 +205,7 @@ func (s *state) edgeRefine() {
 	for iter := 0; iter < s.opt.Iref; iter++ {
 		maxC := maxOf(s.sc, 1)
 		queues := par.NewQueues[dgraph.Update](threads)
+		s.beginExchange()
 
 		par.ForChunk(0, g.NLocal, threads, func(lo, hi, tid int) {
 			counts := make([]int64, s.p)
@@ -244,7 +246,7 @@ func (s *state) edgeRefine() {
 			}
 		})
 
-		s.applyGhostUpdates(g.ExchangeUpdates(queues.Merge()))
+		s.applyGhostUpdates(s.exchange(queues.Merge()))
 		moved := s.settleDeltas(true)
 		s.trace("eref", mult, moved)
 		s.iterTot++

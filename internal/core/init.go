@@ -34,7 +34,7 @@ func (s *state) initRandom() {
 		s.parts[v] = w
 		q[v] = dgraph.Update{LID: int32(v), Value: w}
 	}
-	s.applyGhostUpdates(s.g.ExchangeUpdates(q))
+	s.applyGhostUpdates(s.exchange(q))
 }
 
 // initBlock assigns parts by contiguous global-id blocks (vertex block
@@ -50,7 +50,7 @@ func (s *state) initBlock() {
 		s.parts[v] = w
 		q[v] = dgraph.Update{LID: int32(v), Value: w}
 	}
-	s.applyGhostUpdates(s.g.ExchangeUpdates(q))
+	s.applyGhostUpdates(s.exchange(q))
 }
 
 // initBFS implements Algorithm 2: the master rank broadcasts p unique
@@ -88,7 +88,7 @@ func (s *state) initBFS() int {
 			pending++
 		}
 	}
-	s.applyGhostUpdates(g.ExchangeUpdates(rootQ))
+	s.applyGhostUpdates(s.exchange(rootQ))
 
 	// Primary propagation loop.
 	threads := s.threads()
@@ -96,6 +96,7 @@ func (s *state) initBFS() int {
 	for {
 		rounds++
 		queues := par.NewQueues[dgraph.Update](threads)
+		s.beginExchange()
 		var updates int64
 		par.ForChunk(0, g.NLocal, threads, func(lo, hi, tid int) {
 			r := rng.NewStream(s.opt.Seed^0xBF0F, uint64(rounds)<<32|uint64(tid)<<16|uint64(c.Rank()))
@@ -129,7 +130,7 @@ func (s *state) initBFS() int {
 			}
 			atomic.AddInt64(&updates, local)
 		})
-		s.applyGhostUpdates(g.ExchangeUpdates(queues.Merge()))
+		s.applyGhostUpdates(s.exchange(queues.Merge()))
 		if mpi.AllreduceScalar(c, updates, mpi.Sum) == 0 {
 			break
 		}
@@ -138,6 +139,7 @@ func (s *state) initBFS() int {
 	// Leftovers: random assignment for vertices unreached by any root
 	// (disconnected components), then one final exchange.
 	queues := par.NewQueues[dgraph.Update](threads)
+	s.beginExchange()
 	par.ForChunk(0, g.NLocal, threads, func(lo, hi, tid int) {
 		r := rng.NewStream(s.opt.Seed^0xD00D, uint64(tid)<<16|uint64(c.Rank()))
 		for v := lo; v < hi; v++ {
@@ -148,6 +150,6 @@ func (s *state) initBFS() int {
 			}
 		}
 	})
-	s.applyGhostUpdates(g.ExchangeUpdates(queues.Merge()))
+	s.applyGhostUpdates(s.exchange(queues.Merge()))
 	return rounds
 }

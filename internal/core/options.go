@@ -48,6 +48,37 @@ func (s InitStrategy) String() string {
 	}
 }
 
+// ExchangeMode selects how boundary part-assignment updates travel
+// between ranks each iteration.
+type ExchangeMode int
+
+// Exchange modes.
+const (
+	// ExchangeSync is the bulk-synchronous path: a world-wide Alltoallv
+	// shipping (gid, value) pairs, destinations re-derived from the
+	// adjacency every iteration.
+	ExchangeSync ExchangeMode = iota
+	// ExchangeAsyncDelta ships only the vertices whose labels moved
+	// this iteration as packed single-element updates over nonblocking
+	// point-to-point messages, with the receive side drained on a
+	// background goroutine while local propagation is still running.
+	// For fixed seeds it produces exactly the partition the synchronous
+	// path produces, at roughly half the exchanged-element volume.
+	ExchangeAsyncDelta
+)
+
+// String names the mode for reports.
+func (m ExchangeMode) String() string {
+	switch m {
+	case ExchangeSync:
+		return "sync"
+	case ExchangeAsyncDelta:
+		return "async-delta"
+	default:
+		return fmt.Sprintf("ExchangeMode(%d)", int(m))
+	}
+}
+
 // Options configures a partitioning run. The zero value is not valid;
 // use DefaultOptions.
 type Options struct {
@@ -69,6 +100,9 @@ type Options struct {
 	// refinement stages, solving the single-constraint single-objective
 	// problem used for the KaHIP comparison (§V.C).
 	SingleConstraint bool
+	// Exchange selects the boundary-exchange implementation. All ranks
+	// must pass the same mode.
+	Exchange ExchangeMode
 	// Seed drives root selection and random assignments.
 	Seed uint64
 	// Trace, when non-nil, receives a TraceEvent on rank 0 after every
@@ -107,6 +141,9 @@ func (o *Options) validate() error {
 	if o.X < 0 || o.Y < 0 {
 		return fmt.Errorf("core: negative multiplier parameter X=%v Y=%v", o.X, o.Y)
 	}
+	if o.Exchange != ExchangeSync && o.Exchange != ExchangeAsyncDelta {
+		return fmt.Errorf("core: unknown exchange mode %d", int(o.Exchange))
+	}
 	return nil
 }
 
@@ -121,6 +158,14 @@ type Report struct {
 	// InitIters is the number of BFS-propagation rounds used by
 	// initialization.
 	InitIters int
+	// ExchangeVolume is the total element volume all ranks sent during
+	// the partitioning stages (initialization through refinement,
+	// excluding graph construction and quality evaluation). Whenever
+	// rank boundaries exist (more than one rank and a connected cut),
+	// the async delta mode reports strictly less than the synchronous
+	// mode for the same run; a single-rank run sends only reductions
+	// and reports the same volume in both modes.
+	ExchangeVolume int64
 	// Quality holds the final partition metrics.
 	Quality partition.Quality
 }

@@ -14,6 +14,9 @@ type state struct {
 	opt Options
 	p   int
 
+	// ex is the asynchronous delta exchanger, nil in sync mode.
+	ex *dgraph.DeltaExchanger
+
 	// parts holds assignments for owned and ghost vertices. Hot-loop
 	// reads and writes go through atomics because intra-rank threads
 	// update it asynchronously (the paper's "asynchronous intra-task
@@ -65,8 +68,12 @@ func Partition(g *dgraph.Graph, opt Options) ([]int32, Report, error) {
 	}
 	s.imbV = (1 + opt.VertImbalance) * float64(g.NGlobal) / float64(s.p)
 	s.imbE = (1 + opt.EdgeImbalance) * float64(2*g.MGlobal) / float64(s.p)
+	if opt.Exchange == ExchangeAsyncDelta {
+		s.ex = g.NewDeltaExchanger()
+	}
 
 	var rep Report
+	sentBefore := g.Comm.Stats().ElemsSent
 	start := time.Now()
 
 	t0 := time.Now()
@@ -94,6 +101,8 @@ func Partition(g *dgraph.Graph, opt Options) ([]int32, Report, error) {
 	}
 
 	rep.TotalTime = time.Since(start)
+	sentDuring := g.Comm.Stats().ElemsSent - sentBefore
+	rep.ExchangeVolume = mpi.AllreduceScalar(g.Comm, sentDuring, mpi.Sum)
 	rep.Quality = dgraph.EvaluateDistributed(g, s.parts, s.p)
 	return s.parts, rep, nil
 }
@@ -217,6 +226,26 @@ func (s *state) applyGhostUpdates(recv []dgraph.Update) {
 	for _, upd := range recv {
 		s.storePart(upd.LID, upd.Value)
 	}
+}
+
+// beginExchange posts the receive side of the next boundary exchange.
+// In async mode a background drainer starts receiving and decoding
+// neighbor updates immediately, overlapping with the propagation loop
+// the caller is about to run; in sync mode it is a no-op. Every
+// beginExchange must be followed by exactly one exchange call.
+func (s *state) beginExchange() {
+	if s.ex != nil {
+		s.ex.Begin()
+	}
+}
+
+// exchange ships the queued owned-vertex updates and returns the
+// incoming updates for this rank's ghosts, via the configured mode.
+func (s *state) exchange(q []dgraph.Update) []dgraph.Update {
+	if s.ex != nil {
+		return s.ex.Flush(q)
+	}
+	return s.g.ExchangeUpdates(q)
 }
 
 // maxOf returns max(vals) as float64, floored at floor.

@@ -1,0 +1,272 @@
+package dgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// Asynchronous delta-only boundary exchange. The synchronous path
+// (exchangeRaw) re-derives each update's destinations from the
+// adjacency on every call and ships (gid, value) as two 64-bit
+// elements through a world-wide Alltoallv. This file precomputes the
+// boundary structure once per graph — for every neighbor rank, the
+// gid-sorted list of vertices shared with it — so each update travels
+// as a single packed element (index into the shared list, value)
+// over a nonblocking point-to-point message, and the receive side can
+// drain on a background goroutine while the rank's worker threads are
+// still propagating labels.
+
+// ghostTarget records one destination of an owned boundary vertex:
+// which neighbor (by position in the plan's sendRanks) ghosts it and
+// at which index it sits in the pair's shared gid-sorted list.
+type ghostTarget struct {
+	rankPos int32
+	idx     int32
+}
+
+// boundaryPlan is the precomputed per-neighbor boundary structure of
+// one rank. Both sides of every rank pair derive the same shared
+// vertex list independently (sorted by gid), which is what lets an
+// update name its vertex by list index instead of by global id.
+type boundaryPlan struct {
+	// sendRanks are the neighbor ranks that ghost at least one owned
+	// vertex, ascending.
+	sendRanks []int32
+	// sendLists[i] holds the owned lids shared with sendRanks[i] in
+	// increasing gid order.
+	sendLists [][]int32
+	// targets[v] lists, for owned vertex v, every (neighbor, index)
+	// slot it occupies; nil for interior vertices.
+	targets [][]ghostTarget
+	// recvRanks are the neighbor ranks owning at least one ghost,
+	// ascending (equal to sendRanks by symmetry of the undirected
+	// graph, but derived independently from the ghost set).
+	recvRanks []int32
+	// recvLists[i] holds the ghost lids owned by recvRanks[i] in
+	// increasing gid order — index-compatible with the owner's
+	// sendLists entry for this rank.
+	recvLists [][]int32
+}
+
+// newBoundaryPlan derives the plan from purely local structure; no
+// communication happens. Correctness rests on a symmetry of the CSR
+// build: owned vertex v is ghosted on rank r exactly when v has a
+// neighbor owned by r, so both endpoints of a rank pair can enumerate
+// the same shared set and sort it by gid.
+func newBoundaryPlan(g *Graph) *boundaryPlan {
+	nprocs := g.Comm.Size()
+	p := &boundaryPlan{targets: make([][]ghostTarget, g.NLocal)}
+
+	// Send side: owned vertices in lid order are already gid-sorted.
+	seen := make([]int32, nprocs) // last owned lid appended per rank, +1
+	perRank := make([][]int32, nprocs)
+	for v := 0; v < g.NLocal; v++ {
+		for _, u := range g.Neighbors(int32(v)) {
+			if !g.IsGhost(u) {
+				continue
+			}
+			r := g.GhostOwner[int(u)-g.NLocal]
+			if seen[r] == int32(v)+1 {
+				continue
+			}
+			seen[r] = int32(v) + 1
+			perRank[r] = append(perRank[r], int32(v))
+		}
+	}
+	for r := 0; r < nprocs; r++ {
+		if len(perRank[r]) == 0 {
+			continue
+		}
+		pos := int32(len(p.sendRanks))
+		p.sendRanks = append(p.sendRanks, int32(r))
+		p.sendLists = append(p.sendLists, perRank[r])
+		for idx, lid := range perRank[r] {
+			p.targets[lid] = append(p.targets[lid], ghostTarget{rankPos: pos, idx: int32(idx)})
+		}
+	}
+
+	// Receive side: ghosts grouped by owner, then gid-sorted to match
+	// the owner's enumeration order.
+	ghostsByOwner := make([][]int32, nprocs)
+	for i := 0; i < g.NGhost; i++ {
+		r := g.GhostOwner[i]
+		ghostsByOwner[r] = append(ghostsByOwner[r], int32(g.NLocal+i))
+	}
+	for r := 0; r < nprocs; r++ {
+		lids := ghostsByOwner[r]
+		if len(lids) == 0 {
+			continue
+		}
+		sort.Slice(lids, func(a, b int) bool { return g.L2G[lids[a]] < g.L2G[lids[b]] })
+		p.recvRanks = append(p.recvRanks, int32(r))
+		p.recvLists = append(p.recvLists, lids)
+	}
+	return p
+}
+
+// packUpdate encodes (index in shared list, part value) as one int64 —
+// half the wire volume of the synchronous (gid, value) encoding.
+func packUpdate(idx int32, value int32) int64 {
+	return int64(uint64(uint32(idx))<<32 | uint64(uint32(value)))
+}
+
+// unpackUpdate reverses packUpdate.
+func unpackUpdate(w int64) (idx int32, value int32) {
+	return int32(uint32(uint64(w) >> 32)), int32(uint32(uint64(w)))
+}
+
+// DeltaExchanger runs rounds of delta-only boundary exchange over
+// nonblocking point-to-point messages. Usage per round, collectively
+// on every rank of the graph's communicator:
+//
+//	ex.Begin()                  // post receives, then compute locally
+//	in := ex.Flush(updates)     // ship deltas, collect incoming
+//
+// Begin starts a background drainer that receives and decodes each
+// neighbor's message while the caller is still computing; Flush sends
+// this rank's queued updates (one message per boundary neighbor, empty
+// when nothing changed) and then joins the drainer. Every rank must
+// call Flush the same number of rounds or peers deadlock, exactly as
+// they would skipping a collective. Calling Flush without Begin is
+// allowed (the receive side is posted on entry, losing only overlap).
+type DeltaExchanger struct {
+	g       *Graph
+	plan    *boundaryPlan
+	pending chan drainResult
+	// sendBufs are reusable per-neighbor encode buffers.
+	sendBufs [][]int64
+	// Rounds counts completed Flush calls (diagnostics and tests).
+	Rounds int64
+}
+
+// drainResult is what the background drainer hands back to Flush: the
+// decoded updates, or the panic it recovered. Panics must travel back
+// to the rank's main goroutine — re-raised from Flush — so mpi.Run's
+// per-rank recovery sees them; a panic escaping on the drainer
+// goroutine itself would kill the whole process.
+type drainResult struct {
+	updates  []Update
+	panicked any
+}
+
+// NewDeltaExchanger builds the boundary plan for g. Construction is
+// local — safe to call on any subset of ranks — but exchanging is
+// collective.
+func (g *Graph) NewDeltaExchanger() *DeltaExchanger {
+	plan := newBoundaryPlan(g)
+	return &DeltaExchanger{
+		g:        g,
+		plan:     plan,
+		sendBufs: make([][]int64, len(plan.sendRanks)),
+	}
+}
+
+// NeighborRanks returns the ranks this exchanger sends to (the ranks
+// ghosting at least one owned vertex), ascending.
+func (ex *DeltaExchanger) NeighborRanks() []int32 {
+	out := make([]int32, len(ex.plan.sendRanks))
+	copy(out, ex.plan.sendRanks)
+	return out
+}
+
+// SharedSendGIDs returns the gid-sorted list of owned vertices the
+// given neighbor rank ghosts — this rank's view of the directed pair
+// (this → rank). It must equal the neighbor's SharedRecvGIDs for this
+// rank element-for-element; tests assert that symmetry.
+func (ex *DeltaExchanger) SharedSendGIDs(rank int) []int64 {
+	for i, r := range ex.plan.sendRanks {
+		if int(r) == rank {
+			return ex.gidsOf(ex.plan.sendLists[i])
+		}
+	}
+	return nil
+}
+
+// SharedRecvGIDs returns the gid-sorted list of ghosts the given
+// neighbor rank owns — this rank's view of the directed pair
+// (rank → this).
+func (ex *DeltaExchanger) SharedRecvGIDs(rank int) []int64 {
+	for i, r := range ex.plan.recvRanks {
+		if int(r) == rank {
+			return ex.gidsOf(ex.plan.recvLists[i])
+		}
+	}
+	return nil
+}
+
+func (ex *DeltaExchanger) gidsOf(lids []int32) []int64 {
+	out := make([]int64, len(lids))
+	for j, lid := range lids {
+		out[j] = ex.g.L2G[lid]
+	}
+	return out
+}
+
+// Begin posts the receive side of the next round: a background drainer
+// that takes one message from each boundary neighbor as it arrives,
+// decoding into ghost-lid updates while the caller's compute is still
+// in flight. Begin must be followed by exactly one Flush.
+func (ex *DeltaExchanger) Begin() {
+	if ex.pending != nil {
+		panic("dgraph: DeltaExchanger.Begin called twice without Flush")
+	}
+	plan := ex.plan
+	ch := make(chan drainResult, 1)
+	ex.pending = ch
+	go func() {
+		var res drainResult
+		defer func() {
+			if p := recover(); p != nil {
+				res.panicked = p
+			}
+			ch <- res
+		}()
+		for i, src := range plan.recvRanks {
+			lids := plan.recvLists[i]
+			for _, w := range mpi.Irecv[int64](ex.g.Comm, int(src)).Await() {
+				idx, value := unpackUpdate(w)
+				if int(idx) >= len(lids) {
+					panic(fmt.Sprintf("dgraph: rank %d: delta index %d outside shared list of %d with rank %d",
+						ex.g.Comm.Rank(), idx, len(lids), src))
+				}
+				res.updates = append(res.updates, Update{LID: lids[idx], Value: value})
+			}
+		}
+	}()
+}
+
+// Flush encodes the round's owned-vertex updates, sends one message to
+// every boundary neighbor, joins the drainer posted by Begin (posting
+// it now if the caller skipped Begin), and returns the updates received
+// for this rank's ghosts.
+func (ex *DeltaExchanger) Flush(q []Update) []Update {
+	if ex.pending == nil {
+		ex.Begin()
+	}
+	plan := ex.plan
+	for i := range ex.sendBufs {
+		ex.sendBufs[i] = ex.sendBufs[i][:0]
+	}
+	for _, upd := range q {
+		if int(upd.LID) >= len(plan.targets) {
+			panic(fmt.Sprintf("dgraph: DeltaExchanger.Flush with non-owned lid %d", upd.LID))
+		}
+		for _, t := range plan.targets[upd.LID] {
+			ex.sendBufs[t.rankPos] = append(ex.sendBufs[t.rankPos], packUpdate(t.idx, upd.Value))
+		}
+	}
+	reqs := make([]mpi.Request, len(plan.sendRanks))
+	for i, dst := range plan.sendRanks {
+		reqs[i] = mpi.Isend(ex.g.Comm, int(dst), ex.sendBufs[i])
+	}
+	mpi.Waitall(reqs...)
+	res := <-ex.pending
+	ex.pending = nil
+	if res.panicked != nil {
+		panic(res.panicked)
+	}
+	ex.Rounds++
+	return res.updates
+}

@@ -18,7 +18,7 @@ func Table2(cfg Config) error {
 	seed := cfg.seed()
 	const parts = 16
 	ranks := scalePick(cfg.Scale, 8, 16)
-	t := newTable(cfg.W, "Graph", "Class", "XtraPuLP(s)", "PuLP(s)", "METIS-like(s)", "vs PuLP")
+	t := newTable(cfg.W, "Graph", "Class", "XtraPuLP(s)", "PuLP(s)", "METIS-like(s)", "vs PuLP", "ExchElems")
 	for _, tg := range corpus(cfg.Scale, seed) {
 		g, err := tg.gen.Build()
 		if err != nil {
@@ -45,7 +45,8 @@ func Table2(cfg Config) error {
 		}
 		mTime := time.Since(mStart)
 		t.add(tg.name, tg.class, secs(xrep.TotalTime), secs(pTime), secs(mTime),
-			fmt.Sprintf("%.2fx", pTime.Seconds()/xrep.TotalTime.Seconds()))
+			fmt.Sprintf("%.2fx", pTime.Seconds()/xrep.TotalTime.Seconds()),
+			fmt.Sprintf("%d", xrep.ExchangeVolume))
 	}
 	t.flush()
 	return nil

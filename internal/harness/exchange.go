@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Exchange compares the bulk-synchronous boundary exchange against the
+// asynchronous delta-only exchange on the representative graphs: wall
+// time, exchanged-element volume during the partitioning stages, the
+// volume reduction, and the edge cut (which must be identical — the
+// async path is a pure transport change at fixed seeds).
+func Exchange(cfg Config) error {
+	seed := cfg.seed()
+	const parts = 16
+	ranks := scalePick(cfg.Scale, 4, 8)
+	t := newTable(cfg.W, "Graph", "Ranks", "Mode", "Time(s)", "ExchElems", "Reduction", "EdgeCut")
+	for _, tg := range representatives(cfg.Scale, seed) {
+		var syncVol int64
+		for _, async := range []bool{false, true} {
+			_, rep, err := repro.XtraPuLPGen(tg.gen, repro.Config{
+				Parts: parts, Ranks: ranks, RandomDist: true, Seed: seed,
+				AsyncExchange: async,
+			})
+			if err != nil {
+				return fmt.Errorf("exchange: %s async=%v: %w", tg.name, async, err)
+			}
+			mode, reduction := "sync", "-"
+			if async {
+				mode = "async-delta"
+				if syncVol > 0 {
+					reduction = fmt.Sprintf("%.1f%%", 100*(1-float64(rep.ExchangeVolume)/float64(syncVol)))
+				}
+			} else {
+				syncVol = rep.ExchangeVolume
+			}
+			t.add(tg.name, fmt.Sprintf("%d", ranks), mode, secs(rep.TotalTime),
+				fmt.Sprintf("%d", rep.ExchangeVolume), reduction,
+				fmt.Sprintf("%.3f", rep.Quality.EdgeCutRatio))
+		}
+	}
+	t.flush()
+	return nil
+}

@@ -120,7 +120,7 @@ func secs(d time.Duration) string {
 var Names = []string{
 	"table1", "fig1", "fig2", "trillion", "table2", "fig3",
 	"fig4", "fig5", "fig6", "fig7", "fig8", "table3",
-	"convergence", "ablation",
+	"convergence", "ablation", "exchange",
 }
 
 // Run dispatches an experiment by name.
@@ -154,6 +154,8 @@ func Run(name string, cfg Config) error {
 		return Convergence(cfg)
 	case "ablation":
 		return Ablation(cfg)
+	case "exchange":
+		return Exchange(cfg)
 	default:
 		return fmt.Errorf("harness: unknown experiment %q (have %v)", name, Names)
 	}

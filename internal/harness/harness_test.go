@@ -6,18 +6,28 @@ import (
 	"testing"
 )
 
+// quickExperiments are the table/figure reproductions cheap enough
+// (well under a second each) to keep in -short runs; the heavy ones
+// are gated behind testing.Short so `go test -short ./...` finishes in
+// seconds while default runs retain full coverage.
+var quickExperiments = map[string]bool{
+	"table1":      true,
+	"fig5":        true,
+	"convergence": true,
+}
+
 // TestAllExperimentsRunSmall executes every experiment at Small scale
 // and checks it produces a non-trivial table. This is the end-to-end
 // integration test of the whole repository: generators, the MPI
 // simulator, the distributed graph, XtraPuLP, every baseline, the
 // analytics, and SpMV all execute inside it.
 func TestAllExperimentsRunSmall(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiments are slow; skipped in -short")
-	}
 	for _, name := range Names {
 		name := name
 		t.Run(name, func(t *testing.T) {
+			if testing.Short() && !quickExperiments[name] {
+				t.Skipf("%s is a heavy reproduction; skipped in -short", name)
+			}
 			var buf bytes.Buffer
 			cfg := Config{W: &buf, Scale: Small, Seed: 1}
 			if err := Run(name, cfg); err != nil {

@@ -1,15 +1,18 @@
-// Package mpi provides an in-process bulk-synchronous communicator that
-// stands in for MPI in the XtraPuLP reproduction. Each simulated rank is
-// a goroutine; ranks interact only through collective operations
-// (Barrier, Bcast, Allgather, Alltoall, Alltoallv, Allreduce), exactly
-// the set the distributed partitioner uses.
+// Package mpi provides an in-process communicator that stands in for
+// MPI in the XtraPuLP reproduction. Each simulated rank is a goroutine;
+// ranks interact only through collective operations (Barrier, Bcast,
+// Allgather, Alltoall, Alltoallv, Allreduce) and nonblocking
+// point-to-point messages (Isend, Irecv, Waitall), exactly the set the
+// distributed partitioner uses.
 //
 // Semantics mirror MPI's: every rank in the world must call the same
-// sequence of collectives, and receive buffers are fresh copies — ranks
-// never alias each other's memory through a collective, so code written
-// against this package has true distributed-memory discipline. Deadlock
-// (a rank skipping a collective) manifests as a hang, as it would under
-// MPI; tests guard the collective contracts instead.
+// sequence of collectives, point-to-point messages between a rank pair
+// are non-overtaking, and receive buffers are fresh copies — ranks
+// never alias each other's memory through the communicator, so code
+// written against this package has true distributed-memory discipline.
+// Deadlock (a rank skipping a collective, or receiving a message never
+// sent) manifests as a hang, as it would under MPI; tests guard the
+// communication contracts instead.
 //
 // The communicator records per-rank traffic statistics (element volume
 // and collective counts) so experiments can report communication cost.
@@ -18,6 +21,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // World is the shared state of one communicator group. It is created by
@@ -26,11 +30,25 @@ type world struct {
 	size  int
 	slots []any // one publication slot per rank, reused per collective
 	bar   *barrier
+	boxes []*mailbox // point-to-point FIFOs, indexed [src*size+dst]
+}
+
+// poisonAll releases every rank parked in a collective or a
+// point-to-point wait after a sibling panic.
+func (w *world) poisonAll() {
+	w.bar.poison()
+	for _, b := range w.boxes {
+		b.poison()
+	}
 }
 
 // Comm is one rank's handle on the communicator. A Comm is confined to
-// the goroutine that received it from Run; its methods are not safe for
-// concurrent use by multiple goroutines.
+// the goroutine that received it from Run: collectives must be called
+// from that goroutine only. The nonblocking point-to-point operations
+// (Isend, Irecv, Waitall) may additionally be completed from one helper
+// goroutine concurrently with point-to-point traffic on the main
+// goroutine — traffic counters are atomic — but never concurrently
+// with a collective on the same Comm.
 type Comm struct {
 	w       *world
 	rank    int
@@ -39,13 +57,17 @@ type Comm struct {
 }
 
 // Stats accumulates per-rank communication counters. Volumes count
-// elements (not bytes) since the collectives are generic.
+// elements (not bytes) since the collectives are generic. All fields
+// are maintained with atomic operations so point-to-point completions
+// on a helper goroutine stay race-free.
 type Stats struct {
 	Collectives  int64 // number of collective operations entered
-	ElemsSent    int64 // elements this rank contributed to collectives
-	ElemsRecv    int64 // elements this rank received from collectives
-	ExchangeOps  int64 // Alltoallv calls (the partitioner's hot path)
+	ElemsSent    int64 // elements this rank sent (collectives + point-to-point)
+	ElemsRecv    int64 // elements this rank received (collectives + point-to-point)
+	ExchangeOps  int64 // Alltoallv calls (the partitioner's sync hot path)
 	ReductionOps int64 // Allreduce calls
+	SendOps      int64 // nonblocking point-to-point sends started
+	RecvOps      int64 // nonblocking point-to-point receives completed
 }
 
 // Rank returns this rank's id in [0, Size()).
@@ -59,11 +81,33 @@ func (c *Comm) Size() int { return c.w.size }
 // the role of OMP_NUM_THREADS.
 func (c *Comm) Threads() int { return c.threads }
 
-// Stats returns a snapshot of this rank's communication counters.
-func (c *Comm) Stats() Stats { return c.stats }
+// fields enumerates every counter once; Stats and ResetStats both
+// iterate it so a future field cannot be snapshot but not reset (or
+// vice versa).
+func (s *Stats) fields() []*int64 {
+	return []*int64{
+		&s.Collectives, &s.ElemsSent, &s.ElemsRecv,
+		&s.ExchangeOps, &s.ReductionOps, &s.SendOps, &s.RecvOps,
+	}
+}
 
-// ResetStats zeroes the communication counters.
-func (c *Comm) ResetStats() { c.stats = Stats{} }
+// Stats returns a snapshot of this rank's communication counters.
+func (c *Comm) Stats() Stats {
+	var out Stats
+	src, dst := c.stats.fields(), out.fields()
+	for i := range src {
+		*dst[i] = atomic.LoadInt64(src[i])
+	}
+	return out
+}
+
+// ResetStats zeroes the communication counters. It must not race with
+// in-flight point-to-point completions.
+func (c *Comm) ResetStats() {
+	for _, p := range c.stats.fields() {
+		atomic.StoreInt64(p, 0)
+	}
+}
 
 // Run executes fn on nprocs simulated ranks, each on its own goroutine
 // with one intra-rank worker thread, and returns when all ranks finish.
@@ -86,6 +130,10 @@ func RunThreads(nprocs, threadsPerRank int, fn func(c *Comm)) {
 		size:  nprocs,
 		slots: make([]any, nprocs),
 		bar:   newBarrier(nprocs),
+		boxes: make([]*mailbox, nprocs*nprocs),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
 	}
 	var wg sync.WaitGroup
 	panics := make([]any, nprocs)
@@ -96,9 +144,10 @@ func RunThreads(nprocs, threadsPerRank int, fn func(c *Comm)) {
 			defer func() {
 				if p := recover(); p != nil {
 					panics[rank] = p
-					// Poison the barrier so sibling ranks blocked in a
-					// collective wake up and unwind instead of hanging.
-					w.bar.poison()
+					// Poison the barrier and mailboxes so sibling ranks
+					// blocked in a collective or a point-to-point wait
+					// wake up and unwind instead of hanging.
+					w.poisonAll()
 				}
 			}()
 			fn(&Comm{w: w, rank: rank, threads: threadsPerRank})
@@ -118,7 +167,7 @@ func RunThreads(nprocs, threadsPerRank int, fn func(c *Comm)) {
 
 // Barrier blocks until every rank in the world has entered it.
 func (c *Comm) Barrier() {
-	c.stats.Collectives++
+	atomic.AddInt64(&c.stats.Collectives, 1)
 	c.w.bar.wait()
 }
 
@@ -138,31 +187,31 @@ func (c *Comm) publish(v any) (release func()) {
 // source slice; all ranks (including the root) receive an independent
 // copy. Non-root callers may pass nil.
 func Bcast[T any](c *Comm, root int, data []T) []T {
-	c.stats.Collectives++
+	atomic.AddInt64(&c.stats.Collectives, 1)
 	var pub any
 	if c.rank == root {
 		pub = data
-		c.stats.ElemsSent += int64(len(data))
+		atomic.AddInt64(&c.stats.ElemsSent, int64(len(data)))
 	}
 	release := c.publish(pub)
 	src := c.w.slots[root].([]T)
 	out := make([]T, len(src))
 	copy(out, src)
-	c.stats.ElemsRecv += int64(len(out))
+	atomic.AddInt64(&c.stats.ElemsRecv, int64(len(out)))
 	release()
 	return out
 }
 
 // Allgather collects one value from each rank; out[r] is rank r's value.
 func Allgather[T any](c *Comm, v T) []T {
-	c.stats.Collectives++
-	c.stats.ElemsSent++
+	atomic.AddInt64(&c.stats.Collectives, 1)
+	atomic.AddInt64(&c.stats.ElemsSent, 1)
 	release := c.publish(v)
 	out := make([]T, c.w.size)
 	for r := 0; r < c.w.size; r++ {
 		out[r] = c.w.slots[r].(T)
 	}
-	c.stats.ElemsRecv += int64(c.w.size)
+	atomic.AddInt64(&c.stats.ElemsRecv, int64(c.w.size))
 	release()
 	return out
 }
@@ -170,8 +219,8 @@ func Allgather[T any](c *Comm, v T) []T {
 // Allgatherv collects a variable-length slice from each rank; out[r] is
 // an independent copy of rank r's contribution.
 func Allgatherv[T any](c *Comm, data []T) [][]T {
-	c.stats.Collectives++
-	c.stats.ElemsSent += int64(len(data))
+	atomic.AddInt64(&c.stats.Collectives, 1)
+	atomic.AddInt64(&c.stats.ElemsSent, int64(len(data)))
 	release := c.publish(data)
 	out := make([][]T, c.w.size)
 	for r := 0; r < c.w.size; r++ {
@@ -179,7 +228,7 @@ func Allgatherv[T any](c *Comm, data []T) [][]T {
 		cp := make([]T, len(src))
 		copy(cp, src)
 		out[r] = cp
-		c.stats.ElemsRecv += int64(len(cp))
+		atomic.AddInt64(&c.stats.ElemsRecv, int64(len(cp)))
 	}
 	release()
 	return out
@@ -191,14 +240,14 @@ func Alltoall[T any](c *Comm, send []T) []T {
 	if len(send) != c.w.size {
 		panic(fmt.Sprintf("mpi: Alltoall send length %d != world size %d", len(send), c.w.size))
 	}
-	c.stats.Collectives++
-	c.stats.ElemsSent += int64(len(send))
+	atomic.AddInt64(&c.stats.Collectives, 1)
+	atomic.AddInt64(&c.stats.ElemsSent, int64(len(send)))
 	release := c.publish(send)
 	out := make([]T, c.w.size)
 	for r := 0; r < c.w.size; r++ {
 		out[r] = c.w.slots[r].([]T)[c.rank]
 	}
-	c.stats.ElemsRecv += int64(c.w.size)
+	atomic.AddInt64(&c.stats.ElemsRecv, int64(c.w.size))
 	release()
 	return out
 }
@@ -231,9 +280,9 @@ func Alltoallv[T any](c *Comm, sendBuf []T, sendCounts []int) (recv []T, recvCou
 	if total != len(sendBuf) {
 		panic(fmt.Sprintf("mpi: Alltoallv counts sum %d != buffer length %d", total, len(sendBuf)))
 	}
-	c.stats.Collectives++
-	c.stats.ExchangeOps++
-	c.stats.ElemsSent += int64(total)
+	atomic.AddInt64(&c.stats.Collectives, 1)
+	atomic.AddInt64(&c.stats.ExchangeOps, 1)
+	atomic.AddInt64(&c.stats.ElemsSent, int64(total))
 
 	release := c.publish(vPayload[T]{buf: sendBuf, counts: sendCounts, offsets: offsets})
 
@@ -250,7 +299,7 @@ func Alltoallv[T any](c *Comm, sendBuf []T, sendCounts []int) (recv []T, recvCou
 		seg := p.buf[p.offsets[c.rank]:p.offsets[c.rank+1]]
 		recv = append(recv, seg...)
 	}
-	c.stats.ElemsRecv += int64(rtotal)
+	atomic.AddInt64(&c.stats.ElemsRecv, int64(rtotal))
 	release()
 	return recv, recvCounts
 }
@@ -274,9 +323,9 @@ type Number interface {
 // operator and returns the result (identical on every rank). All ranks
 // must pass slices of the same length.
 func Allreduce[T Number](c *Comm, vals []T, op Op) []T {
-	c.stats.Collectives++
-	c.stats.ReductionOps++
-	c.stats.ElemsSent += int64(len(vals))
+	atomic.AddInt64(&c.stats.Collectives, 1)
+	atomic.AddInt64(&c.stats.ReductionOps, 1)
+	atomic.AddInt64(&c.stats.ElemsSent, int64(len(vals)))
 	release := c.publish(vals)
 	out := make([]T, len(vals))
 	first := c.w.slots[0].([]T)
@@ -310,7 +359,7 @@ func Allreduce[T Number](c *Comm, vals []T, op Op) []T {
 			}
 		}
 	}
-	c.stats.ElemsRecv += int64(len(out))
+	atomic.AddInt64(&c.stats.ElemsRecv, int64(len(out)))
 	release()
 	return out
 }

@@ -1,0 +1,167 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Nonblocking point-to-point messaging. Each ordered rank pair
+// (src, dst) owns one FIFO mailbox, so messages between a pair are
+// delivered in send order (MPI's non-overtaking guarantee) while
+// messages from different sources are independent. Isend copies its
+// buffer at call time — the sender may reuse it immediately, and the
+// receiver gets a slice no other rank aliases.
+//
+// Unlike the collectives, the point-to-point operations are safe to
+// complete from a goroutine other than the rank's main goroutine: all
+// traffic counters are updated atomically and mailboxes are locked.
+// This is what lets a rank drain incoming boundary updates on a
+// background goroutine while its main goroutine is still computing
+// (communication/computation overlap).
+
+// message is one in-flight point-to-point transfer.
+type message struct {
+	data  any // a private []T copy
+	count int
+}
+
+// mailbox is the unbounded FIFO for one ordered (src, dst) rank pair.
+type mailbox struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	msgs     []message
+	poisoned bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues a message; put never blocks (the simulator models an
+// eager/buffered transport, so Isend completes immediately).
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.msgs = append(m.msgs, msg)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// take dequeues the oldest message, blocking until one arrives. It
+// panics with barrierPoisoned after a sibling rank's panic so blocked
+// receivers unwind instead of hanging.
+func (m *mailbox) take() message {
+	m.mu.Lock()
+	for len(m.msgs) == 0 && !m.poisoned {
+		m.cond.Wait()
+	}
+	if m.poisoned {
+		m.mu.Unlock()
+		panic(barrierPoisoned{})
+	}
+	msg := m.msgs[0]
+	m.msgs = m.msgs[1:]
+	m.mu.Unlock()
+	return msg
+}
+
+// poison wakes all blocked receivers and makes every subsequent take
+// panic.
+func (m *mailbox) poison() {
+	m.mu.Lock()
+	m.poisoned = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// box returns the mailbox for the ordered pair (src, dst).
+func (w *world) box(src, dst int) *mailbox {
+	return w.boxes[src*w.size+dst]
+}
+
+// Request is the handle of a nonblocking point-to-point operation.
+// Wait blocks until the operation completes; it is idempotent.
+type Request interface {
+	Wait()
+}
+
+// sendRequest is the (already complete) handle of an Isend.
+type sendRequest struct{}
+
+func (sendRequest) Wait() {}
+
+// RecvRequest is the typed handle of an Irecv. Data is valid only
+// after Wait returns. A RecvRequest must be completed by exactly one
+// goroutine.
+type RecvRequest[T any] struct {
+	c    *Comm
+	box  *mailbox
+	src  int
+	done bool
+	data []T
+}
+
+// Wait blocks until the matching message arrives and materializes it.
+func (r *RecvRequest[T]) Wait() {
+	if r.done {
+		return
+	}
+	msg := r.box.take()
+	data, ok := msg.data.([]T)
+	if !ok {
+		panic(fmt.Sprintf("mpi: Irecv from rank %d: element type mismatch, message holds %T", r.src, msg.data))
+	}
+	r.data = data
+	r.done = true
+	atomic.AddInt64(&r.c.stats.RecvOps, 1)
+	atomic.AddInt64(&r.c.stats.ElemsRecv, int64(msg.count))
+}
+
+// Await is Wait followed by Data, for single-request call sites.
+func (r *RecvRequest[T]) Await() []T {
+	r.Wait()
+	return r.Data()
+}
+
+// Data returns the received buffer (a private copy; the sender cannot
+// alias it). It panics if the request has not completed.
+func (r *RecvRequest[T]) Data() []T {
+	if !r.done {
+		panic("mpi: RecvRequest.Data before Wait")
+	}
+	return r.data
+}
+
+// Isend starts a nonblocking send of data to rank dst. The buffer is
+// copied before Isend returns, so the caller may modify data
+// immediately. Messages to the same destination are received in send
+// order.
+func Isend[T any](c *Comm, dst int, data []T) Request {
+	if dst < 0 || dst >= c.w.size {
+		panic(fmt.Sprintf("mpi: Isend to rank %d outside [0,%d)", dst, c.w.size))
+	}
+	cp := make([]T, len(data))
+	copy(cp, data)
+	atomic.AddInt64(&c.stats.SendOps, 1)
+	atomic.AddInt64(&c.stats.ElemsSent, int64(len(cp)))
+	c.w.box(c.rank, dst).put(message{data: cp, count: len(cp)})
+	return sendRequest{}
+}
+
+// Irecv starts a nonblocking receive of the next []T message from rank
+// src. The transfer completes when Wait (or Await) is called.
+func Irecv[T any](c *Comm, src int) *RecvRequest[T] {
+	if src < 0 || src >= c.w.size {
+		panic(fmt.Sprintf("mpi: Irecv from rank %d outside [0,%d)", src, c.w.size))
+	}
+	return &RecvRequest[T]{c: c, box: c.w.box(src, c.rank), src: src}
+}
+
+// Waitall completes every request; the MPI_Waitall of this simulator.
+func Waitall(reqs ...Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}

@@ -85,6 +85,56 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// The asynchronous delta exchange must be a pure transport change: for
+// fixed seeds it yields exactly the partition (and therefore exactly
+// the Quality metrics) of the bulk-synchronous path on every graph
+// class and rank count, while sending strictly fewer elements whenever
+// rank boundaries exist.
+func TestAsyncDeltaExchangeMatchesSyncDeterministically(t *testing.T) {
+	gens := []*Generator{
+		RMAT(10, 8, 1),
+		RandER(1024, 4096, 2),
+		Mesh3D(10, 10, 10),
+	}
+	for _, gn := range gens {
+		for _, ranks := range []int{1, 2, 3, 4, 8} {
+			base := Config{Parts: 8, Ranks: ranks, RandomDist: true, Seed: 7}
+			sparts, srep, err := XtraPuLPGen(gn, base)
+			if err != nil {
+				t.Fatalf("%s ranks=%d sync: %v", gn.Name, ranks, err)
+			}
+			async := base
+			async.AsyncExchange = true
+			aparts, arep, err := XtraPuLPGen(gn, async)
+			if err != nil {
+				t.Fatalf("%s ranks=%d async: %v", gn.Name, ranks, err)
+			}
+			for v := range sparts {
+				if sparts[v] != aparts[v] {
+					t.Fatalf("%s ranks=%d: partitions diverge at vertex %d: sync %d, async %d",
+						gn.Name, ranks, v, sparts[v], aparts[v])
+				}
+			}
+			sq, aq := srep.Quality, arep.Quality
+			if sq.CutEdges != aq.CutEdges || sq.MaxPartCut != aq.MaxPartCut ||
+				sq.EdgeCutRatio != aq.EdgeCutRatio || sq.VertexImbalance != aq.VertexImbalance ||
+				sq.EdgeImbalance != aq.EdgeImbalance {
+				t.Fatalf("%s ranks=%d: quality diverges: sync %+v async %+v", gn.Name, ranks, sq, aq)
+			}
+			if ranks == 1 {
+				// No rank boundaries: both modes send only reductions.
+				if arep.ExchangeVolume != srep.ExchangeVolume {
+					t.Errorf("%s ranks=1: exchange volumes differ: sync %d async %d",
+						gn.Name, srep.ExchangeVolume, arep.ExchangeVolume)
+				}
+			} else if arep.ExchangeVolume >= srep.ExchangeVolume {
+				t.Errorf("%s ranks=%d: async exchange volume %d not below sync %d",
+					gn.Name, ranks, arep.ExchangeVolume, srep.ExchangeVolume)
+			}
+		}
+	}
+}
+
 func TestXtraPuLPQualityBeatsRandomOnAllClasses(t *testing.T) {
 	gens := []*Generator{
 		RMAT(10, 8, 1),
