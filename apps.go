@@ -12,28 +12,50 @@ import (
 // AnalyticResult reports one distributed analytic's execution.
 type AnalyticResult = analytics.Result
 
+// AnalyticsConfig drives a distributed analytics run.
+type AnalyticsConfig struct {
+	// Ranks is the number of simulated compute nodes; parts must map
+	// every vertex into [0, Ranks).
+	Ranks int
+	// HCSources bounds the harmonic centrality BFS count (the paper
+	// uses 100).
+	HCSources int
+	// AsyncExchange routes the analytics' boundary exchanges
+	// (ExchangeInt64/ExchangeFloat64/PushToOwners) through the async
+	// delta engine instead of the bulk-synchronous Alltoallv. Results
+	// are identical; exchanged-element volume is lower.
+	AsyncExchange bool
+}
+
 // RunAnalytics distributes the generator's graph over ranks simulated
 // nodes according to parts (vertex gid -> node, as produced by any
 // partitioner with p == ranks) and executes the paper's six analytics
-// (HC, KC, LP, PR, SCC, WCC). hcSources bounds the harmonic centrality
-// BFS count (the paper uses 100).
+// (HC, KC, LP, PR, SCC, WCC) on the synchronous exchange engine.
+// RunAnalyticsCfg exposes the full configuration.
 func RunAnalytics(g *Generator, parts []int32, ranks int, hcSources int) ([]AnalyticResult, error) {
+	return RunAnalyticsCfg(g, parts, AnalyticsConfig{Ranks: ranks, HCSources: hcSources})
+}
+
+// RunAnalyticsCfg is RunAnalytics with an explicit configuration,
+// including the exchange-engine selection.
+func RunAnalyticsCfg(g *Generator, parts []int32, cfg AnalyticsConfig) ([]AnalyticResult, error) {
 	if int64(len(parts)) != g.N {
 		return nil, fmt.Errorf("repro: %d part assignments for %d vertices", len(parts), g.N)
 	}
 	for v, pt := range parts {
-		if pt < 0 || int(pt) >= ranks {
-			return nil, fmt.Errorf("repro: vertex %d assigned node %d outside [0,%d)", v, pt, ranks)
+		if pt < 0 || int(pt) >= cfg.Ranks {
+			return nil, fmt.Errorf("repro: vertex %d assigned node %d outside [0,%d)", v, pt, cfg.Ranks)
 		}
 	}
 	var out []AnalyticResult
-	mpi.Run(ranks, func(c *mpi.Comm) {
+	mpi.Run(cfg.Ranks, func(c *mpi.Comm) {
 		dg, err := dgraph.FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()),
 			dgraph.PartsDist{Parts: parts})
 		if err != nil {
 			panic(err) // parts validated above; construction is total
 		}
-		res := analytics.RunAll(dg, hcSources)
+		dg.SetAsyncExchange(cfg.AsyncExchange)
+		res := analytics.RunAll(dg, cfg.HCSources)
 		if c.Rank() == 0 {
 			out = res
 		}
@@ -50,24 +72,47 @@ const (
 	Layout2D = "2d"
 )
 
+// SpMVConfig drives a distributed SpMV run.
+type SpMVConfig struct {
+	// Ranks is the number of simulated MPI ranks.
+	Ranks int
+	// Layout places nonzeros: Layout1D or Layout2D.
+	Layout string
+	// Iterations is the number of chained multiplies (default 100).
+	Iterations int
+	// AsyncExchange replaces the expand/fold Alltoallv collectives
+	// with nonblocking point-to-point messages over the precomputed
+	// schedules, bypassing self-destined shares entirely. The checksum
+	// is bit-identical; sent-value volume is lower.
+	AsyncExchange bool
+}
+
 // RunSpMV executes iters chained sparse matrix-vector products of the
 // graph's adjacency matrix on ranks simulated nodes, with the vector
 // distributed by parts and nonzeros placed by the named layout ("1d"
-// row layout, or "2d" processor-grid layout per Boman et al.).
+// row layout, or "2d" processor-grid layout per Boman et al.), on the
+// synchronous exchange engine. RunSpMVCfg exposes the full
+// configuration.
 func RunSpMV(g *Graph, parts []int32, ranks int, layout string, iters int) (SpMVResult, error) {
+	return RunSpMVCfg(g, parts, SpMVConfig{Ranks: ranks, Layout: layout, Iterations: iters})
+}
+
+// RunSpMVCfg is RunSpMV with an explicit configuration, including the
+// exchange-engine selection.
+func RunSpMVCfg(g *Graph, parts []int32, cfg SpMVConfig) (SpMVResult, error) {
 	var l spmv.Layout
-	switch layout {
+	switch cfg.Layout {
 	case Layout1D:
 		l = spmv.OneD
 	case Layout2D:
 		l = spmv.TwoD
 	default:
-		return SpMVResult{}, fmt.Errorf("repro: unknown layout %q (1d|2d)", layout)
+		return SpMVResult{}, fmt.Errorf("repro: unknown layout %q (1d|2d)", cfg.Layout)
 	}
 	var out SpMVResult
 	var runErr error
-	mpi.Run(ranks, func(c *mpi.Comm) {
-		res, err := spmv.Run(c, g, parts, spmv.Options{Layout: l, Iterations: iters})
+	mpi.Run(cfg.Ranks, func(c *mpi.Comm) {
+		res, err := spmv.Run(c, g, parts, spmv.Options{Layout: l, Iterations: cfg.Iterations, Async: cfg.AsyncExchange})
 		if c.Rank() == 0 {
 			out, runErr = res, err
 		}

@@ -95,6 +95,63 @@ func TestRunSpMVBothLayouts(t *testing.T) {
 	}
 }
 
+// The async SpMV engine is a pure transport change: checksums must be
+// bit-identical to the synchronous engine under both layouts, while
+// the sent-value volume drops (remote-only accounting plus, under 1D,
+// the fully rank-local fold bypassing the transport).
+func TestRunSpMVAsyncMatchesSyncChecksum(t *testing.T) {
+	g := RMAT(9, 8, 1).MustBuild()
+	parts, err := Partition(MethodVertexBlock, g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layout := range []string{Layout1D, Layout2D} {
+		var res [2]SpMVResult
+		for i, async := range []bool{false, true} {
+			r, err := RunSpMVCfg(g, parts, SpMVConfig{
+				Ranks: 4, Layout: layout, Iterations: 8, AsyncExchange: async,
+			})
+			if err != nil {
+				t.Fatalf("%s async=%v: %v", layout, async, err)
+			}
+			res[i] = r
+		}
+		if res[0].Checksum != res[1].Checksum {
+			t.Errorf("%s: checksums diverge: sync %v async %v", layout, res[0].Checksum, res[1].Checksum)
+		}
+		if res[1].CommVolume >= res[0].CommVolume {
+			t.Errorf("%s: async volume %d not below sync %d", layout, res[1].CommVolume, res[0].CommVolume)
+		}
+	}
+}
+
+// Analytics results must be mode-independent through the public facade.
+func TestRunAnalyticsAsyncMatchesSync(t *testing.T) {
+	const nodes = 4
+	gen := RandER(512, 2048, 3)
+	g := gen.MustBuild()
+	parts, err := Partition(MethodVertexBlock, g, nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs [2][]AnalyticResult
+	for i, async := range []bool{false, true} {
+		runs[i], err = RunAnalyticsCfg(gen, parts, AnalyticsConfig{
+			Ranks: nodes, HCSources: 2, AsyncExchange: async,
+		})
+		if err != nil {
+			t.Fatalf("async=%v: %v", async, err)
+		}
+	}
+	for i := range runs[0] {
+		s, a := runs[0][i], runs[1][i]
+		if s.Name != a.Name || s.Value != a.Value || s.Iterations != a.Iterations {
+			t.Errorf("%s: sync (%v, %d iters) vs async (%v, %d iters)",
+				s.Name, s.Value, s.Iterations, a.Value, a.Iterations)
+		}
+	}
+}
+
 func TestRunSpMVUnknownLayout(t *testing.T) {
 	g := RandER(64, 128, 1).MustBuild()
 	parts, _ := Partition(MethodVertexBlock, g, 2, 1)

@@ -33,6 +33,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	single := flag.Bool("single", false, "single-constraint single-objective mode")
 	async := flag.Bool("async", false, "asynchronous delta-only boundary exchange")
+	sizeEpoch := flag.Int("size-epoch", 0, "async mode: exact size-estimate resync every N iterations (0 = auto)")
 	blockDist := flag.Bool("blockdist", false, "use block vertex distribution instead of random")
 	out := flag.String("out", "", "write per-vertex part ids to this file")
 	flag.Parse()
@@ -52,12 +53,12 @@ func main() {
 		assignment, rep, err = repro.XtraPuLP(g, repro.Config{
 			Parts: *parts, Ranks: *ranks, ThreadsPerRank: *threads,
 			RandomDist: !*blockDist, SingleConstraint: *single, Seed: *seed,
-			AsyncExchange: *async,
+			AsyncExchange: *async, SizeEpoch: *sizeEpoch,
 		})
 		if err == nil {
-			fmt.Printf("stages: init=%.3fs (%d rounds) vert=%.3fs edge=%.3fs comm=%d elems (exchange %d)\n",
+			fmt.Printf("stages: init=%.3fs (%d rounds) vert=%.3fs edge=%.3fs comm=%d elems (exchange %d, %d allreduces)\n",
 				rep.InitTime.Seconds(), rep.InitIters, rep.VertTime.Seconds(),
-				rep.EdgeTime.Seconds(), rep.CommVolume, rep.ExchangeVolume)
+				rep.EdgeTime.Seconds(), rep.CommVolume, rep.ExchangeVolume, rep.ReductionOps)
 		}
 	} else {
 		assignment, err = repro.Partition(*method, g, *parts, *seed)

@@ -1,0 +1,62 @@
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Every internal package must carry a package comment ("// Package
+// <name> ...") so `go doc` describes the whole tree; CI runs the same
+// gate via scripts/check_docs.sh.
+func TestEveryInternalPackageHasPackageComment(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no internal packages found; run from the repository root")
+	}
+	for _, dir := range dirs {
+		name := filepath.Base(dir)
+		re := regexp.MustCompile(`(?m)^// Package ` + regexp.QuoteMeta(name) + `[ \n]`)
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if re.Match(src) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("internal/%s has no package comment (want a doc.go or file starting %q)",
+				name, "// Package "+name)
+		}
+	}
+}
+
+// The architecture document the README and godocs point at must exist
+// and keep covering the exchange engines.
+func TestArchitectureDocPresent(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("docs", "ARCHITECTURE.md"))
+	if err != nil {
+		t.Fatalf("docs/ARCHITECTURE.md missing: %v", err)
+	}
+	for _, want := range []string{"Package map", "async-delta", "Piggybacked tallies"} {
+		if !strings.Contains(string(src), want) {
+			t.Errorf("docs/ARCHITECTURE.md lost its %q section", want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package analytics
+
+import (
+	"testing"
+
+	"repro/internal/dgraph"
+	"repro/internal/gen"
+	"repro/internal/mpi"
+)
+
+// Every analytic must produce identical results on the synchronous and
+// async-delta exchange transports — the routing in dgraph is a pure
+// transport change — while the async transport ships fewer elements.
+func TestAnalyticsCrossModeDeterminism(t *testing.T) {
+	g := gen.ChungLu(1<<10, 1<<13, 2.2, 9)
+	mpi.Run(4, func(c *mpi.Comm) {
+		dg, err := dgraph.FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()),
+			dgraph.HashDist{P: c.Size(), Seed: 7})
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+
+		type run struct {
+			bfsLevels []int64
+			bfsEcc    int64
+			pr        []float64
+			wcc       []int64
+			core      []int64
+			sent      int64
+		}
+		exec := func(async bool) run {
+			dg.SetAsyncExchange(async)
+			c.ResetStats()
+			var r run
+			r.bfsLevels, r.bfsEcc = BFS(dg, 0)
+			r.pr, _ = PageRank(dg, 10, 0.85)
+			r.wcc, _ = WCC(dg)
+			r.core, _ = KCore(dg, 20)
+			r.sent = mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
+			return r
+		}
+		sync := exec(false)
+		async := exec(true)
+
+		if sync.bfsEcc != async.bfsEcc {
+			t.Errorf("rank %d: BFS eccentricity %d vs %d", c.Rank(), sync.bfsEcc, async.bfsEcc)
+		}
+		for v := 0; v < dg.NLocal; v++ {
+			if sync.bfsLevels[v] != async.bfsLevels[v] {
+				t.Errorf("rank %d: BFS level(gid %d) %d vs %d",
+					c.Rank(), dg.L2G[v], sync.bfsLevels[v], async.bfsLevels[v])
+				return
+			}
+			if sync.pr[v] != async.pr[v] {
+				t.Errorf("rank %d: PageRank(gid %d) %v vs %v (must be bit-identical)",
+					c.Rank(), dg.L2G[v], sync.pr[v], async.pr[v])
+				return
+			}
+			if sync.wcc[v] != async.wcc[v] {
+				t.Errorf("rank %d: WCC label(gid %d) %d vs %d",
+					c.Rank(), dg.L2G[v], sync.wcc[v], async.wcc[v])
+				return
+			}
+			if sync.core[v] != async.core[v] {
+				t.Errorf("rank %d: coreness(gid %d) %d vs %d",
+					c.Rank(), dg.L2G[v], sync.core[v], async.core[v])
+				return
+			}
+		}
+		if c.Rank() == 0 && async.sent >= sync.sent {
+			t.Errorf("async analytics sent %d elements, sync %d (want strictly less)", async.sent, sync.sent)
+		}
+	})
+}

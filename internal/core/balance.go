@@ -31,7 +31,7 @@ func (s *state) vertBalance() {
 		maxV := maxOf(s.sv, s.imbV)
 		mult := s.mult()
 		queues := par.NewQueues[dgraph.Update](threads)
-		s.beginExchange()
+		s.beginExchange(s.roundTallyLen(false))
 
 		par.ForChunk(0, g.NLocal, threads, func(lo, hi, tid int) {
 			counts := make([]float64, s.p)
@@ -112,8 +112,7 @@ func (s *state) vertBalance() {
 			}
 		})
 
-		s.applyGhostUpdates(s.exchange(queues.Merge()))
-		moved := s.settleDeltas(false)
+		moved := s.exchangeSettle(queues.Merge(), false)
 		s.trace("vbal", mult, moved)
 		s.iterTot++
 	}
@@ -137,7 +136,7 @@ func (s *state) vertRefine() {
 
 	for iter := 0; iter < s.opt.Iref; iter++ {
 		queues := par.NewQueues[dgraph.Update](threads)
-		s.beginExchange()
+		s.beginExchange(s.roundTallyLen(false))
 
 		par.ForChunk(0, g.NLocal, threads, func(lo, hi, tid int) {
 			counts := make([]int64, s.p)
@@ -175,8 +174,7 @@ func (s *state) vertRefine() {
 			}
 		})
 
-		s.applyGhostUpdates(s.exchange(queues.Merge()))
-		moved := s.settleDeltas(false)
+		moved := s.exchangeSettle(queues.Merge(), false)
 		s.trace("vref", mult, moved)
 		s.iterTot++
 	}

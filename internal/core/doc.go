@@ -1,0 +1,41 @@
+// Package core implements XTRAPULP, the paper's distributed-memory
+// label-propagation partitioner (Algorithms 1–5): BFS-style random-root
+// initialization, vertex balancing with degree-weighted label
+// propagation, constrained refinement, and the edge-balancing stage for
+// the multi-constraint multi-objective problem. Part-assignment updates
+// are damped by the dynamic multiplier
+//
+//	mult = nprocs × ((X−Y)·iter_tot/I_tot + Y)
+//
+// which linearly tightens each rank's per-iteration quota of moves into
+// any part, preventing the oscillation that occurs when thousands of
+// ranks concurrently discover the same underweight part (§III.C).
+//
+// # Iteration structure and exchange modes
+//
+// Each inner iteration runs rank-local label propagation across worker
+// threads, ships the changed boundary labels to the ranks ghosting
+// them, and settles the global per-part size estimates the weighting
+// functions read. Options.Exchange selects the transport:
+//
+//   - ExchangeSync: a world-wide Alltoallv carries the updates, and a
+//     world-wide Allreduce settles the per-iteration size deltas — two
+//     global barriers per iteration.
+//   - ExchangeAsyncDelta: updates travel as packed per-neighbor
+//     point-to-point messages (dgraph.DeltaExchanger) posted before
+//     the propagation loop and drained concurrently with it, and the
+//     size-delta tallies piggyback on those same messages, so an
+//     iteration ends with no global barrier at all. Every rank folds
+//     its own deltas plus its neighbors' piggybacked tallies into its
+//     estimates; Options.SizeEpoch schedules exact Allreduce resyncs
+//     that bound the estimate staleness on topologies where some rank
+//     pairs share no boundary. When every rank neighbors every other —
+//     detected collectively at startup — the folded sums are already
+//     exact, resyncs are unnecessary, and the async partition matches
+//     the synchronous one bit-for-bit at equal seeds.
+//
+// Partition reports the exchanged-element volume and Allreduce count
+// of a run (Report.ExchangeVolume, Report.ReductionOps) so the two
+// modes can be compared; the harness "exchange" experiment does
+// exactly that.
+package core

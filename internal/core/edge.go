@@ -60,7 +60,7 @@ func (s *state) edgeBalance() {
 			rc++
 		}
 		queues := par.NewQueues[dgraph.Update](threads)
-		s.beginExchange()
+		s.beginExchange(s.roundTallyLen(true))
 
 		par.ForChunk(0, g.NLocal, threads, func(lo, hi, tid int) {
 			counts := make([]float64, s.p)
@@ -183,8 +183,7 @@ func (s *state) edgeBalance() {
 			}
 		})
 
-		s.applyGhostUpdates(s.exchange(queues.Merge()))
-		moved := s.settleDeltas(true)
+		moved := s.exchangeSettle(queues.Merge(), true)
 		s.trace("ebal", mult, moved)
 		s.iterTot++
 	}
@@ -205,7 +204,7 @@ func (s *state) edgeRefine() {
 	for iter := 0; iter < s.opt.Iref; iter++ {
 		maxC := maxOf(s.sc, 1)
 		queues := par.NewQueues[dgraph.Update](threads)
-		s.beginExchange()
+		s.beginExchange(s.roundTallyLen(true))
 
 		par.ForChunk(0, g.NLocal, threads, func(lo, hi, tid int) {
 			counts := make([]int64, s.p)
@@ -246,8 +245,7 @@ func (s *state) edgeRefine() {
 			}
 		})
 
-		s.applyGhostUpdates(s.exchange(queues.Merge()))
-		moved := s.settleDeltas(true)
+		moved := s.exchangeSettle(queues.Merge(), true)
 		s.trace("eref", mult, moved)
 		s.iterTot++
 	}

@@ -90,13 +90,15 @@ func (s *state) initBFS() int {
 	}
 	s.applyGhostUpdates(s.exchange(rootQ))
 
-	// Primary propagation loop.
+	// Primary propagation loop. In async mode with a complete rank
+	// neighborhood the round's assignment counter piggybacks on the
+	// update messages, so the termination test needs no Allreduce.
 	threads := s.threads()
 	rounds := 0
 	for {
 		rounds++
 		queues := par.NewQueues[dgraph.Update](threads)
-		s.beginExchange()
+		s.beginExchange(s.initTallyLen())
 		var updates int64
 		par.ForChunk(0, g.NLocal, threads, func(lo, hi, tid int) {
 			r := rng.NewStream(s.opt.Seed^0xBF0F, uint64(rounds)<<32|uint64(tid)<<16|uint64(c.Rank()))
@@ -130,8 +132,7 @@ func (s *state) initBFS() int {
 			}
 			atomic.AddInt64(&updates, local)
 		})
-		s.applyGhostUpdates(s.exchange(queues.Merge()))
-		if mpi.AllreduceScalar(c, updates, mpi.Sum) == 0 {
+		if s.exchangeInitCount(queues.Merge(), updates) == 0 {
 			break
 		}
 	}
@@ -139,7 +140,7 @@ func (s *state) initBFS() int {
 	// Leftovers: random assignment for vertices unreached by any root
 	// (disconnected components), then one final exchange.
 	queues := par.NewQueues[dgraph.Update](threads)
-	s.beginExchange()
+	s.beginExchange(0)
 	par.ForChunk(0, g.NLocal, threads, func(lo, hi, tid int) {
 		r := rng.NewStream(s.opt.Seed^0xD00D, uint64(tid)<<16|uint64(c.Rank()))
 		for v := lo; v < hi; v++ {

@@ -1,15 +1,3 @@
-// Package core implements XTRAPULP, the paper's distributed-memory
-// label-propagation partitioner (Algorithms 1–5): BFS-style random-root
-// initialization, vertex balancing with degree-weighted label
-// propagation, constrained refinement, and the edge-balancing stage for
-// the multi-constraint multi-objective problem. Part-assignment updates
-// are damped by the dynamic multiplier
-//
-//	mult = nprocs × ((X−Y)·iter_tot/I_tot + Y)
-//
-// which linearly tightens each rank's per-iteration quota of moves into
-// any part, preventing the oscillation that occurs when thousands of
-// ranks concurrently discover the same underweight part (§III.C).
 package core
 
 import (
@@ -62,8 +50,12 @@ const (
 	// this iteration as packed single-element updates over nonblocking
 	// point-to-point messages, with the receive side drained on a
 	// background goroutine while local propagation is still running.
-	// For fixed seeds it produces exactly the partition the synchronous
-	// path produces, at roughly half the exchanged-element volume.
+	// Part-size delta tallies piggyback on the same messages
+	// (SizeEpoch), retiring the per-iteration Allreduce the synchronous
+	// path pays. For fixed seeds it produces exactly the partition the
+	// synchronous path produces — guaranteed whenever the rank
+	// neighborhood graph is complete, which the partitioner detects at
+	// startup — at roughly half the exchanged-element volume.
 	ExchangeAsyncDelta
 )
 
@@ -103,6 +95,21 @@ type Options struct {
 	// Exchange selects the boundary-exchange implementation. All ranks
 	// must pass the same mode.
 	Exchange ExchangeMode
+	// SizeEpoch bounds the staleness of the global part-size estimates
+	// in async-delta mode. Between epochs each rank settles its
+	// estimates from its own deltas plus the tallies piggybacked on
+	// neighbor messages — no collective at all; every SizeEpoch-th
+	// inner iteration performs an exact Allreduce resync. 1 resyncs
+	// every iteration (estimates identical to sync mode on any
+	// topology). 0, the default, auto-selects: when every rank
+	// neighbors every other (detected collectively at startup, and the
+	// common case for the hashed distributions the paper favors) the
+	// piggybacked tallies are already exact global sums, so resyncs are
+	// skipped entirely; otherwise it behaves as 1. Values above 1 trade
+	// estimate staleness on incomplete topologies — and, there,
+	// divergence from the sync partition — for fewer global barriers.
+	// Ignored in sync mode.
+	SizeEpoch int
 	// Seed drives root selection and random assignments.
 	Seed uint64
 	// Trace, when non-nil, receives a TraceEvent on rank 0 after every
@@ -144,6 +151,9 @@ func (o *Options) validate() error {
 	if o.Exchange != ExchangeSync && o.Exchange != ExchangeAsyncDelta {
 		return fmt.Errorf("core: unknown exchange mode %d", int(o.Exchange))
 	}
+	if o.SizeEpoch < 0 {
+		return fmt.Errorf("core: negative SizeEpoch %d", o.SizeEpoch)
+	}
 	return nil
 }
 
@@ -163,9 +173,17 @@ type Report struct {
 	// excluding graph construction and quality evaluation). Whenever
 	// rank boundaries exist (more than one rank and a connected cut),
 	// the async delta mode reports strictly less than the synchronous
-	// mode for the same run; a single-rank run sends only reductions
-	// and reports the same volume in both modes.
+	// mode for the same run; a single-rank async run still reports less
+	// because the piggybacked tallies retire the per-iteration
+	// reductions the synchronous mode sends.
 	ExchangeVolume int64
+	// ReductionOps is the number of Allreduce operations the stages
+	// performed (identical on every rank). Synchronous runs pay one per
+	// inner iteration to settle part-size deltas; async-delta runs
+	// piggyback the tallies on the update messages and drop to one per
+	// SizeEpoch iterations — or none between stage recounts when the
+	// rank neighborhood graph is complete.
+	ReductionOps int64
 	// Quality holds the final partition metrics.
 	Quality partition.Quality
 }

@@ -17,6 +17,24 @@ type state struct {
 	// ex is the asynchronous delta exchanger, nil in sync mode.
 	ex *dgraph.DeltaExchanger
 
+	// Piggyback settle machinery (async mode only). tallyExact records
+	// whether every rank neighbors every other — detected collectively
+	// at startup — which makes the piggybacked own+neighbor tally sums
+	// exactly the global sums. epoch is the exact-resync period in
+	// settles (0 = never, piggyback alone is exact); sinceSync counts
+	// settles since the last exact sync. svBase/seBase/scBase hold the
+	// authoritative sizes at the last exact sync, and accOwn/accRecv
+	// accumulate this rank's own and neighbor-received deltas since
+	// then (layout [v | e | c], 3p elements).
+	tallyExact bool
+	epoch      int
+	sinceSync  int
+	svBase     []int64
+	seBase     []int64
+	scBase     []int64
+	accOwn     []int64
+	accRecv    []int64
+
 	// parts holds assignments for owned and ghost vertices. Hot-loop
 	// reads and writes go through atomics because intra-rank threads
 	// update it asynchronously (the paper's "asynchronous intra-task
@@ -69,11 +87,31 @@ func Partition(g *dgraph.Graph, opt Options) ([]int32, Report, error) {
 	s.imbV = (1 + opt.VertImbalance) * float64(g.NGlobal) / float64(s.p)
 	s.imbE = (1 + opt.EdgeImbalance) * float64(2*g.MGlobal) / float64(s.p)
 	if opt.Exchange == ExchangeAsyncDelta {
-		s.ex = g.NewDeltaExchanger()
+		s.ex = g.AsyncExchanger()
+		full := int64(0)
+		if len(s.ex.NeighborRanks()) == g.Comm.Size()-1 {
+			full = 1
+		}
+		s.tallyExact = mpi.AllreduceScalar(g.Comm, full, mpi.Min) == 1
+		s.epoch = opt.SizeEpoch
+		if s.epoch == 0 && !s.tallyExact {
+			// Piggybacked tallies miss non-neighbor ranks here; resync
+			// every settle so the estimates — and the partition — stay
+			// identical to sync mode by default.
+			s.epoch = 1
+		}
+		if s.piggyback() {
+			s.svBase = make([]int64, s.p)
+			s.seBase = make([]int64, s.p)
+			s.scBase = make([]int64, s.p)
+			s.accOwn = make([]int64, 3*s.p)
+			s.accRecv = make([]int64, 3*s.p)
+		}
 	}
 
 	var rep Report
 	sentBefore := g.Comm.Stats().ElemsSent
+	redBefore := g.Comm.Stats().ReductionOps
 	start := time.Now()
 
 	t0 := time.Now()
@@ -102,6 +140,7 @@ func Partition(g *dgraph.Graph, opt Options) ([]int32, Report, error) {
 
 	rep.TotalTime = time.Since(start)
 	sentDuring := g.Comm.Stats().ElemsSent - sentBefore
+	rep.ReductionOps = g.Comm.Stats().ReductionOps - redBefore
 	rep.ExchangeVolume = mpi.AllreduceScalar(g.Comm, sentDuring, mpi.Sum)
 	rep.Quality = dgraph.EvaluateDistributed(g, s.parts, s.p)
 	return s.parts, rep, nil
@@ -138,8 +177,26 @@ func (s *state) storePart(v int32, w int32) {
 	atomic.StoreInt32(&s.parts[v], w)
 }
 
+// piggyback reports whether settles ride on the update messages
+// instead of a per-iteration Allreduce.
+func (s *state) piggyback() bool { return s.ex != nil && s.epoch != 1 }
+
+// roundTallyLen is the tally length the next balance/refine exchange
+// round carries: per-part vertex deltas, plus edge and cut deltas
+// during the edge stages.
+func (s *state) roundTallyLen(withEdges bool) int {
+	if !s.piggyback() {
+		return 0
+	}
+	if withEdges {
+		return 3 * s.p
+	}
+	return s.p
+}
+
 // recountSizes recomputes the global part sizes sv/se/sc from current
-// assignments (used when entering a stage), and zeroes the deltas.
+// assignments (used when entering a stage), and zeroes the deltas and
+// the piggyback accumulators.
 func (s *state) recountSizes(withCut bool) {
 	local := make([]int64, 3*s.p)
 	for v := 0; v < s.g.NLocal; v++ {
@@ -160,6 +217,15 @@ func (s *state) recountSizes(withCut bool) {
 	copy(s.sc, global[2*s.p:3*s.p])
 	for i := 0; i < s.p; i++ {
 		s.cv[i], s.ce[i], s.cc[i] = 0, 0, 0
+	}
+	if s.piggyback() {
+		copy(s.svBase, s.sv)
+		copy(s.seBase, s.se)
+		copy(s.scBase, s.sc)
+		for i := range s.accOwn {
+			s.accOwn[i], s.accRecv[i] = 0, 0
+		}
+		s.sinceSync = 0
 	}
 }
 
@@ -231,21 +297,132 @@ func (s *state) applyGhostUpdates(recv []dgraph.Update) {
 // beginExchange posts the receive side of the next boundary exchange.
 // In async mode a background drainer starts receiving and decoding
 // neighbor updates immediately, overlapping with the propagation loop
-// the caller is about to run; in sync mode it is a no-op. Every
+// the caller is about to run; in sync mode it is a no-op. tallyLen
+// declares the piggybacked tally frame the round's messages carry (0
+// for none) and must match the exchange that follows. Every
 // beginExchange must be followed by exactly one exchange call.
-func (s *state) beginExchange() {
+func (s *state) beginExchange(tallyLen int) {
 	if s.ex != nil {
-		s.ex.Begin()
+		s.ex.BeginTally(tallyLen)
 	}
 }
 
 // exchange ships the queued owned-vertex updates and returns the
 // incoming updates for this rank's ghosts, via the configured mode.
+// It carries no tally; the balance/refine iterations use
+// exchangeSettle instead.
 func (s *state) exchange(q []dgraph.Update) []dgraph.Update {
 	if s.ex != nil {
 		return s.ex.Flush(q)
 	}
 	return s.g.ExchangeUpdates(q)
+}
+
+// takeTally snapshots this iteration's local part-size deltas into a
+// tally vector ([cv] or [cv | ce | cc]) and zeroes the counters. The
+// worker threads have joined by the time it runs, so the reads need no
+// atomics.
+func (s *state) takeTally(withEdges bool) []int64 {
+	t := make([]int64, s.roundTallyLen(withEdges))
+	copy(t[:s.p], s.cv)
+	if withEdges {
+		copy(t[s.p:2*s.p], s.ce)
+		copy(t[2*s.p:], s.cc)
+	}
+	for i := 0; i < s.p; i++ {
+		s.cv[i], s.ce[i], s.cc[i] = 0, 0, 0
+	}
+	return t
+}
+
+// exchangeSettle finishes one balance/refine iteration: it ships the
+// queued updates (with this rank's delta tally piggybacked in async
+// piggyback mode), applies the incoming ghost updates, and settles the
+// global part-size estimates. It returns the number of vertices that
+// moved — exact under sync or exact-piggyback settles, own+neighbor
+// scope otherwise.
+func (s *state) exchangeSettle(q []dgraph.Update, withEdges bool) int64 {
+	if !s.piggyback() {
+		s.applyGhostUpdates(s.exchange(q))
+		return s.settleDeltas(withEdges)
+	}
+	own := s.takeTally(withEdges)
+	in, recv := s.ex.FlushTally(q, own)
+	s.applyGhostUpdates(in)
+	return s.settlePiggyback(own, recv, withEdges)
+}
+
+// settlePiggyback folds this iteration's own and neighbor-received
+// delta tallies into the size estimates, resyncing them exactly by
+// Allreduce every epoch settles. When the rank neighborhood graph is
+// complete the folded sums are already the global sums, so the
+// estimates equal sync mode's on every iteration; otherwise they may
+// omit non-neighbor deltas for at most epoch-1 settles.
+func (s *state) settlePiggyback(own, recv []int64, withEdges bool) int64 {
+	n := len(own)
+	var moved int64
+	for i := 0; i < s.p; i++ {
+		if d := own[i] + recv[i]; d > 0 {
+			moved += d
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.accOwn[i] += own[i]
+		s.accRecv[i] += recv[i]
+	}
+	s.sinceSync++
+	if s.epoch > 0 && s.sinceSync >= s.epoch {
+		global := mpi.Allreduce(s.g.Comm, s.accOwn[:n], mpi.Sum)
+		for i := 0; i < s.p; i++ {
+			s.svBase[i] += global[i]
+			if withEdges {
+				s.seBase[i] += global[s.p+i]
+				s.scBase[i] += global[2*s.p+i]
+			}
+		}
+		for i := 0; i < n; i++ {
+			s.accOwn[i], s.accRecv[i] = 0, 0
+		}
+		s.sinceSync = 0
+		copy(s.sv, s.svBase)
+		if withEdges {
+			copy(s.se, s.seBase)
+			copy(s.sc, s.scBase)
+		}
+		return moved
+	}
+	for i := 0; i < s.p; i++ {
+		s.sv[i] = s.svBase[i] + s.accOwn[i] + s.accRecv[i]
+		if withEdges {
+			s.se[i] = s.seBase[i] + s.accOwn[s.p+i] + s.accRecv[s.p+i]
+			s.sc[i] = s.scBase[i] + s.accOwn[2*s.p+i] + s.accRecv[2*s.p+i]
+		}
+	}
+	return moved
+}
+
+// initTallyLen is the tally length initBFS propagation rounds carry:
+// one element (the rank's assignment counter) when the complete rank
+// neighborhood makes the piggybacked sum an exact termination test.
+func (s *state) initTallyLen() int {
+	if s.ex != nil && s.tallyExact {
+		return 1
+	}
+	return 0
+}
+
+// exchangeInitCount finishes one initBFS propagation round: it ships
+// the queued updates, applies incoming ghosts, and returns the global
+// number of assignments made this round — from the piggybacked
+// counters when exact, else by Allreduce.
+func (s *state) exchangeInitCount(q []dgraph.Update, local int64) int64 {
+	if s.initTallyLen() > 0 {
+		in, t := s.ex.FlushTally(q, []int64{local})
+		s.applyGhostUpdates(in)
+		return local + t[0]
+	}
+	s.applyGhostUpdates(s.exchange(q))
+	return mpi.AllreduceScalar(s.g.Comm, local, mpi.Sum)
 }
 
 // maxOf returns max(vals) as float64, floored at floor.

@@ -12,11 +12,20 @@ import (
 // adjacency on every call and ships (gid, value) as two 64-bit
 // elements through a world-wide Alltoallv. This file precomputes the
 // boundary structure once per graph — for every neighbor rank, the
-// gid-sorted list of vertices shared with it — so each update travels
-// as a single packed element (index into the shared list, value)
-// over a nonblocking point-to-point message, and the receive side can
-// drain on a background goroutine while the rank's worker threads are
-// still propagating labels.
+// gid-sorted list of vertices shared with it — so updates name their
+// vertex by an index into the shared list instead of by global id and
+// travel over nonblocking point-to-point messages. Three flows ride
+// the same plan:
+//
+//   - Update flow (Begin/Flush): 32-bit part labels packed one element
+//     per update, with the receive side drained on a background
+//     goroutine while the rank's worker threads are still propagating
+//     labels, and an optional piggybacked tally frame (mpi.AppendTally)
+//     that lets a round double as the iteration's reduction.
+//   - Value flow (ExchangeValues): full 64-bit payloads owner → ghost,
+//     for the analytics helpers ExchangeInt64/ExchangeFloat64.
+//   - Reverse flow (PushValues): full 64-bit payloads ghost → owner,
+//     for frontier algorithms (PushToOwners).
 
 // ghostTarget records one destination of an owned boundary vertex:
 // which neighbor (by position in the plan's sendRanks) ghosts it and
@@ -48,6 +57,12 @@ type boundaryPlan struct {
 	// increasing gid order — index-compatible with the owner's
 	// sendLists entry for this rank.
 	recvLists [][]int32
+	// ghostRankPos[i] and ghostIdx[i] locate ghost NLocal+i in the
+	// receive-side structure: its owner's position in recvRanks and its
+	// index in that pair's shared list. They are the reverse-flow
+	// (ghost → owner) counterpart of targets.
+	ghostRankPos []int32
+	ghostIdx     []int32
 }
 
 // newBoundaryPlan derives the plan from purely local structure; no
@@ -94,14 +109,21 @@ func newBoundaryPlan(g *Graph) *boundaryPlan {
 		r := g.GhostOwner[i]
 		ghostsByOwner[r] = append(ghostsByOwner[r], int32(g.NLocal+i))
 	}
+	p.ghostRankPos = make([]int32, g.NGhost)
+	p.ghostIdx = make([]int32, g.NGhost)
 	for r := 0; r < nprocs; r++ {
 		lids := ghostsByOwner[r]
 		if len(lids) == 0 {
 			continue
 		}
 		sort.Slice(lids, func(a, b int) bool { return g.L2G[lids[a]] < g.L2G[lids[b]] })
+		pos := int32(len(p.recvRanks))
 		p.recvRanks = append(p.recvRanks, int32(r))
 		p.recvLists = append(p.recvLists, lids)
+		for idx, lid := range lids {
+			p.ghostRankPos[int(lid)-g.NLocal] = pos
+			p.ghostIdx[int(lid)-g.NLocal] = int32(idx)
+		}
 	}
 	return p
 }
@@ -118,8 +140,8 @@ func unpackUpdate(w int64) (idx int32, value int32) {
 }
 
 // DeltaExchanger runs rounds of delta-only boundary exchange over
-// nonblocking point-to-point messages. Usage per round, collectively
-// on every rank of the graph's communicator:
+// nonblocking point-to-point messages. Usage per update round,
+// collectively on every rank of the graph's communicator:
 //
 //	ex.Begin()                  // post receives, then compute locally
 //	in := ex.Flush(updates)     // ship deltas, collect incoming
@@ -127,14 +149,24 @@ func unpackUpdate(w int64) (idx int32, value int32) {
 // Begin starts a background drainer that receives and decodes each
 // neighbor's message while the caller is still computing; Flush sends
 // this rank's queued updates (one message per boundary neighbor, empty
-// when nothing changed) and then joins the drainer. Every rank must
-// call Flush the same number of rounds or peers deadlock, exactly as
-// they would skipping a collective. Calling Flush without Begin is
-// allowed (the receive side is posted on entry, losing only overlap).
+// when nothing changed) and then joins the drainer. The
+// BeginTally/FlushTally variants additionally piggyback a small
+// reduction vector on the same messages, which is how the partitioner
+// settles part sizes without an Allreduce. ExchangeValues and
+// PushValues reuse the same boundary plan for blocking 64-bit value
+// exchanges (forward and reverse), behind Graph.SetAsyncExchange.
+//
+// Every rank must call the same sequence of rounds or peers deadlock,
+// exactly as they would skipping a collective. Calling Flush without
+// Begin is allowed (the receive side is posted on entry, losing only
+// overlap).
 type DeltaExchanger struct {
 	g       *Graph
 	plan    *boundaryPlan
 	pending chan drainResult
+	// tallyLen is the tally length the pending round's drainer expects;
+	// Flush must pass a tally of exactly this length.
+	tallyLen int
 	// sendBufs are reusable per-neighbor encode buffers.
 	sendBufs [][]int64
 	// Rounds counts completed Flush calls (diagnostics and tests).
@@ -142,12 +174,14 @@ type DeltaExchanger struct {
 }
 
 // drainResult is what the background drainer hands back to Flush: the
-// decoded updates, or the panic it recovered. Panics must travel back
-// to the rank's main goroutine — re-raised from Flush — so mpi.Run's
-// per-rank recovery sees them; a panic escaping on the drainer
-// goroutine itself would kill the whole process.
+// decoded updates and summed tallies, or the panic it recovered.
+// Panics must travel back to the rank's main goroutine — re-raised
+// from Flush — so mpi.Run's per-rank recovery sees them; a panic
+// escaping on the drainer goroutine itself would kill the whole
+// process.
 type drainResult struct {
 	updates  []Update
+	tally    []int64
 	panicked any
 }
 
@@ -204,19 +238,30 @@ func (ex *DeltaExchanger) gidsOf(lids []int32) []int64 {
 	return out
 }
 
-// Begin posts the receive side of the next round: a background drainer
-// that takes one message from each boundary neighbor as it arrives,
-// decoding into ghost-lid updates while the caller's compute is still
-// in flight. Begin must be followed by exactly one Flush.
-func (ex *DeltaExchanger) Begin() {
+// Begin posts the receive side of the next tally-free round; it is
+// BeginTally(0). Begin must be followed by exactly one Flush.
+func (ex *DeltaExchanger) Begin() { ex.BeginTally(0) }
+
+// BeginTally posts the receive side of the next round: a background
+// drainer that takes one message from each boundary neighbor as it
+// arrives, decoding into ghost-lid updates while the caller's compute
+// is still in flight. tallyLen declares the length of the piggybacked
+// tally frame every neighbor's message will carry this round (0 for
+// none); the matching FlushTally must pass a tally of exactly that
+// length. BeginTally must be followed by exactly one Flush/FlushTally.
+func (ex *DeltaExchanger) BeginTally(tallyLen int) {
 	if ex.pending != nil {
 		panic("dgraph: DeltaExchanger.Begin called twice without Flush")
 	}
 	plan := ex.plan
 	ch := make(chan drainResult, 1)
 	ex.pending = ch
+	ex.tallyLen = tallyLen
 	go func() {
 		var res drainResult
+		if tallyLen > 0 {
+			res.tally = make([]int64, tallyLen)
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				res.panicked = p
@@ -225,7 +270,8 @@ func (ex *DeltaExchanger) Begin() {
 		}()
 		for i, src := range plan.recvRanks {
 			lids := plan.recvLists[i]
-			for _, w := range mpi.Irecv[int64](ex.g.Comm, int(src)).Await() {
+			msg := mpi.Irecv[int64](ex.g.Comm, int(src)).Await()
+			for _, w := range mpi.SplitTally(msg, res.tally) {
 				idx, value := unpackUpdate(w)
 				if int(idx) >= len(lids) {
 					panic(fmt.Sprintf("dgraph: rank %d: delta index %d outside shared list of %d with rank %d",
@@ -237,13 +283,26 @@ func (ex *DeltaExchanger) Begin() {
 	}()
 }
 
-// Flush encodes the round's owned-vertex updates, sends one message to
-// every boundary neighbor, joins the drainer posted by Begin (posting
-// it now if the caller skipped Begin), and returns the updates received
-// for this rank's ghosts.
+// Flush is FlushTally without a tally frame.
 func (ex *DeltaExchanger) Flush(q []Update) []Update {
+	out, _ := ex.FlushTally(q, nil)
+	return out
+}
+
+// FlushTally encodes the round's owned-vertex updates, appends the
+// rank's tally frame, sends one message to every boundary neighbor,
+// joins the drainer posted by BeginTally (posting it now if the caller
+// skipped it), and returns the updates received for this rank's ghosts
+// together with the element-wise sum of the neighbors' tallies (nil
+// when the round carries none). len(tally) must equal the pending
+// round's tallyLen on every rank — the tally is part of the message
+// framing, so a mismatch corrupts decoding on the peer.
+func (ex *DeltaExchanger) FlushTally(q []Update, tally []int64) ([]Update, []int64) {
 	if ex.pending == nil {
-		ex.Begin()
+		ex.BeginTally(len(tally))
+	}
+	if len(tally) != ex.tallyLen {
+		panic(fmt.Sprintf("dgraph: FlushTally with tally length %d, Begin posted %d", len(tally), ex.tallyLen))
 	}
 	plan := ex.plan
 	for i := range ex.sendBufs {
@@ -259,6 +318,7 @@ func (ex *DeltaExchanger) Flush(q []Update) []Update {
 	}
 	reqs := make([]mpi.Request, len(plan.sendRanks))
 	for i, dst := range plan.sendRanks {
+		ex.sendBufs[i] = mpi.AppendTally(ex.g.Comm, ex.sendBufs[i], tally)
 		reqs[i] = mpi.Isend(ex.g.Comm, int(dst), ex.sendBufs[i])
 	}
 	mpi.Waitall(reqs...)
@@ -268,5 +328,160 @@ func (ex *DeltaExchanger) Flush(q []Update) []Update {
 		panic(res.panicked)
 	}
 	ex.Rounds++
-	return res.updates
+	return res.updates, res.tally
+}
+
+// Value-flow wire format (ExchangeValues and PushValues). One message
+// per neighbor pair per round, all-int64:
+//
+//	[]                          no pairs this round
+//	[-1, v0, v1, ...]           dense: one payload per shared-list
+//	                            entry, in list order
+//	[k, i01, i23, ..., v0..vk)  sparse: k pairs; indices packed two
+//	                            int32s per element, then k payloads
+//
+// Dense costs 1+n elements and sparse 1+⌈k/2⌉+k, against the
+// synchronous path's 2k (gid, payload) pairs — a 50% / 25% element
+// reduction. The dense form triggers exactly when a caller ships its
+// full boundary in lid order, PageRank-style.
+const denseHeader = -1
+
+// encodeValues builds one value-flow message for a neighbor whose
+// shared list has listLen entries; idxs/vals hold this round's pairs in
+// queue order.
+func encodeValues(listLen int, idxs []int32, vals []int64) []int64 {
+	k := len(idxs)
+	if k == 0 {
+		return nil
+	}
+	dense := k == listLen
+	if dense {
+		for j, idx := range idxs {
+			if idx != int32(j) {
+				dense = false
+				break
+			}
+		}
+	}
+	if dense {
+		msg := make([]int64, 0, 1+k)
+		msg = append(msg, denseHeader)
+		return append(msg, vals...)
+	}
+	np := (k + 1) / 2
+	msg := make([]int64, 0, 1+np+k)
+	msg = append(msg, int64(k))
+	for j := 0; j < k; j += 2 {
+		hi, lo := idxs[j], int32(0)
+		if j+1 < k {
+			lo = idxs[j+1]
+		}
+		msg = append(msg, packUpdate(hi, lo))
+	}
+	return append(msg, vals...)
+}
+
+// decodeValues appends one value-flow message's (lid, payload) pairs —
+// decoded against the pair's shared list — onto outL/outP.
+func decodeValues(rank int, msg []int64, list []int32, outL []int32, outP []int64) ([]int32, []int64) {
+	if len(msg) == 0 {
+		return outL, outP
+	}
+	if msg[0] == denseHeader {
+		vals := msg[1:]
+		if len(vals) != len(list) {
+			panic(fmt.Sprintf("dgraph: dense value message of %d payloads for shared list of %d", len(vals), len(list)))
+		}
+		return append(outL, list...), append(outP, vals...)
+	}
+	k := int(msg[0])
+	np := (k + 1) / 2
+	if k < 0 || 1+np+k != len(msg) {
+		panic(fmt.Sprintf("dgraph: sparse value message header %d inconsistent with length %d", k, len(msg)))
+	}
+	vals := msg[1+np:]
+	for j := 0; j < k; j++ {
+		hi, lo := unpackUpdate(msg[1+j/2])
+		idx := hi
+		if j%2 == 1 {
+			idx = lo
+		}
+		if int(idx) >= len(list) {
+			panic(fmt.Sprintf("dgraph: value index %d outside shared list of %d with rank %d", idx, len(list), rank))
+		}
+		outL = append(outL, list[idx])
+		outP = append(outP, vals[j])
+	}
+	return outL, outP
+}
+
+// ExchangeValues ships full 64-bit payloads for the given owned
+// vertices to every neighbor ghosting them — the value-flow engine
+// behind ExchangeInt64/ExchangeFloat64 in async mode — and returns the
+// (ghost lid, payload) pairs received from neighbors. It is a
+// collective over the graph's communicator; it must not overlap a
+// pending Begin round.
+func (ex *DeltaExchanger) ExchangeValues(lids []int32, payloads []int64) ([]int32, []int64) {
+	if ex.pending != nil {
+		panic("dgraph: ExchangeValues during a pending update round")
+	}
+	plan := ex.plan
+	nIdx := make([][]int32, len(plan.sendRanks))
+	nVal := make([][]int64, len(plan.sendRanks))
+	for qi, lid := range lids {
+		if int(lid) >= len(plan.targets) {
+			panic(fmt.Sprintf("dgraph: ExchangeValues with non-owned lid %d", lid))
+		}
+		for _, t := range plan.targets[lid] {
+			nIdx[t.rankPos] = append(nIdx[t.rankPos], t.idx)
+			nVal[t.rankPos] = append(nVal[t.rankPos], payloads[qi])
+		}
+	}
+	reqs := make([]mpi.Request, len(plan.sendRanks))
+	for i, dst := range plan.sendRanks {
+		reqs[i] = mpi.Isend(ex.g.Comm, int(dst), encodeValues(len(plan.sendLists[i]), nIdx[i], nVal[i]))
+	}
+	mpi.Waitall(reqs...)
+	var outL []int32
+	var outP []int64
+	for i, src := range plan.recvRanks {
+		msg := mpi.Irecv[int64](ex.g.Comm, int(src)).Await()
+		outL, outP = decodeValues(int(src), msg, plan.recvLists[i], outL, outP)
+	}
+	return outL, outP
+}
+
+// PushValues ships full 64-bit payloads for the given ghost vertices to
+// their owning ranks — the reverse flow behind PushToOwners in async
+// mode — and returns the (owned lid, payload) pairs received. It is a
+// collective over the graph's communicator; it must not overlap a
+// pending Begin round.
+func (ex *DeltaExchanger) PushValues(lids []int32, payloads []int64) ([]int32, []int64) {
+	if ex.pending != nil {
+		panic("dgraph: PushValues during a pending update round")
+	}
+	plan := ex.plan
+	nIdx := make([][]int32, len(plan.recvRanks))
+	nVal := make([][]int64, len(plan.recvRanks))
+	for qi, lid := range lids {
+		gi := int(lid) - ex.g.NLocal
+		if gi < 0 || gi >= ex.g.NGhost {
+			panic(fmt.Sprintf("dgraph: PushValues with owned lid %d", lid))
+		}
+		pos := plan.ghostRankPos[gi]
+		nIdx[pos] = append(nIdx[pos], plan.ghostIdx[gi])
+		nVal[pos] = append(nVal[pos], payloads[qi])
+	}
+	reqs := make([]mpi.Request, len(plan.recvRanks))
+	for i, dst := range plan.recvRanks {
+		reqs[i] = mpi.Isend(ex.g.Comm, int(dst), encodeValues(len(plan.recvLists[i]), nIdx[i], nVal[i]))
+	}
+	mpi.Waitall(reqs...)
+	var outL []int32
+	var outP []int64
+	for i, src := range plan.sendRanks {
+		msg := mpi.Irecv[int64](ex.g.Comm, int(src)).Await()
+		outL, outP = decodeValues(int(src), msg, plan.sendLists[i], outL, outP)
+	}
+	return outL, outP
 }

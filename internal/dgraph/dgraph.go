@@ -44,6 +44,11 @@ type Graph struct {
 
 	// boundary caches BoundaryVertices.
 	boundary []int32
+	// deltaEx caches the graph's delta exchanger (AsyncExchanger).
+	deltaEx *DeltaExchanger
+	// asyncRoute, when true, routes ExchangeInt64, ExchangeFloat64, and
+	// PushToOwners through the delta engine (SetAsyncExchange).
+	asyncRoute bool
 }
 
 // NTotal returns the local array extent NLocal+NGhost.
@@ -244,14 +249,18 @@ type Update struct {
 	Value int32
 }
 
-// exchangeRaw is the engine behind all boundary exchanges (Algorithm
-// 3): for each queued owned-vertex update, send (gid, payload) to every
-// neighboring rank that holds the vertex as a ghost, and return the
-// updates received for this rank's ghosts (translated back to local
-// ghost ids). Both passes over the queue — counting and buffer filling
-// — run across the rank's worker threads with thread-local count
-// arrays merged at the end, exactly the scheme the paper reports as
-// faster than atomics.
+// exchangeRaw is the bulk-synchronous boundary-exchange engine
+// (Algorithm 3): for each queued owned-vertex update, send
+// (gid, payload) to every neighboring rank that holds the vertex as a
+// ghost through a world-wide Alltoallv, and return the updates
+// received for this rank's ghosts (translated back to local ghost
+// ids). The asynchronous counterpart — packed per-neighbor
+// point-to-point messages over a precomputed boundary plan — lives in
+// delta.go; SetAsyncExchange selects between them for the generic
+// helpers below. Both passes over the queue — counting and buffer
+// filling — run across the rank's worker threads with thread-local
+// count arrays merged at the end, exactly the scheme the paper reports
+// as faster than atomics.
 func (g *Graph) exchangeRaw(lids []int32, payloads []int64) (outLIDs []int32, outPayloads []int64) {
 	nprocs := g.Comm.Size()
 	me := g.Comm.Rank()
@@ -358,7 +367,9 @@ func (g *Graph) exchangeRaw(lids []int32, payloads []int64) (outLIDs []int32, ou
 	return outLIDs, outPayloads
 }
 
-// ExchangeUpdates exchanges int32-valued boundary updates (part labels).
+// ExchangeUpdates exchanges int32-valued boundary updates (part
+// labels) over the bulk-synchronous engine; the partitioner's async
+// mode uses DeltaExchanger.Flush instead.
 func (g *Graph) ExchangeUpdates(q []Update) []Update {
 	lids := make([]int32, len(q))
 	payloads := make([]int64, len(q))
@@ -374,30 +385,73 @@ func (g *Graph) ExchangeUpdates(q []Update) []Update {
 	return out
 }
 
+// AsyncExchanger returns the graph's delta exchanger, building the
+// shared boundary plan on first use. Construction is rank-local;
+// exchanging through it is collective. The instance is shared by every
+// consumer of the graph (the partitioner's update rounds and the
+// generic value exchanges), so the boundary plan is derived once.
+func (g *Graph) AsyncExchanger() *DeltaExchanger {
+	if g.deltaEx == nil {
+		g.deltaEx = g.NewDeltaExchanger()
+	}
+	return g.deltaEx
+}
+
+// SetAsyncExchange selects the transport behind ExchangeInt64,
+// ExchangeFloat64, and PushToOwners: false (the default) keeps the
+// bulk-synchronous Alltoallv engine, true routes them through the
+// async delta engine's packed per-neighbor messages. Every rank of the
+// communicator must select the same mode — the two transports have
+// different collective footprints and mixing them deadlocks, exactly
+// like mismatched collectives under MPI.
+func (g *Graph) SetAsyncExchange(on bool) {
+	g.asyncRoute = on
+	if on {
+		g.AsyncExchanger()
+	}
+}
+
+// AsyncExchange reports whether the generic exchange helpers are
+// routed through the delta engine.
+func (g *Graph) AsyncExchange() bool { return g.asyncRoute }
+
 // ExchangeInt64 pushes 64-bit values (labels, core numbers, levels) for
 // the given owned vertices to the ranks ghosting them and applies the
-// symmetric incoming updates into vals (indexed by local id).
+// symmetric incoming updates into vals (indexed by local id). The
+// transport is either the bulk-synchronous Alltoallv engine or, after
+// SetAsyncExchange(true), the delta engine's packed per-neighbor
+// point-to-point messages; results are identical either way.
 func (g *Graph) ExchangeInt64(lids []int32, vals []int64) {
 	payloads := make([]int64, len(lids))
 	for i, lid := range lids {
 		payloads[i] = vals[lid]
 	}
-	outL, outP := g.exchangeRaw(lids, payloads)
+	outL, outP := g.exchangeValues(lids, payloads)
 	for i, lid := range outL {
 		vals[lid] = outP[i]
 	}
 }
 
-// ExchangeFloat64 is ExchangeInt64 for float64 values (ranks, scores).
+// ExchangeFloat64 is ExchangeInt64 for float64 values (ranks, scores),
+// shipped bit-exactly through the same mode-selected transport.
 func (g *Graph) ExchangeFloat64(lids []int32, vals []float64) {
 	payloads := make([]int64, len(lids))
 	for i, lid := range lids {
 		payloads[i] = int64(math.Float64bits(vals[lid]))
 	}
-	outL, outP := g.exchangeRaw(lids, payloads)
+	outL, outP := g.exchangeValues(lids, payloads)
 	for i, lid := range outL {
 		vals[lid] = math.Float64frombits(uint64(outP[i]))
 	}
+}
+
+// exchangeValues dispatches the owner → ghost value exchange to the
+// configured transport.
+func (g *Graph) exchangeValues(lids []int32, payloads []int64) ([]int32, []int64) {
+	if g.asyncRoute {
+		return g.AsyncExchanger().ExchangeValues(lids, payloads)
+	}
+	return g.exchangeRaw(lids, payloads)
 }
 
 // BoundaryVertices returns the owned local ids that have at least one
@@ -494,12 +548,18 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// PushToOwners sends (gid, payload) pairs for the given ghost local ids
-// to the ranks that own them — the reverse direction of exchangeRaw,
-// needed by frontier algorithms (BFS) where a rank discovers vertices
-// it does not own. It returns the received pairs translated to owned
-// local ids.
+// PushToOwners sends payloads for the given ghost local ids to the
+// ranks that own them — the reverse direction of the owner → ghost
+// exchanges, needed by frontier algorithms (BFS) where a rank
+// discovers vertices it does not own. It returns the received pairs
+// translated to owned local ids. Like the forward helpers it runs on
+// the mode-selected transport: Alltoallv (gid, payload) pairs by
+// default, packed per-neighbor point-to-point messages after
+// SetAsyncExchange(true).
 func (g *Graph) PushToOwners(lids []int32, payloads []int64) ([]int32, []int64) {
+	if g.asyncRoute {
+		return g.AsyncExchanger().PushValues(lids, payloads)
+	}
 	nprocs := g.Comm.Size()
 	sendCounts := make([]int, nprocs)
 	for _, lid := range lids {

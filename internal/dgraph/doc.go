@@ -1,0 +1,40 @@
+// Package dgraph implements the 1D distributed CSR the XtraPuLP
+// reproduction computes on: each rank owns a contiguous-by-distribution
+// slice of the vertex set, stores its owned vertices' adjacency with
+// task-local ids, and mirrors one-hop remote neighbors as ghosts whose
+// values (part labels, analytic scores) are refreshed by boundary
+// exchanges.
+//
+// # Construction
+//
+// FromEdgeChunks builds the shard collectively from arbitrary edge-list
+// chunks: arcs are shuffled to their head's owner, each rank assembles
+// a local CSR, discovers ghosts, and fetches ghost degrees. The
+// Distribution implementations (BlockDist, HashDist, PartsDist) map
+// global vertex ids to owning ranks.
+//
+// # Boundary exchange: two transports
+//
+// Every iterative algorithm on the shard pushes changed owned-vertex
+// values to the ranks ghosting them (and, for frontier algorithms, the
+// reverse). Two interchangeable transports implement this:
+//
+//   - Synchronous (exchangeRaw, ExchangeUpdates): destinations are
+//     re-derived from the adjacency every call and (gid, value) pairs
+//     ship through a world-wide mpi.Alltoallv.
+//   - Asynchronous delta (DeltaExchanger, delta.go): the boundary
+//     structure is precomputed once — for every neighbor rank, the
+//     gid-sorted list of shared vertices, derived independently and
+//     identically on both sides of each pair — so updates name
+//     vertices by shared-list index, travel as packed elements over
+//     nonblocking point-to-point messages, and the receive side can
+//     drain on a background goroutine concurrently with local compute.
+//     Messages may additionally piggyback tally frames
+//     (mpi.AppendTally) so an exchange round doubles as a reduction.
+//
+// SetAsyncExchange routes the generic helpers (ExchangeInt64,
+// ExchangeFloat64, PushToOwners) through the delta engine; the
+// partitioner drives the update flow (Begin/Flush) directly. Both
+// transports deliver identical results — the choice is pure transport,
+// observable only in mpi.Stats traffic counters and wall time.
+package dgraph

@@ -1,0 +1,21 @@
+// Package harness defines the reproduction of every table and figure
+// in the paper's evaluation (§V), plus repository-grown studies. Each
+// experiment is a function taking a Config and printing the same rows
+// or series the paper reports; cmd/experiments and the
+// repository-level benchmarks both drive these functions through Run.
+//
+// Experiments size themselves by Config.Scale: Small targets seconds
+// per experiment (tests, benchmarks), Full the largest sizings
+// comfortable on one machine. The corpus (corpus.go) maps the paper's
+// Table I inputs to seeded synthetic proxies so every run is
+// deterministic for a fixed Config.Seed.
+//
+// Beyond the paper's tables and figures, the "exchange" experiment
+// compares the repository's two exchange engines — bulk-synchronous
+// Alltoallv versus the async delta engine — across all three
+// communication paths (partitioning updates with piggybacked size
+// tallies, analytics value flows, SpMV expand/fold), reporting
+// exchanged-element volume, Allreduce counts, and the invariant edge
+// cut. docs/ARCHITECTURE.md explains the engines; README.md has a
+// walkthrough of reading the tables.
+package harness

@@ -4,18 +4,57 @@ import (
 	"fmt"
 
 	"repro"
+	"repro/internal/analytics"
+	"repro/internal/dgraph"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/spmv"
 )
 
-// Exchange compares the bulk-synchronous boundary exchange against the
-// asynchronous delta-only exchange on the representative graphs: wall
-// time, exchanged-element volume during the partitioning stages, the
-// volume reduction, and the edge cut (which must be identical — the
-// async path is a pure transport change at fixed seeds).
+// Exchange compares the bulk-synchronous exchange engine against the
+// asynchronous delta engine on all three communication paths:
+//
+//   - Partitioning: boundary label updates with piggybacked size
+//     tallies. Reported per graph: wall time, exchanged-element volume
+//     during the partitioning stages, the Allreduce count (the
+//     per-iteration settle barrier the piggybacked tallies retire),
+//     and the edge cut — which must be identical, the async path is a
+//     pure transport change at fixed seeds.
+//   - Analytics: the ExchangeInt64/ExchangeFloat64/PushToOwners value
+//     flows driven by PageRank, WCC, and a BFS sweep.
+//   - SpMV: the expand/fold phases under 1D and 2D layouts, where the
+//     async engine also bypasses self-destined shares.
 func Exchange(cfg Config) error {
+	if err := exchangePartition(cfg); err != nil {
+		return err
+	}
+	if err := exchangeAnalytics(cfg); err != nil {
+		return err
+	}
+	return exchangeSpMV(cfg)
+}
+
+// modeCells names a comparison row and computes its volume reduction
+// against the sync baseline, recording the baseline on the sync pass.
+func modeCells(async bool, syncVol *int64, vol int64) (mode, reduction string) {
+	if !async {
+		*syncVol = vol
+		return "sync", "-"
+	}
+	reduction = "-"
+	if *syncVol > 0 {
+		reduction = fmt.Sprintf("%.1f%%", 100*(1-float64(vol)/float64(*syncVol)))
+	}
+	return "async-delta", reduction
+}
+
+// exchangePartition is the partitioning-path comparison.
+func exchangePartition(cfg Config) error {
 	seed := cfg.seed()
 	const parts = 16
 	ranks := scalePick(cfg.Scale, 4, 8)
-	t := newTable(cfg.W, "Graph", "Ranks", "Mode", "Time(s)", "ExchElems", "Reduction", "EdgeCut")
+	fmt.Fprintln(cfg.W, "Partitioning path (label updates + size settles):")
+	t := newTable(cfg.W, "Graph", "Ranks", "Mode", "Time(s)", "ExchElems", "Reduction", "Allreduces", "EdgeCut")
 	for _, tg := range representatives(cfg.Scale, seed) {
 		var syncVol int64
 		for _, async := range []bool{false, true} {
@@ -26,18 +65,103 @@ func Exchange(cfg Config) error {
 			if err != nil {
 				return fmt.Errorf("exchange: %s async=%v: %w", tg.name, async, err)
 			}
-			mode, reduction := "sync", "-"
-			if async {
-				mode = "async-delta"
-				if syncVol > 0 {
-					reduction = fmt.Sprintf("%.1f%%", 100*(1-float64(rep.ExchangeVolume)/float64(syncVol)))
-				}
-			} else {
-				syncVol = rep.ExchangeVolume
-			}
+			mode, reduction := modeCells(async, &syncVol, rep.ExchangeVolume)
 			t.add(tg.name, fmt.Sprintf("%d", ranks), mode, secs(rep.TotalTime),
 				fmt.Sprintf("%d", rep.ExchangeVolume), reduction,
+				fmt.Sprintf("%d", rep.ReductionOps),
 				fmt.Sprintf("%.3f", rep.Quality.EdgeCutRatio))
+		}
+	}
+	t.flush()
+	return nil
+}
+
+// exchangeAnalytics measures the value-flow paths: total elements sent
+// while PageRank, WCC, and one BFS run over a vertex-block placement.
+func exchangeAnalytics(cfg Config) error {
+	seed := cfg.seed()
+	ranks := scalePick(cfg.Scale, 4, 8)
+	prIters := scalePick(cfg.Scale, 10, 20)
+	fmt.Fprintln(cfg.W, "\nAnalytics path (PR + WCC + BFS value exchanges):")
+	t := newTable(cfg.W, "Graph", "Ranks", "Mode", "ExchElems", "Reduction")
+	for _, tg := range representatives(cfg.Scale, seed)[:scalePick(cfg.Scale, 3, 6)] {
+		shared, err := tg.gen.Build()
+		if err != nil {
+			return fmt.Errorf("exchange: %s: %w", tg.name, err)
+		}
+		placement := partition.VertexBlock(shared, ranks)
+		var syncVol int64
+		for _, async := range []bool{false, true} {
+			var volume int64
+			mpi.Run(ranks, func(c *mpi.Comm) {
+				dg, err := dgraph.FromEdgeChunks(c, tg.gen.N, tg.gen.EdgesChunk(c.Rank(), c.Size()),
+					dgraph.PartsDist{Parts: placement})
+				if err != nil {
+					panic(err)
+				}
+				dg.SetAsyncExchange(async)
+				c.ResetStats()
+				analytics.PageRank(dg, prIters, 0.85)
+				analytics.WCC(dg)
+				analytics.BFS(dg, 0)
+				v := mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
+				if c.Rank() == 0 {
+					volume = v
+				}
+			})
+			mode, reduction := modeCells(async, &syncVol, volume)
+			t.add(tg.name, fmt.Sprintf("%d", ranks), mode,
+				fmt.Sprintf("%d", volume), reduction)
+		}
+	}
+	t.flush()
+	return nil
+}
+
+// exchangeSpMV measures the expand/fold phases under both layouts.
+func exchangeSpMV(cfg Config) error {
+	seed := cfg.seed()
+	ranks := scalePick(cfg.Scale, 4, 16)
+	iters := scalePick(cfg.Scale, 10, 100)
+	fmt.Fprintln(cfg.W, "\nSpMV path (expand/fold phases):")
+	t := newTable(cfg.W, "Graph", "Ranks", "Layout", "Mode", "SentVals", "Reduction")
+	for _, tg := range representatives(cfg.Scale, seed)[:scalePick(cfg.Scale, 2, 4)] {
+		shared, err := tg.gen.Build()
+		if err != nil {
+			return fmt.Errorf("exchange: %s: %w", tg.name, err)
+		}
+		placement := partition.VertexBlock(shared, ranks)
+		for _, layout := range []string{repro.Layout1D, repro.Layout2D} {
+			var syncVol int64
+			for _, async := range []bool{false, true} {
+				l := spmv.OneD
+				if layout == repro.Layout2D {
+					l = spmv.TwoD
+				}
+				var volume int64
+				var runErr error
+				mpi.Run(ranks, func(c *mpi.Comm) {
+					res, err := spmv.Run(c, shared, placement, spmv.Options{
+						Layout: l, Iterations: iters, Async: async,
+					})
+					if err != nil {
+						if c.Rank() == 0 {
+							runErr = err
+						}
+						return
+					}
+					v := mpi.AllreduceScalar(c, res.CommVolume, mpi.Sum)
+					if c.Rank() == 0 {
+						volume = v
+					}
+				})
+				if runErr != nil {
+					return fmt.Errorf("exchange: %s spmv %s: %w", tg.name, layout, runErr)
+				}
+				mode, reduction := modeCells(async, &syncVol, volume)
+				t.add(tg.name, fmt.Sprintf("%d", ranks), layout, mode,
+					fmt.Sprintf("%d", volume), reduction)
+			}
 		}
 	}
 	t.flush()

@@ -1,9 +1,3 @@
-// Package harness defines the reproduction of every table and figure
-// in the paper's evaluation (§V). Each experiment is a function that
-// runs the scaled workload and prints the same rows or series the
-// paper reports; cmd/experiments and the repository-level benchmarks
-// both drive these functions. EXPERIMENTS.md records the measured
-// outputs next to the paper's numbers.
 package harness
 
 import (

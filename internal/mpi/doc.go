@@ -1,0 +1,60 @@
+// Package mpi provides an in-process communicator that stands in for
+// MPI in the XtraPuLP reproduction. Each simulated rank is a goroutine;
+// ranks interact only through collective operations (Barrier, Bcast,
+// Allgather, Allgatherv, Alltoall, Alltoallv, Allreduce) and
+// nonblocking point-to-point messages (Isend, Irecv, Waitall) — exactly
+// the operation set the distributed partitioner and its downstream
+// applications use.
+//
+// # Semantics
+//
+// Semantics mirror MPI's: every rank in the world must call the same
+// sequence of collectives, and receive buffers are fresh copies — ranks
+// never alias each other's memory through the communicator, so code
+// written against this package has true distributed-memory discipline.
+// Deadlock (a rank skipping a collective, or receiving a message never
+// sent) manifests as a hang, as it would under MPI; tests guard the
+// communication contracts instead.
+//
+// # Point-to-point mailboxes and ordering
+//
+// Each ordered rank pair (src, dst) owns one unbounded FIFO mailbox.
+// Messages between a pair are delivered in send order (MPI's
+// non-overtaking guarantee) while messages from different sources are
+// independent. Isend models an eager/buffered transport: the payload is
+// copied at call time, the send completes immediately, and the sender
+// may reuse its buffer. An Irecv matches the oldest undelivered message
+// from its source; protocols that interleave several logical message
+// kinds on the same pair (boundary updates, value pushes, piggybacked
+// tallies) therefore stay matched as long as every rank issues the same
+// sequence of exchange operations — the same discipline collectives
+// require.
+//
+// Unlike the collectives, the point-to-point operations are safe to
+// complete from one helper goroutine concurrently with point-to-point
+// traffic on the rank's main goroutine (all traffic counters are
+// atomic, mailboxes are locked), but never concurrently with a
+// collective on the same Comm. This is what lets a rank drain incoming
+// boundary updates on a background goroutine while its main goroutine
+// is still computing (communication/computation overlap).
+//
+// # Poison-on-panic
+//
+// When any rank panics, Run poisons the barrier and every mailbox so
+// sibling ranks blocked in a collective or a point-to-point wait wake
+// up and unwind (as barrierPoisoned panics) instead of hanging; the
+// original panic is then re-raised on the caller. Code that receives on
+// a helper goroutine must ferry a recovered panic back to the rank's
+// main goroutine and re-raise it there, so Run's per-rank recovery
+// observes it — a panic escaping on a bare goroutine would kill the
+// whole process.
+//
+// # Traffic statistics and piggyback framing
+//
+// The communicator records per-rank traffic statistics (element volume,
+// collective counts, point-to-point counts) so experiments can report
+// communication cost. AppendTally and SplitTally implement the framing
+// that piggybacks small reduction payloads ("tallies", e.g. per-part
+// size deltas) onto point-to-point messages, which is how the
+// partitioner's asynchronous mode retires its per-iteration Allreduce.
+package mpi

@@ -1,21 +1,3 @@
-// Package mpi provides an in-process communicator that stands in for
-// MPI in the XtraPuLP reproduction. Each simulated rank is a goroutine;
-// ranks interact only through collective operations (Barrier, Bcast,
-// Allgather, Alltoall, Alltoallv, Allreduce) and nonblocking
-// point-to-point messages (Isend, Irecv, Waitall), exactly the set the
-// distributed partitioner uses.
-//
-// Semantics mirror MPI's: every rank in the world must call the same
-// sequence of collectives, point-to-point messages between a rank pair
-// are non-overtaking, and receive buffers are fresh copies — ranks
-// never alias each other's memory through the communicator, so code
-// written against this package has true distributed-memory discipline.
-// Deadlock (a rank skipping a collective, or receiving a message never
-// sent) manifests as a hang, as it would under MPI; tests guard the
-// communication contracts instead.
-//
-// The communicator records per-rank traffic statistics (element volume
-// and collective counts) so experiments can report communication cost.
 package mpi
 
 import (
@@ -68,6 +50,7 @@ type Stats struct {
 	ReductionOps int64 // Allreduce calls
 	SendOps      int64 // nonblocking point-to-point sends started
 	RecvOps      int64 // nonblocking point-to-point receives completed
+	TallyElems   int64 // elements of piggybacked tally framing appended to sends
 }
 
 // Rank returns this rank's id in [0, Size()).
@@ -88,6 +71,7 @@ func (s *Stats) fields() []*int64 {
 	return []*int64{
 		&s.Collectives, &s.ElemsSent, &s.ElemsRecv,
 		&s.ExchangeOps, &s.ReductionOps, &s.SendOps, &s.RecvOps,
+		&s.TallyElems,
 	}
 }
 

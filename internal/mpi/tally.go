@@ -1,0 +1,120 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Piggyback tally framing. A "tally" is a small reduction payload — a
+// fixed-length int64 vector both endpoints agree on (per-part size
+// deltas, a convergence counter) — appended to a point-to-point message
+// so a round of boundary exchange can double as the iteration's
+// reduction, removing the need for a separate world-wide Allreduce.
+//
+// The frame is a suffix so the message's primary payload keeps its
+// natural prefix position. Reading from the end, the last element is a
+// header h:
+//
+//	h == -1: dense — the preceding tallyLen elements are the tally
+//	         values verbatim.
+//	h >= 0:  sparse — the preceding h elements each pack one nonzero
+//	         entry as (index << 48) | zigzag(value), covering indices
+//	         below 1<<15 and |value| < 1<<47.
+//
+// The encoder picks whichever is shorter; an all-zero tally costs a
+// single header element. Both sides must agree on tallyLen (it is part
+// of the exchange protocol, like a datatype), exactly as they must
+// agree on the length of an Allreduce.
+
+// tallyPackBits is the payload width of a packed sparse entry.
+const tallyPackBits = 48
+
+// packTallyEntry packs (index, value) into one element; ok reports
+// whether the pair fits the sparse encoding.
+func packTallyEntry(idx int, v int64) (packed int64, ok bool) {
+	if idx < 0 || idx >= 1<<15 {
+		return 0, false
+	}
+	z := uint64(v)<<1 ^ uint64(v>>63) // zigzag
+	if z >= 1<<tallyPackBits {
+		return 0, false
+	}
+	return int64(uint64(idx)<<tallyPackBits | z), true
+}
+
+// unpackTallyEntry reverses packTallyEntry.
+func unpackTallyEntry(packed int64) (idx int, v int64) {
+	u := uint64(packed)
+	z := u & (1<<tallyPackBits - 1)
+	return int(u >> tallyPackBits), int64(z>>1) ^ -int64(z&1)
+}
+
+// AppendTally appends the tally frame for tally to buf and returns the
+// extended buffer. len(tally) is the protocol's tallyLen; the receiver
+// must call SplitTally with the same value. The appended frame length
+// is accounted in Stats.TallyElems.
+func AppendTally(c *Comm, buf []int64, tally []int64) []int64 {
+	if len(tally) == 0 {
+		return buf
+	}
+	sparse := make([]int64, 0, len(tally))
+	for i, v := range tally {
+		if v == 0 {
+			continue
+		}
+		p, ok := packTallyEntry(i, v)
+		if !ok {
+			sparse = nil
+			break
+		}
+		sparse = append(sparse, p)
+	}
+	before := len(buf)
+	if sparse != nil && len(sparse) < len(tally) {
+		buf = append(buf, sparse...)
+		buf = append(buf, int64(len(sparse)))
+	} else {
+		buf = append(buf, tally...)
+		buf = append(buf, -1)
+	}
+	atomic.AddInt64(&c.stats.TallyElems, int64(len(buf)-before))
+	return buf
+}
+
+// SplitTally strips the tally frame from msg, adds the decoded tally
+// element-wise into dst (len(dst) must be the sender's tallyLen), and
+// returns the primary payload prefix. It panics on a malformed frame —
+// with agreed tally lengths on both sides this cannot happen.
+func SplitTally(msg []int64, dst []int64) []int64 {
+	if len(dst) == 0 {
+		return msg
+	}
+	if len(msg) == 0 {
+		panic("mpi: SplitTally on message without tally frame")
+	}
+	h := msg[len(msg)-1]
+	body := msg[:len(msg)-1]
+	if h == -1 {
+		if len(body) < len(dst) {
+			panic(fmt.Sprintf("mpi: dense tally frame of %d elements, need %d", len(body), len(dst)))
+		}
+		frame := body[len(body)-len(dst):]
+		for i, v := range frame {
+			dst[i] += v
+		}
+		return body[:len(body)-len(dst)]
+	}
+	n := int(h)
+	if n < 0 || n > len(body) {
+		panic(fmt.Sprintf("mpi: sparse tally header %d outside message of %d elements", n, len(body)))
+	}
+	frame := body[len(body)-n:]
+	for _, p := range frame {
+		idx, v := unpackTallyEntry(p)
+		if idx >= len(dst) {
+			panic(fmt.Sprintf("mpi: sparse tally index %d outside tally length %d", idx, len(dst)))
+		}
+		dst[idx] += v
+	}
+	return body[:len(body)-n]
+}

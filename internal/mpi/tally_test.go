@@ -1,0 +1,99 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+)
+
+// newTestComm returns a 1-rank Comm for stats-only helpers.
+func newTestComm(t *testing.T) *Comm {
+	t.Helper()
+	var out *Comm
+	Run(1, func(c *Comm) { out = c })
+	return out
+}
+
+func TestTallyRoundTripSparseAndDense(t *testing.T) {
+	c := newTestComm(t)
+	cases := [][]int64{
+		{0, 0, 0, 0},                      // all zero: single header element
+		{1, -2, 0, 7},                     // sparse
+		{5, 5, 5, 5},                      // dense is shorter? sparse nnz=4 == len -> dense
+		{math.MaxInt64, 0, -3, 0},         // unpackable value: dense fallback
+		{0, 1 << 50, 0, 0},                // zigzag overflow: dense fallback
+		{-(1 << 46), 1<<46 - 1, 0, 12345}, // extreme packable values
+	}
+	payload := []int64{101, 102, 103}
+	for _, tally := range cases {
+		msg := AppendTally(c, append([]int64(nil), payload...), tally)
+		got := make([]int64, len(tally))
+		rest := SplitTally(msg, got)
+		if len(rest) != len(payload) {
+			t.Fatalf("tally %v: payload length %d after split, want %d", tally, len(rest), len(payload))
+		}
+		for i := range payload {
+			if rest[i] != payload[i] {
+				t.Fatalf("tally %v: payload corrupted at %d: %d", tally, i, rest[i])
+			}
+		}
+		for i := range tally {
+			if got[i] != tally[i] {
+				t.Fatalf("tally %v decoded as %v", tally, got)
+			}
+		}
+	}
+}
+
+func TestTallyAccumulatesIntoDst(t *testing.T) {
+	c := newTestComm(t)
+	dst := []int64{10, 20}
+	msg := AppendTally(c, nil, []int64{1, -2})
+	msg2 := AppendTally(c, nil, []int64{3, 4})
+	SplitTally(msg, dst)
+	SplitTally(msg2, dst)
+	if dst[0] != 14 || dst[1] != 22 {
+		t.Fatalf("accumulated tally = %v, want [14 22]", dst)
+	}
+}
+
+func TestTallyZeroLengthIsNoop(t *testing.T) {
+	c := newTestComm(t)
+	buf := []int64{1, 2}
+	out := AppendTally(c, buf, nil)
+	if len(out) != 2 {
+		t.Fatalf("zero-length tally appended %d elements", len(out)-2)
+	}
+	if rest := SplitTally(out, nil); len(rest) != 2 {
+		t.Fatalf("zero-length split returned %d elements", len(rest))
+	}
+}
+
+func TestTallyAllZeroCostsOneElement(t *testing.T) {
+	c := newTestComm(t)
+	before := c.Stats().TallyElems
+	out := AppendTally(c, nil, make([]int64, 64))
+	if len(out) != 1 {
+		t.Fatalf("all-zero tally frame has %d elements, want 1", len(out))
+	}
+	if d := c.Stats().TallyElems - before; d != 1 {
+		t.Fatalf("TallyElems grew by %d, want 1", d)
+	}
+}
+
+func TestPackTallyEntryBounds(t *testing.T) {
+	if _, ok := packTallyEntry(1<<15, 0); ok {
+		t.Error("index 1<<15 must not pack")
+	}
+	if _, ok := packTallyEntry(-1, 0); ok {
+		t.Error("negative index must not pack")
+	}
+	for _, v := range []int64{0, 1, -1, 1<<46 - 1, -(1 << 46)} {
+		p, ok := packTallyEntry(7, v)
+		if !ok {
+			t.Fatalf("value %d should pack", v)
+		}
+		if idx, got := unpackTallyEntry(p); idx != 7 || got != v {
+			t.Fatalf("round trip (7, %d) -> (%d, %d)", v, idx, got)
+		}
+	}
+}

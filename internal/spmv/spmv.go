@@ -13,6 +13,12 @@
 // owner. Under a 1D layout the fold is rank-local; under 2D both
 // phases touch only a processor row/column, which is what accelerates
 // skewed graphs in Table III.
+//
+// Both phases run on either of two transports (Options.Async): the
+// bulk-synchronous world-wide Alltoallv, or nonblocking point-to-point
+// messages over the precomputed per-peer schedules with a local-copy
+// bypass for self-destined shares. The numerics are identical; only
+// traffic and synchronization differ.
 package spmv
 
 import (
@@ -52,6 +58,15 @@ type Options struct {
 	Layout Layout
 	// Iterations is the number of chained multiplies (paper: 100).
 	Iterations int
+	// Async replaces the two world-wide Alltoallv collectives per
+	// multiply with nonblocking point-to-point messages over the
+	// precomputed expand/fold schedules: each rank sends only to the
+	// peers its schedule names, and the self share — the entire fold
+	// under a 1D layout — bypasses the transport as a local copy. The
+	// numerics are bit-identical to the synchronous engine (values,
+	// fill order, and accumulation order are unchanged); only traffic
+	// and synchronization differ.
+	Async bool
 }
 
 // Result reports one SpMV experiment.
@@ -59,7 +74,10 @@ type Result struct {
 	// Time is the wall clock for all iterations on this rank.
 	Time time.Duration
 	// CommVolume is the total number of vector/partial values this rank
-	// sent across all iterations.
+	// sent across all iterations. The synchronous engine pushes
+	// self-destined shares through the Alltoallv like any MPI
+	// implementation and counts them; the async engine's local-copy
+	// bypass counts only values sent to other ranks.
 	CommVolume int64
 	// Checksum is the final ∞-norm of the iterated vector (identical on
 	// every rank; used to verify layout-independence of the numerics).
@@ -97,6 +115,16 @@ type matrix struct {
 	// per src, the owned vector indices the incoming partials add into.
 	foldSend [][]int
 	foldRecv [][]int
+
+	// Async engine state (Options.Async): xbuf segment offsets per
+	// source rank, and the remote peers each phase actually touches.
+	// The synchronous engine needs none of this — the Alltoallv counts
+	// encode the same information per call.
+	async     bool
+	colOff    []int
+	expandOut []int
+	expandIn  []int
+	foldOut   []int
 
 	// y accumulators.
 	partial []float64 // per present row
@@ -272,12 +300,36 @@ func build(c *mpi.Comm, g *graph.Graph, parts []int32, layout Layout) (*matrix, 
 		}
 		m.foldRecv[s] = idxs
 	}
+
+	// colGIDs is sorted (owner rank, gid), so per-source xbuf segments
+	// are contiguous; colOff is their prefix index.
+	m.colOff = make([]int, p+1)
+	for _, v := range m.colGIDs {
+		m.colOff[parts[v]+1]++
+	}
+	for r := 0; r < p; r++ {
+		m.colOff[r+1] += m.colOff[r]
+	}
+	for d := 0; d < p; d++ {
+		if d != me && len(m.expandSend[d]) > 0 {
+			m.expandOut = append(m.expandOut, d)
+		}
+		if d != me && m.colOff[d+1] > m.colOff[d] {
+			m.expandIn = append(m.expandIn, d)
+		}
+		if d != me && len(m.foldSend[d]) > 0 {
+			m.foldOut = append(m.foldOut, d)
+		}
+	}
 	return m, nil
 }
 
 // multiply performs one distributed SpMV: y = A x, leaving y in m.y.
 // It returns the number of values this rank sent.
 func (m *matrix) multiply() int64 {
+	if m.async {
+		return m.multiplyAsync()
+	}
 	var volume int64
 
 	// Expand: ship owned x entries to nonzero holders.
@@ -297,14 +349,7 @@ func (m *matrix) multiply() int64 {
 	recv, _ := mpi.Alltoallv(m.c, sendBuf, counts)
 	copy(m.xbuf, recv) // src-major, gid-sorted: matches colGIDs order
 
-	// Local multiply.
-	for ri := range m.rowGIDs {
-		var sum float64
-		for e := m.rowPtr[ri]; e < m.rowPtr[ri+1]; e++ {
-			sum += m.xbuf[m.colIdx[e]]
-		}
-		m.partial[ri] = sum
-	}
+	m.localMultiply()
 
 	// Fold: ship partial row sums to vector owners and accumulate.
 	fcounts := make([]int, m.p)
@@ -334,6 +379,81 @@ func (m *matrix) multiply() int64 {
 	return volume
 }
 
+// localMultiply computes the partial row sums from the filled x
+// buffer — the compute kernel both engines share, so the cross-engine
+// bit-identical-checksum guarantee cannot drift.
+func (m *matrix) localMultiply() {
+	for ri := range m.rowGIDs {
+		var sum float64
+		for e := m.rowPtr[ri]; e < m.rowPtr[ri+1]; e++ {
+			sum += m.xbuf[m.colIdx[e]]
+		}
+		m.partial[ri] = sum
+	}
+}
+
+// multiplyAsync is multiply on point-to-point messages: the expand and
+// fold phases each send one message per scheduled remote peer and copy
+// the self share locally. Fill and accumulation orders match the
+// synchronous engine exactly (xbuf segments are source-major, y adds
+// run in ascending source rank with the self share at its rank
+// position), so the iterated vector — and Result.Checksum — is
+// bit-identical across engines.
+func (m *matrix) multiplyAsync() int64 {
+	var volume int64
+	me := m.c.Rank()
+
+	// Expand: remote sends first (Isend is eager and never blocks),
+	// then the local copy, then the receives.
+	for _, d := range m.expandOut {
+		buf := make([]float64, len(m.expandSend[d]))
+		for i, xi := range m.expandSend[d] {
+			buf[i] = m.x[xi]
+		}
+		mpi.Isend(m.c, d, buf)
+		volume += int64(len(buf))
+	}
+	for i, xi := range m.expandSend[me] {
+		m.xbuf[m.colOff[me]+i] = m.x[xi]
+	}
+	for _, s := range m.expandIn {
+		seg := mpi.Irecv[float64](m.c, s).Await()
+		copy(m.xbuf[m.colOff[s]:m.colOff[s+1]], seg)
+	}
+
+	m.localMultiply()
+
+	// Fold: ship partial row sums to remote vector owners; under a 1D
+	// layout every row is owner-local and this loop sends nothing.
+	for _, d := range m.foldOut {
+		buf := make([]float64, len(m.foldSend[d]))
+		for i, ri := range m.foldSend[d] {
+			buf[i] = m.partial[ri]
+		}
+		mpi.Isend(m.c, d, buf)
+		volume += int64(len(buf))
+	}
+	for i := range m.y {
+		m.y[i] = 0
+	}
+	for s := 0; s < m.p; s++ {
+		if s == me {
+			for j, ri := range m.foldSend[me] {
+				m.y[m.foldRecv[me][j]] += m.partial[ri]
+			}
+			continue
+		}
+		if len(m.foldRecv[s]) == 0 {
+			continue
+		}
+		seg := mpi.Irecv[float64](m.c, s).Await()
+		for j, yi := range m.foldRecv[s] {
+			m.y[yi] += seg[j]
+		}
+	}
+	return volume
+}
+
 // Run executes opt.Iterations chained multiplies (x ← A x / ‖A x‖∞)
 // and reports timing, traffic, and a layout-independent checksum.
 func Run(c *mpi.Comm, g *graph.Graph, parts []int32, opt Options) (Result, error) {
@@ -344,6 +464,7 @@ func Run(c *mpi.Comm, g *graph.Graph, parts []int32, opt Options) (Result, error
 	if err != nil {
 		return Result{}, err
 	}
+	m.async = opt.Async
 	var res Result
 	start := time.Now()
 	for it := 0; it < opt.Iterations; it++ {

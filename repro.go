@@ -87,10 +87,21 @@ type Config struct {
 	// synchronous Alltoallv to the asynchronous delta-only path:
 	// changed labels travel as packed single-element updates over
 	// nonblocking point-to-point messages, drained concurrently with
-	// local propagation. The final partition is identical for fixed
-	// seeds; the exchanged-element volume is strictly lower whenever
-	// rank boundaries exist (Ranks > 1).
+	// local propagation, and per-part size tallies piggyback on the
+	// same messages so iterations need no global Allreduce barrier
+	// (see SizeEpoch). The final partition is identical for fixed
+	// seeds, and the exchanged-element volume is strictly lower. The
+	// analytics and SpMV paths select the same engine through
+	// AnalyticsConfig.AsyncExchange and SpMVConfig.AsyncExchange.
 	AsyncExchange bool
+	// SizeEpoch bounds part-size estimate staleness in async mode:
+	// every SizeEpoch-th iteration performs an exact Allreduce resync,
+	// with settles in between derived purely from piggybacked neighbor
+	// tallies. 0 (default) auto-selects: no resyncs at all when every
+	// rank neighbors every other (the tallies are already exact global
+	// sums), one per iteration otherwise so partitions always match
+	// sync mode bit-for-bit. See core.Options.SizeEpoch.
+	SizeEpoch int
 	// Init selects the initialization strategy; zero value is the
 	// paper's BFS hybrid.
 	Init core.InitStrategy
@@ -119,6 +130,12 @@ type Report struct {
 	// partitioning stages only — the number the sync-vs-async
 	// exchange comparison is about.
 	ExchangeVolume int64
+	// ReductionOps is the number of Allreduce operations the
+	// partitioning stages performed. Synchronous runs pay one per inner
+	// iteration; async runs piggyback the tallies on the boundary
+	// messages and drop to one per SizeEpoch iterations, or none
+	// between stage recounts on complete rank neighborhoods.
+	ReductionOps int64
 }
 
 // XtraPuLP partitions g with the paper's distributed partitioner on
@@ -156,6 +173,7 @@ func XtraPuLPGen(g *Generator, cfg Config) ([]int32, Report, error) {
 	if cfg.AsyncExchange {
 		opt.Exchange = core.ExchangeAsyncDelta
 	}
+	opt.SizeEpoch = cfg.SizeEpoch
 	if cfg.OverrideXY || cfg.X != 0 || cfg.Y != 0 {
 		opt.X, opt.Y = cfg.X, cfg.Y
 	}
@@ -194,6 +212,7 @@ func XtraPuLPGen(g *Generator, cfg Config) ([]int32, Report, error) {
 				EdgeTime: r.EdgeTime, TotalTime: r.TotalTime,
 				InitIters: r.InitIters, Quality: r.Quality,
 				CommVolume: vol, ExchangeVolume: r.ExchangeVolume,
+				ReductionOps: r.ReductionOps,
 			}
 		}
 	})

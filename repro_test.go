@@ -121,17 +121,54 @@ func TestAsyncDeltaExchangeMatchesSyncDeterministically(t *testing.T) {
 				sq.EdgeImbalance != aq.EdgeImbalance {
 				t.Fatalf("%s ranks=%d: quality diverges: sync %+v async %+v", gn.Name, ranks, sq, aq)
 			}
-			if ranks == 1 {
-				// No rank boundaries: both modes send only reductions.
-				if arep.ExchangeVolume != srep.ExchangeVolume {
-					t.Errorf("%s ranks=1: exchange volumes differ: sync %d async %d",
-						gn.Name, srep.ExchangeVolume, arep.ExchangeVolume)
-				}
-			} else if arep.ExchangeVolume >= srep.ExchangeVolume {
+			// Async sends strictly less at every rank count: with
+			// boundaries it ships packed deltas instead of (gid, value)
+			// pairs, and even without them the piggybacked tallies
+			// retire the per-iteration settle reductions sync pays.
+			if arep.ExchangeVolume >= srep.ExchangeVolume {
 				t.Errorf("%s ranks=%d: async exchange volume %d not below sync %d",
 					gn.Name, ranks, arep.ExchangeVolume, srep.ExchangeVolume)
 			}
+			if srep.ReductionOps <= arep.ReductionOps {
+				t.Errorf("%s ranks=%d: async reductions %d not below sync %d",
+					gn.Name, ranks, arep.ReductionOps, srep.ReductionOps)
+			}
 		}
+	}
+}
+
+// An explicit SizeEpoch schedules exact resyncs between pure-piggyback
+// settles. On a complete rank neighborhood (hashed RMAT at 4 ranks)
+// the piggybacked sums are already exact, so any epoch keeps the
+// partition bit-identical to sync; the Allreduce count interpolates
+// between sync's one-per-iteration and auto mode's recounts-only.
+func TestSizeEpochExplicitOnCompleteTopology(t *testing.T) {
+	gn := RMAT(10, 8, 1)
+	base := Config{Parts: 8, Ranks: 4, RandomDist: true, Seed: 7}
+	sparts, srep, err := XtraPuLPGen(gn, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto := base
+	auto.AsyncExchange = true
+	_, autoRep, err := XtraPuLPGen(gn, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := auto
+	epoch.SizeEpoch = 4
+	eparts, erep, err := XtraPuLPGen(gn, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range sparts {
+		if sparts[v] != eparts[v] {
+			t.Fatalf("SizeEpoch=4 diverges from sync at vertex %d: %d vs %d", v, sparts[v], eparts[v])
+		}
+	}
+	if !(autoRep.ReductionOps < erep.ReductionOps && erep.ReductionOps < srep.ReductionOps) {
+		t.Errorf("reduction counts not ordered auto < epoch < sync: %d, %d, %d",
+			autoRep.ReductionOps, erep.ReductionOps, srep.ReductionOps)
 	}
 }
 

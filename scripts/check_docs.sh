@@ -1,0 +1,28 @@
+#!/bin/sh
+# Docs gate: every internal package must carry a package comment, and
+# the architecture document must exist. Mirrors the in-tree test
+# TestEveryInternalPackageHasPackageComment (same file set — non-test
+# Go files — and same pattern) so the check also runs without a Go
+# toolchain invocation.
+set -eu
+
+fail=0
+for d in internal/*/; do
+    pkg=$(basename "$d")
+    files=$(find "$d" -maxdepth 1 -name '*.go' ! -name '*_test.go')
+    if [ -z "$files" ]; then
+        continue
+    fi
+    # shellcheck disable=SC2086
+    if ! grep -qE "^// Package ${pkg}( |\$)" $files; then
+        echo "docs gate: internal/${pkg} has no package comment" >&2
+        fail=1
+    fi
+done
+
+if [ ! -f docs/ARCHITECTURE.md ]; then
+    echo "docs gate: docs/ARCHITECTURE.md is missing" >&2
+    fail=1
+fi
+
+exit "$fail"
