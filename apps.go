@@ -39,15 +39,39 @@ func RunAnalytics(g *Generator, parts []int32, ranks int, hcSources int) ([]Anal
 // RunAnalyticsCfg is RunAnalytics with an explicit configuration,
 // including the exchange-engine selection.
 func RunAnalyticsCfg(g *Generator, parts []int32, cfg AnalyticsConfig) ([]AnalyticResult, error) {
+	rep, err := RunAnalyticsReport(g, parts, cfg)
+	return rep.Results, err
+}
+
+// AnalyticsReport bundles one distributed analytics run's per-analytic
+// results with its communication counters — the analytics counterpart
+// of Report for partitioning runs.
+type AnalyticsReport struct {
+	// Results holds the six analytics' records in Fig. 8 order.
+	Results []AnalyticResult
+	// ReductionOps is the number of Allreduce operations the analytics
+	// performed (rank 0's count; the collectives are symmetric).
+	// Synchronous runs pay one per iteration for termination counters
+	// and PageRank's fused dangling-mass/norm reduction; async runs
+	// piggyback those on the boundary value messages and drop to a
+	// handful per analytic on complete rank neighborhoods.
+	ReductionOps int64
+	// ExchangeVolume is the total element volume all ranks sent during
+	// the analytics (graph construction excluded).
+	ExchangeVolume int64
+}
+
+// RunAnalyticsReport is RunAnalyticsCfg with communication counters.
+func RunAnalyticsReport(g *Generator, parts []int32, cfg AnalyticsConfig) (AnalyticsReport, error) {
 	if int64(len(parts)) != g.N {
-		return nil, fmt.Errorf("repro: %d part assignments for %d vertices", len(parts), g.N)
+		return AnalyticsReport{}, fmt.Errorf("repro: %d part assignments for %d vertices", len(parts), g.N)
 	}
 	for v, pt := range parts {
 		if pt < 0 || int(pt) >= cfg.Ranks {
-			return nil, fmt.Errorf("repro: vertex %d assigned node %d outside [0,%d)", v, pt, cfg.Ranks)
+			return AnalyticsReport{}, fmt.Errorf("repro: vertex %d assigned node %d outside [0,%d)", v, pt, cfg.Ranks)
 		}
 	}
-	var out []AnalyticResult
+	var out AnalyticsReport
 	mpi.Run(cfg.Ranks, func(c *mpi.Comm) {
 		dg, err := dgraph.FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()),
 			dgraph.PartsDist{Parts: parts})
@@ -55,9 +79,16 @@ func RunAnalyticsCfg(g *Generator, parts []int32, cfg AnalyticsConfig) ([]Analyt
 			panic(err) // parts validated above; construction is total
 		}
 		dg.SetAsyncExchange(cfg.AsyncExchange)
+		c.ResetStats()
 		res := analytics.RunAll(dg, cfg.HCSources)
+		vol := mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
 		if c.Rank() == 0 {
-			out = res
+			out = AnalyticsReport{
+				Results: res,
+				// The volume Allreduce above is not part of the run.
+				ReductionOps:   c.Stats().ReductionOps - 1,
+				ExchangeVolume: vol,
+			}
 		}
 	})
 	return out, nil

@@ -24,8 +24,9 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "experiment sizing: small or full")
 	seedFlag := flag.Uint64("seed", 1, "random seed for all generators and partitioners")
 	listFlag := flag.Bool("list", false, "list experiment names and exit")
+	jsonFlag := flag.Bool("json", false, "also write machine-readable results to BENCH_<experiment>.json (experiments that support it)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [-scale small|full] [-seed N] <experiment>...|all\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [-scale small|full] [-seed N] [-json] <experiment>...|all\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names)
 		flag.PrintDefaults()
 	}
@@ -55,6 +56,9 @@ func main() {
 		fmt.Printf("=== %s (scale=%s seed=%d) ===\n", name, *scaleFlag, *seedFlag)
 		start := time.Now()
 		cfg := harness.Config{W: os.Stdout, Scale: scale, Seed: *seedFlag}
+		if *jsonFlag {
+			cfg.JSONPath = fmt.Sprintf("BENCH_%s.json", name)
+		}
 		if err := harness.Run(name, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)

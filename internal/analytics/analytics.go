@@ -7,9 +7,16 @@
 //
 // Every analytic runs collectively on a dgraph shard with the paper's
 // pattern: rank-local compute over owned vertices, boundary value
-// exchange each iteration, and an Allreduce-based termination test —
-// so per-analytic runtime responds to partition quality (cut size
-// drives exchange volume) exactly as in the paper.
+// exchange each iteration, and a global termination test — so
+// per-analytic runtime responds to partition quality (cut size drives
+// exchange volume) exactly as in the paper. On the synchronous engine
+// the termination test is an Allreduce; on the async delta engine
+// (Graph.SetAsyncExchange) the iterations run split-phase — interior
+// vertices are relaxed while boundary values are in flight — and the
+// convergence counters ride the value messages as piggybacked tally
+// frames (see overlap.go), eliminating the per-round Allreduce on
+// complete rank neighborhoods. Results are bit-identical across
+// engines.
 //
 // Substitution note: the paper runs SCC on a directed web crawl. Our
 // generated proxies are undirected, so SCC here performs the
@@ -20,6 +27,7 @@
 package analytics
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/dgraph"
@@ -41,6 +49,15 @@ type Result struct {
 
 // PageRank runs iters rounds of damped PageRank and returns the owned
 // vertices' ranks (indexed by local id) plus the result record.
+//
+// Dangling mass (degree-0 owned vertices) is redistributed uniformly,
+// keeping the rank vector a distribution. The two global quantities —
+// per-iteration dangling mass and the final norm — share one fused
+// length-2 vector Allreduce per iteration in sync mode; in overlapped
+// async mode the dangling partial rides the boundary value messages as
+// a tally frame folded in global rank order, so iterations perform no
+// reduction at all on complete rank neighborhoods. Ranks are
+// bit-identical across all modes.
 func PageRank(g *dgraph.Graph, iters int, damping float64) ([]float64, Result) {
 	start := time.Now()
 	n := float64(g.NGlobal)
@@ -49,34 +66,109 @@ func PageRank(g *dgraph.Graph, iters int, damping float64) ([]float64, Result) {
 	for i := range vals {
 		vals[i] = 1.0 / n
 	}
-	boundary := g.BoundaryVertices()
-	// Dangling mass (degree-0 owned vertices) is redistributed
-	// uniformly, keeping the rank vector a distribution.
-	for it := 0; it < iters; it++ {
-		var danglingLocal float64
-		for v := 0; v < g.NLocal; v++ {
-			if g.Degree(int32(v)) == 0 {
-				danglingLocal += vals[v]
+	e := newEngine(g)
+	bnd, inr := g.BoundaryVertices(), g.InteriorVertices()
+
+	// deg0 lists the dangling owned vertices ascending. Their next
+	// value is exactly the iteration's base (no neighbors), which keeps
+	// the next dangling partial computable before the interior sweep —
+	// what lets it ride this round's messages in overlapped mode.
+	var deg0 []int32
+	for v := 0; v < g.NLocal; v++ {
+		if g.Degree(int32(v)) == 0 {
+			deg0 = append(deg0, int32(v))
+		}
+	}
+
+	// Prologue: global dangling mass of the uniform start.
+	var danglingLocal float64
+	for _, v := range deg0 {
+		danglingLocal += vals[v]
+	}
+	dangling := mpi.AllreduceScalar(g.Comm, danglingLocal, mpi.Sum)
+
+	var base float64
+	relax := func(v int32) {
+		var sum float64
+		for _, u := range g.Neighbors(v) {
+			sum += vals[u] / float64(g.Degrees[u])
+		}
+		next[v] = base + damping*sum
+	}
+
+	norm := 0.0
+	normDone := false
+	if e.overlapped() {
+		for it := 0; it < iters; it++ {
+			base = (1-damping)/n + damping*dangling/n
+			for _, v := range bnd {
+				relax(v)
+			}
+			// Next iteration's dangling partial: every dangling vertex
+			// takes exactly base this iteration (summed per vertex to
+			// keep the accumulation order of the sync path).
+			var dL float64
+			for range deg0 {
+				dL += base
+			}
+			e.payload = e.payload[:0]
+			for _, v := range bnd {
+				e.payload = append(e.payload, int64(math.Float64bits(next[v])))
+			}
+			var tally []int64
+			if e.complete {
+				e.tally[0] = int64(math.Float64bits(dL))
+				tally = e.tally[:]
+			}
+			e.ex.BeginValues(bnd, e.payload, tally)
+			for _, v := range inr {
+				relax(v)
+			}
+			copy(vals[:g.NLocal], next)
+			outL, outP, tr := e.ex.FlushValues()
+			for i, lid := range outL {
+				vals[lid] = math.Float64frombits(uint64(outP[i]))
+			}
+			if e.complete {
+				dangling = tr.FoldFloat(0)
+			} else {
+				dangling = mpi.AllreduceScalar(g.Comm, dL, mpi.Sum)
 			}
 		}
-		dangling := mpi.AllreduceScalar(g.Comm, danglingLocal, mpi.Sum)
-		base := (1-damping)/n + damping*dangling/n
-		for v := 0; v < g.NLocal; v++ {
-			var sum float64
-			for _, u := range g.Neighbors(int32(v)) {
-				sum += vals[u] / float64(g.Degrees[u])
+	} else {
+		for it := 0; it < iters; it++ {
+			base = (1-damping)/n + damping*dangling/n
+			for _, v := range bnd {
+				relax(v)
 			}
-			next[v] = base + damping*sum
+			for _, v := range inr {
+				relax(v)
+			}
+			copy(vals[:g.NLocal], next)
+			g.ExchangeFloat64(bnd, vals)
+			// Fused end-of-iteration reduction: the next iteration's
+			// dangling mass and the current norm in one vector
+			// Allreduce (the last iteration's norm is the result).
+			var dL, nL float64
+			for _, v := range deg0 {
+				dL += next[v]
+			}
+			for v := 0; v < g.NLocal; v++ {
+				nL += next[v]
+			}
+			red := mpi.Allreduce(g.Comm, []float64{dL, nL}, mpi.Sum)
+			dangling, norm = red[0], red[1]
+			normDone = true
 		}
-		copy(vals[:g.NLocal], next)
-		g.ExchangeFloat64(boundary, vals)
 	}
 	elapsed := time.Since(start)
-	var norm float64
-	for v := 0; v < g.NLocal; v++ {
-		norm += vals[v]
+	if !normDone {
+		var nL float64
+		for v := 0; v < g.NLocal; v++ {
+			nL += vals[v]
+		}
+		norm = mpi.AllreduceScalar(g.Comm, nL, mpi.Sum)
 	}
-	norm = mpi.AllreduceScalar(g.Comm, norm, mpi.Sum)
 	return vals[:g.NLocal], Result{Name: "PR", Iterations: iters, Time: elapsed, Value: norm}
 }
 
@@ -89,27 +181,21 @@ func WCC(g *dgraph.Graph) ([]int64, Result) {
 	for lid, gid := range g.L2G {
 		labels[lid] = gid
 	}
-	iters := 0
-	for {
-		iters++
-		var changedLIDs []int32
-		for v := 0; v < g.NLocal; v++ {
-			best := labels[v]
-			for _, u := range g.Neighbors(int32(v)) {
-				if labels[u] < best {
-					best = labels[u]
-				}
-			}
-			if best < labels[v] {
-				labels[v] = best
-				changedLIDs = append(changedLIDs, int32(v))
+	e := newEngine(g)
+	relax := func(v int32) bool {
+		best := labels[v]
+		for _, u := range g.Neighbors(v) {
+			if labels[u] < best {
+				best = labels[u]
 			}
 		}
-		g.ExchangeInt64(changedLIDs, labels)
-		if mpi.AllreduceScalar(g.Comm, int64(len(changedLIDs)), mpi.Sum) == 0 {
-			break
+		if best < labels[v] {
+			labels[v] = best
+			return true
 		}
+		return false
 	}
+	iters := e.propagate(labels, relax, 0)
 	// Count components: owned vertices whose label equals their gid.
 	var rootsLocal int64
 	for v := 0; v < g.NLocal; v++ {
@@ -131,34 +217,30 @@ func LabelProp(g *dgraph.Graph, iters int) ([]int64, Result) {
 		labels[lid] = gid
 	}
 	counts := make(map[int64]int64, 64)
-	for it := 0; it < iters; it++ {
-		var changed []int32
-		for v := 0; v < g.NLocal; v++ {
-			nbrs := g.Neighbors(int32(v))
-			if len(nbrs) == 0 {
-				continue
-			}
-			clear(counts)
-			for _, u := range nbrs {
-				counts[labels[u]]++
-			}
-			cur := labels[v]
-			best, bestN := cur, counts[cur]
-			for l, c := range counts {
-				if c > bestN || (c == bestN && l < best) {
-					best, bestN = l, c
-				}
-			}
-			if best != cur {
-				labels[v] = best
-				changed = append(changed, int32(v))
+	e := newEngine(g)
+	relax := func(v int32) bool {
+		nbrs := g.Neighbors(v)
+		if len(nbrs) == 0 {
+			return false
+		}
+		clear(counts)
+		for _, u := range nbrs {
+			counts[labels[u]]++
+		}
+		cur := labels[v]
+		best, bestN := cur, counts[cur]
+		for l, c := range counts {
+			if c > bestN || (c == bestN && l < best) {
+				best, bestN = l, c
 			}
 		}
-		g.ExchangeInt64(changed, labels)
-		if mpi.AllreduceScalar(g.Comm, int64(len(changed)), mpi.Sum) == 0 {
-			break
+		if best != cur {
+			labels[v] = best
+			return true
 		}
+		return false
 	}
+	e.propagate(labels, relax, iters)
 	distinct := make(map[int64]struct{})
 	for v := 0; v < g.NLocal; v++ {
 		distinct[labels[v]] = struct{}{}
@@ -176,28 +258,21 @@ func KCore(g *dgraph.Graph, maxIters int) ([]int64, Result) {
 	for lid := range core {
 		core[lid] = g.Degrees[lid]
 	}
-	iters := 0
 	hbuf := make([]int64, 0, 256)
-	for it := 0; it < maxIters; it++ {
-		iters++
-		var changed []int32
-		for v := 0; v < g.NLocal; v++ {
-			nbrs := g.Neighbors(int32(v))
-			hbuf = hbuf[:0]
-			for _, u := range nbrs {
-				hbuf = append(hbuf, core[u])
-			}
-			h := hIndex(hbuf)
-			if h < core[v] {
-				core[v] = h
-				changed = append(changed, int32(v))
-			}
+	e := newEngine(g)
+	relax := func(v int32) bool {
+		hbuf = hbuf[:0]
+		for _, u := range g.Neighbors(v) {
+			hbuf = append(hbuf, core[u])
 		}
-		g.ExchangeInt64(changed, core)
-		if mpi.AllreduceScalar(g.Comm, int64(len(changed)), mpi.Sum) == 0 {
-			break
+		h := hIndex(hbuf)
+		if h < core[v] {
+			core[v] = h
+			return true
 		}
+		return false
 	}
+	iters := e.propagate(core, relax, maxIters)
 	var maxCore int64
 	for v := 0; v < g.NLocal; v++ {
 		if core[v] > maxCore {

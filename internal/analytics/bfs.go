@@ -12,7 +12,18 @@ import (
 // and the eccentricity of the source. Each round performs local
 // frontier expansion, pushes discoveries of remote-owned vertices to
 // their owners, refreshes ghost copies, and tests global termination.
+//
+// On the async engine the round runs split-phase: the boundary part of
+// the frontier — the only part that can discover ghosts — expands
+// first and its discoveries are pushed with BeginPush, the interior
+// part expands while those messages are in flight, and the new
+// frontier's ghost refresh carries the frontier size as a piggybacked
+// counter, so termination needs no per-round Allreduce on complete
+// rank neighborhoods. Levels are identical across engines (all
+// discoveries within a round get the same depth, so expansion order
+// cannot change results).
 func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
+	e := newEngine(g)
 	all := make([]int64, g.NTotal())
 	for i := range all {
 		all[i] = -1
@@ -29,7 +40,7 @@ func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
 		next := make([]int32, 0, len(frontier))
 		var ghostFound []int32
 		var ghostLevels []int64
-		for _, v := range frontier {
+		expand := func(v int32) {
 			for _, u := range g.Neighbors(v) {
 				if all[u] >= 0 {
 					continue
@@ -43,19 +54,67 @@ func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
 				}
 			}
 		}
-		// Tell owners about remotely discovered vertices; merge their
-		// pushes into our frontier (first discovery wins).
-		recvL, recvP := g.PushToOwners(ghostFound, ghostLevels)
-		for i, lid := range recvL {
-			if all[lid] < 0 {
-				all[lid] = recvP[i]
-				next = append(next, lid)
+		var total int64
+		if e.overlapped() {
+			// Boundary frontier first: only boundary vertices have
+			// ghost neighbors, so this prefix feeds the push round.
+			for _, v := range frontier {
+				if g.IsBoundaryVertex(v) {
+					expand(v)
+				}
 			}
+			e.ex.BeginPush(ghostFound, ghostLevels, nil)
+			for _, v := range frontier {
+				if !g.IsBoundaryVertex(v) {
+					expand(v)
+				}
+			}
+			recvL, recvP, _ := e.ex.FlushPush()
+			for i, lid := range recvL {
+				if all[lid] < 0 {
+					all[lid] = recvP[i]
+					next = append(next, lid)
+				}
+			}
+			// Ghost refresh of the new frontier, with the frontier
+			// size riding the messages as the termination counter.
+			e.payload = e.payload[:0]
+			for _, v := range next {
+				e.payload = append(e.payload, all[v])
+			}
+			var tally []int64
+			if e.complete {
+				e.tally[0] = int64(len(next))
+				tally = e.tally[:]
+			}
+			e.ex.BeginValues(next, e.payload, tally)
+			outL, outP, tr := e.ex.FlushValues()
+			for i, lid := range outL {
+				all[lid] = outP[i]
+			}
+			if e.complete {
+				total = tr.Sum(0)
+			} else {
+				total = mpi.AllreduceScalar(g.Comm, int64(len(next)), mpi.Sum)
+			}
+		} else {
+			for _, v := range frontier {
+				expand(v)
+			}
+			// Tell owners about remotely discovered vertices; merge their
+			// pushes into our frontier (first discovery wins).
+			recvL, recvP := g.PushToOwners(ghostFound, ghostLevels)
+			for i, lid := range recvL {
+				if all[lid] < 0 {
+					all[lid] = recvP[i]
+					next = append(next, lid)
+				}
+			}
+			// Refresh ghost copies of the new frontier so the next round's
+			// expansion does not rediscover them remotely.
+			g.ExchangeInt64(next, all)
+			total = mpi.AllreduceScalar(g.Comm, int64(len(next)), mpi.Sum)
 		}
-		// Refresh ghost copies of the new frontier so the next round's
-		// expansion does not rediscover them remotely.
-		g.ExchangeInt64(next, all)
-		total := mpi.AllreduceScalar(g.Comm, int64(len(next)), mpi.Sum)
 		if total == 0 {
 			break
 		}
@@ -68,8 +127,7 @@ func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
 			maxLevel = all[v]
 		}
 	}
-	e := mpi.AllreduceScalar(g.Comm, maxLevel, mpi.Max)
-	return all[:g.NLocal], e
+	return all[:g.NLocal], mpi.AllreduceScalar(g.Comm, maxLevel, mpi.Max)
 }
 
 // HarmonicCentrality computes harmonic centrality for the given source

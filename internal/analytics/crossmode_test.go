@@ -8,9 +8,82 @@ import (
 	"repro/internal/mpi"
 )
 
+// crossModeRun is one engine pass over the five overlapped analytics.
+type crossModeRun struct {
+	bfsLevels []int64
+	bfsEcc    int64
+	pr        []float64
+	prNorm    float64
+	wcc       []int64
+	core      []int64
+	lp        []int64
+	sent      int64
+	reduce    int64
+}
+
+func execCrossMode(c *mpi.Comm, dg *dgraph.Graph, async bool) crossModeRun {
+	dg.SetAsyncExchange(async)
+	c.ResetStats()
+	var r crossModeRun
+	r.bfsLevels, r.bfsEcc = BFS(dg, 0)
+	var prRes Result
+	r.pr, prRes = PageRank(dg, 10, 0.85)
+	r.prNorm = prRes.Value
+	r.wcc, _ = WCC(dg)
+	r.core, _ = KCore(dg, 20)
+	r.lp, _ = LabelProp(dg, 8)
+	r.reduce = c.Stats().ReductionOps
+	r.sent = mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
+	return r
+}
+
+// compareCrossMode asserts two engine passes produced bit-identical
+// per-vertex results.
+func compareCrossMode(t *testing.T, dg *dgraph.Graph, sync, async crossModeRun) {
+	t.Helper()
+	c := dg.Comm
+	if sync.bfsEcc != async.bfsEcc {
+		t.Errorf("rank %d: BFS eccentricity %d vs %d", c.Rank(), sync.bfsEcc, async.bfsEcc)
+	}
+	if sync.prNorm != async.prNorm {
+		t.Errorf("rank %d: PR norm %v vs %v (must be bit-identical)", c.Rank(), sync.prNorm, async.prNorm)
+	}
+	for v := 0; v < dg.NLocal; v++ {
+		if sync.bfsLevels[v] != async.bfsLevels[v] {
+			t.Errorf("rank %d: BFS level(gid %d) %d vs %d",
+				c.Rank(), dg.L2G[v], sync.bfsLevels[v], async.bfsLevels[v])
+			return
+		}
+		if sync.pr[v] != async.pr[v] {
+			t.Errorf("rank %d: PageRank(gid %d) %v vs %v (must be bit-identical)",
+				c.Rank(), dg.L2G[v], sync.pr[v], async.pr[v])
+			return
+		}
+		if sync.wcc[v] != async.wcc[v] {
+			t.Errorf("rank %d: WCC label(gid %d) %d vs %d",
+				c.Rank(), dg.L2G[v], sync.wcc[v], async.wcc[v])
+			return
+		}
+		if sync.core[v] != async.core[v] {
+			t.Errorf("rank %d: coreness(gid %d) %d vs %d",
+				c.Rank(), dg.L2G[v], sync.core[v], async.core[v])
+			return
+		}
+		if sync.lp[v] != async.lp[v] {
+			t.Errorf("rank %d: LP label(gid %d) %d vs %d",
+				c.Rank(), dg.L2G[v], sync.lp[v], async.lp[v])
+			return
+		}
+	}
+}
+
 // Every analytic must produce identical results on the synchronous and
-// async-delta exchange transports — the routing in dgraph is a pure
-// transport change — while the async transport ships fewer elements.
+// overlapped async-delta engines — same boundary-first sweeps, same
+// fixed points — while the async engine ships fewer elements and,
+// on this complete rank neighborhood, performs no per-round Allreduce
+// at all: its reduction count is a small per-run constant (one
+// completeness detection, BFS's eccentricity, PageRank's prologue and
+// final norm, WCC's component count, K-Core's max).
 func TestAnalyticsCrossModeDeterminism(t *testing.T) {
 	g := gen.ChungLu(1<<10, 1<<13, 2.2, 9)
 	mpi.Run(4, func(c *mpi.Comm) {
@@ -20,56 +93,54 @@ func TestAnalyticsCrossModeDeterminism(t *testing.T) {
 			t.Errorf("rank %d: %v", c.Rank(), err)
 			return
 		}
+		sync := execCrossMode(c, dg, false)
+		async := execCrossMode(c, dg, true)
+		compareCrossMode(t, dg, sync, async)
+		complete := dg.AsyncExchanger().NeighborhoodComplete() // collective (cached after exec)
+		if c.Rank() == 0 {
+			if async.sent >= sync.sent {
+				t.Errorf("async analytics sent %d elements, sync %d (want strictly less)", async.sent, sync.sent)
+			}
+			if !complete {
+				t.Errorf("test graph must have a complete rank neighborhood")
+				return
+			}
+			// O(1) per analytic, independent of round counts: the
+			// convergence counters ride the value messages.
+			const maxAsyncReduce = 8
+			if async.reduce > maxAsyncReduce {
+				t.Errorf("async analytics performed %d Allreduces, want <= %d (counters must piggyback)",
+					async.reduce, maxAsyncReduce)
+			}
+			if async.reduce >= sync.reduce {
+				t.Errorf("async Allreduces %d not below sync %d", async.reduce, sync.reduce)
+			}
+		}
+	})
+}
 
-		type run struct {
-			bfsLevels []int64
-			bfsEcc    int64
-			pr        []float64
-			wcc       []int64
-			core      []int64
-			sent      int64
+// The piggybacked counters are only exact on complete rank
+// neighborhoods; on an incomplete one (a path-of-blocks layout where
+// rank 0 never talks to rank 2) the engines must detect it and fall
+// back to exact per-round Allreduce termination — results still
+// bit-identical to sync.
+func TestAnalyticsCrossModeIncompleteNeighborhood(t *testing.T) {
+	g := gen.Grid3D(8, 8, 8)
+	mpi.Run(3, func(c *mpi.Comm) {
+		dg, err := dgraph.FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()),
+			dgraph.BlockDist{N: g.N, P: c.Size()})
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
 		}
-		exec := func(async bool) run {
-			dg.SetAsyncExchange(async)
-			c.ResetStats()
-			var r run
-			r.bfsLevels, r.bfsEcc = BFS(dg, 0)
-			r.pr, _ = PageRank(dg, 10, 0.85)
-			r.wcc, _ = WCC(dg)
-			r.core, _ = KCore(dg, 20)
-			r.sent = mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
-			return r
-		}
-		sync := exec(false)
-		async := exec(true)
-
-		if sync.bfsEcc != async.bfsEcc {
-			t.Errorf("rank %d: BFS eccentricity %d vs %d", c.Rank(), sync.bfsEcc, async.bfsEcc)
-		}
-		for v := 0; v < dg.NLocal; v++ {
-			if sync.bfsLevels[v] != async.bfsLevels[v] {
-				t.Errorf("rank %d: BFS level(gid %d) %d vs %d",
-					c.Rank(), dg.L2G[v], sync.bfsLevels[v], async.bfsLevels[v])
-				return
+		if dg.AsyncExchanger().NeighborhoodComplete() { // collective
+			if c.Rank() == 0 {
+				t.Errorf("blocked 3D grid on 3 ranks should have an incomplete rank neighborhood")
 			}
-			if sync.pr[v] != async.pr[v] {
-				t.Errorf("rank %d: PageRank(gid %d) %v vs %v (must be bit-identical)",
-					c.Rank(), dg.L2G[v], sync.pr[v], async.pr[v])
-				return
-			}
-			if sync.wcc[v] != async.wcc[v] {
-				t.Errorf("rank %d: WCC label(gid %d) %d vs %d",
-					c.Rank(), dg.L2G[v], sync.wcc[v], async.wcc[v])
-				return
-			}
-			if sync.core[v] != async.core[v] {
-				t.Errorf("rank %d: coreness(gid %d) %d vs %d",
-					c.Rank(), dg.L2G[v], sync.core[v], async.core[v])
-				return
-			}
+			return
 		}
-		if c.Rank() == 0 && async.sent >= sync.sent {
-			t.Errorf("async analytics sent %d elements, sync %d (want strictly less)", async.sent, sync.sent)
-		}
+		sync := execCrossMode(c, dg, false)
+		async := execCrossMode(c, dg, true)
+		compareCrossMode(t, dg, sync, async)
 	})
 }

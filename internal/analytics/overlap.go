@@ -1,0 +1,150 @@
+package analytics
+
+import (
+	"repro/internal/dgraph"
+	"repro/internal/mpi"
+)
+
+// Overlapped analytics engine. In sync mode every iteration of the
+// label-propagation-style analytics (WCC, KC, LP) blocks twice: once
+// in the value exchange and once in the termination Allreduce. The
+// engine here removes both waits in async mode with the same two ideas
+// the partitioner uses:
+//
+//   - Split-phase rounds: every sweep relaxes boundary vertices first,
+//     posts their new values with DeltaExchanger.BeginValues, relaxes
+//     interior vertices — which read no ghost values — while the
+//     messages are in flight, and settles ghosts at FlushValues.
+//     Both modes sweep in the same boundary-first order, so results
+//     stay bit-identical.
+//   - Piggybacked convergence counters: the per-round changed-vertex
+//     count rides the value messages as a tally frame. On a complete
+//     rank neighborhood the folded counter is the exact global count
+//     (one round stale — the price is a single trailing no-op round
+//     instead of one Allreduce per round); on incomplete neighborhoods
+//     the engine falls back to the exact per-round Allreduce, the
+//     analytics' equivalent of the partitioner's SizeEpoch=1 resync.
+
+// engine bundles the mode-selected exchange machinery of one analytic
+// run: blocking collective helpers in sync mode, split-phase delta
+// rounds with piggybacked counters in async mode.
+type engine struct {
+	g        *dgraph.Graph
+	ex       *dgraph.DeltaExchanger // non-nil in overlapped (async) mode
+	complete bool                   // piggybacked counters are exact
+
+	// Arenas reused across rounds.
+	changed []int32
+	payload []int64
+	tally   [1]int64
+}
+
+// newEngine derives the engine from the graph's exchange mode. In
+// async mode the first construction per graph performs the collective
+// rank-neighborhood completeness detection (cached thereafter).
+func newEngine(g *dgraph.Graph) *engine {
+	e := &engine{g: g}
+	if g.AsyncExchange() {
+		e.ex = g.AsyncExchanger()
+		e.complete = e.ex.NeighborhoodComplete()
+	}
+	return e
+}
+
+// overlapped reports whether rounds run split-phase on the delta
+// exchanger.
+func (e *engine) overlapped() bool { return e.ex != nil }
+
+// propagate runs label-propagation-style rounds over vals: each round
+// relaxes every owned vertex in boundary-first order (relax reports
+// whether it changed v), ships the changed boundary values owner →
+// ghost, and stops when no vertex changed anywhere or after maxIters
+// rounds (maxIters <= 0: unbounded). It returns the number of rounds
+// executed.
+//
+// Both modes relax in the same order — boundary list, then interior
+// list — so the per-round state and the fixed point are bit-identical
+// across modes. The overlapped mode relaxes interior vertices while
+// the boundary messages are in flight; its termination counter is one
+// round stale (the count shipped with round r's messages is round
+// r-1's), so convergence costs one extra no-op round, which by
+// definition changes nothing.
+func (e *engine) propagate(vals []int64, relax func(v int32) bool, maxIters int) int {
+	g := e.g
+	bnd, inr := g.BoundaryVertices(), g.InteriorVertices()
+	iters := 0
+
+	if !e.overlapped() {
+		for maxIters <= 0 || iters < maxIters {
+			iters++
+			e.changed = e.changed[:0]
+			for _, v := range bnd {
+				if relax(v) {
+					e.changed = append(e.changed, v)
+				}
+			}
+			nb := len(e.changed)
+			for _, v := range inr {
+				if relax(v) {
+					e.changed = append(e.changed, v)
+				}
+			}
+			// Interior vertices are ghosted nowhere, so only the
+			// boundary prefix has destinations.
+			g.ExchangeInt64(e.changed[:nb], vals)
+			if mpi.AllreduceScalar(g.Comm, int64(len(e.changed)), mpi.Sum) == 0 {
+				break
+			}
+		}
+		return iters
+	}
+
+	prevLocal := int64(1) // round 0 "changed something": never converged at entry
+	for maxIters <= 0 || iters < maxIters {
+		iters++
+		e.changed = e.changed[:0]
+		for _, v := range bnd {
+			if relax(v) {
+				e.changed = append(e.changed, v)
+			}
+		}
+		e.payload = e.payload[:0]
+		for _, v := range e.changed {
+			e.payload = append(e.payload, vals[v])
+		}
+		var tally []int64
+		if e.complete {
+			e.tally[0] = prevLocal
+			tally = e.tally[:]
+		}
+		ex := e.ex
+		ex.BeginValues(e.changed, e.payload, tally)
+		// Overlap: interior relaxations read no ghost values, so they
+		// run while the drainer receives. (BeginValues consumed the
+		// boundary prefix, so appending is safe.)
+		for _, v := range inr {
+			if relax(v) {
+				e.changed = append(e.changed, v)
+			}
+		}
+		outL, outP, tr := ex.FlushValues()
+		for i, lid := range outL {
+			vals[lid] = outP[i]
+		}
+		local := int64(len(e.changed))
+		if e.complete {
+			if tr.Sum(0) == 0 {
+				// The counter certifies the PREVIOUS round changed
+				// nothing anywhere, which makes the round just executed
+				// a global no-op: report the same productive-round
+				// count as the sync engine.
+				iters--
+				break
+			}
+			prevLocal = local
+		} else if mpi.AllreduceScalar(g.Comm, local, mpi.Sum) == 0 {
+			break
+		}
+	}
+	return iters
+}

@@ -88,11 +88,9 @@ func Partition(g *dgraph.Graph, opt Options) ([]int32, Report, error) {
 	s.imbE = (1 + opt.EdgeImbalance) * float64(2*g.MGlobal) / float64(s.p)
 	if opt.Exchange == ExchangeAsyncDelta {
 		s.ex = g.AsyncExchanger()
-		full := int64(0)
-		if len(s.ex.NeighborRanks()) == g.Comm.Size()-1 {
-			full = 1
-		}
-		s.tallyExact = mpi.AllreduceScalar(g.Comm, full, mpi.Min) == 1
+		// Shared with the overlapped analytics engines: collective on
+		// the first call per graph, cached after.
+		s.tallyExact = s.ex.NeighborhoodComplete()
 		s.epoch = opt.SizeEpoch
 		if s.epoch == 0 && !s.tallyExact {
 			// Piggybacked tallies miss non-neighbor ranks here; resync

@@ -2,6 +2,8 @@ package dgraph
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 
 	"repro/internal/mpi"
@@ -15,17 +17,31 @@ import (
 // gid-sorted list of vertices shared with it — so updates name their
 // vertex by an index into the shared list instead of by global id and
 // travel over nonblocking point-to-point messages. Three flows ride
-// the same plan:
+// the same plan, all split-phase (post, overlap compute, settle):
 //
-//   - Update flow (Begin/Flush): 32-bit part labels packed one element
-//     per update, with the receive side drained on a background
-//     goroutine while the rank's worker threads are still propagating
-//     labels, and an optional piggybacked tally frame (mpi.AppendTally)
-//     that lets a round double as the iteration's reduction.
-//   - Value flow (ExchangeValues): full 64-bit payloads owner → ghost,
-//     for the analytics helpers ExchangeInt64/ExchangeFloat64.
-//   - Reverse flow (PushValues): full 64-bit payloads ghost → owner,
-//     for frontier algorithms (PushToOwners).
+//   - Update flow (Begin/Flush, BeginTally/FlushTally): 32-bit part
+//     labels packed one element per update, with the receive side
+//     drained on a background goroutine while the rank's worker
+//     threads are still propagating labels, and an optional
+//     piggybacked tally frame (mpi.AppendTally) that lets a round
+//     double as the iteration's reduction.
+//   - Value flow (BeginValues/FlushValues): full 64-bit payloads
+//     owner → ghost, for the analytics helpers
+//     ExchangeInt64/ExchangeFloat64 and the overlapped analytics
+//     engines. Begin posts the sends and the drainer; the caller
+//     computes interior work while messages are in flight and settles
+//     ghosts at Flush.
+//   - Reverse flow (BeginPush/FlushPush): full 64-bit payloads
+//     ghost → owner, for frontier algorithms (PushToOwners).
+//
+// Value rounds carry their tally frames per source (TallyRound)
+// instead of pre-summed, so float partial sums can be folded in global
+// rank order — bit-identical to the Allreduce they replace.
+//
+// Every round runs on a persistent per-exchanger drainer goroutine and
+// reusable encode/decode arenas, with transfer copies drawn from the
+// mpi world's buffer pool (Isend64/Recv64/Recycle64): a steady-state
+// round performs zero heap allocations on either side.
 
 // ghostTarget records one destination of an owned boundary vertex:
 // which neighbor (by position in the plan's sendRanks) ghosts it and
@@ -139,6 +155,17 @@ func unpackUpdate(w int64) (idx int32, value int32) {
 	return int32(uint32(uint64(w) >> 32)), int32(uint32(uint64(w)))
 }
 
+// roundKind discriminates the three split-phase round types.
+type roundKind int8
+
+// Round kinds.
+const (
+	roundNone roundKind = iota
+	roundUpdates
+	roundValuesFwd
+	roundValuesRev
+)
+
 // DeltaExchanger runs rounds of delta-only boundary exchange over
 // nonblocking point-to-point messages. Usage per update round,
 // collectively on every rank of the graph's communicator:
@@ -146,43 +173,104 @@ func unpackUpdate(w int64) (idx int32, value int32) {
 //	ex.Begin()                  // post receives, then compute locally
 //	in := ex.Flush(updates)     // ship deltas, collect incoming
 //
-// Begin starts a background drainer that receives and decodes each
-// neighbor's message while the caller is still computing; Flush sends
-// this rank's queued updates (one message per boundary neighbor, empty
-// when nothing changed) and then joins the drainer. The
+// Begin tells the exchanger's background drainer to receive and decode
+// each neighbor's message while the caller is still computing; Flush
+// sends this rank's queued updates (one message per boundary neighbor,
+// empty when nothing changed) and then joins the drainer. The
 // BeginTally/FlushTally variants additionally piggyback a small
 // reduction vector on the same messages, which is how the partitioner
-// settles part sizes without an Allreduce. ExchangeValues and
-// PushValues reuse the same boundary plan for blocking 64-bit value
-// exchanges (forward and reverse), behind Graph.SetAsyncExchange.
+// settles part sizes without an Allreduce.
+//
+// The value flows are split-phase too: BeginValues/FlushValues ship
+// full 64-bit payloads owner → ghost, BeginPush/FlushPush ghost →
+// owner, both with optional per-source tally frames (TallyRound).
+// Begin posts the sends and the drainer, so the caller can compute
+// interior work while the messages are in flight; Flush joins and
+// returns the incoming pairs. ExchangeValues and PushValues are the
+// blocking compositions behind Graph.SetAsyncExchange.
 //
 // Every rank must call the same sequence of rounds or peers deadlock,
 // exactly as they would skipping a collective. Calling Flush without
 // Begin is allowed (the receive side is posted on entry, losing only
-// overlap).
+// overlap). Slices returned by a round alias per-exchanger arenas and
+// stay valid only until the next round is posted.
 type DeltaExchanger struct {
-	g       *Graph
-	plan    *boundaryPlan
-	pending chan drainResult
-	// tallyLen is the tally length the pending round's drainer expects;
-	// Flush must pass a tally of exactly this length.
+	g    *Graph
+	plan *boundaryPlan
+
+	// The persistent background drainer: one goroutine per exchanger,
+	// started on first use and shut down by a finalizer when the
+	// exchanger is collected. Posting a round costs a channel send
+	// instead of a goroutine spawn, and the drainer's decode arenas
+	// persist across rounds — both load-bearing for the zero-allocation
+	// steady state.
+	reqCh chan drainReq
+	resCh chan drainResult
+
+	// pending is the kind of the posted-but-unflushed round; tallyLen
+	// its declared tally frame length; ownTally the caller's own
+	// contribution for the pending value round.
+	pending  roundKind
 	tallyLen int
-	// sendBufs are reusable per-neighbor encode buffers.
+	ownTally []int64
+
+	// sendBufs are reusable per-neighbor encode buffers (update flow).
 	sendBufs [][]int64
-	// Rounds counts completed Flush calls (diagnostics and tests).
+	// fwdIdx/fwdVal/fwdEnc are the owner→ghost value-flow arenas, one
+	// per send neighbor; revIdx/revVal/revEnc the ghost→owner
+	// counterparts, one per receive neighbor.
+	fwdIdx [][]int32
+	fwdVal [][]int64
+	fwdEnc [][]int64
+	revIdx [][]int32
+	revVal [][]int64
+	revEnc [][]int64
+
+	// complete caches NeighborhoodComplete: 0 unknown, 1 yes, 2 no.
+	complete int8
+
+	// Rounds counts completed rounds (diagnostics and tests).
 	Rounds int64
 }
 
-// drainResult is what the background drainer hands back to Flush: the
-// decoded updates and summed tallies, or the panic it recovered.
-// Panics must travel back to the rank's main goroutine — re-raised
-// from Flush — so mpi.Run's per-rank recovery sees them; a panic
-// escaping on the drainer goroutine itself would kill the whole
-// process.
+// drainReq tells the drainer what the next round receives: which
+// direction's messages and how long their tally frames are.
+type drainReq struct {
+	kind     roundKind
+	tallyLen int
+}
+
+// drainResult is what the background drainer hands back at Flush: the
+// decoded updates and summed tallies (update rounds) or decoded pairs
+// and per-source tally frames (value rounds), or the panic it
+// recovered. Panics must travel back to the rank's main goroutine —
+// re-raised from Flush — so mpi.Run's per-rank recovery sees them; a
+// panic escaping on the drainer goroutine itself would kill the whole
+// process. All slices alias the drainer's arenas.
 type drainResult struct {
 	updates  []Update
 	tally    []int64
+	outL     []int32
+	outP     []int64
+	tallies  []int64
 	panicked any
+}
+
+// drainer is the background half of one exchanger. It deliberately
+// holds no reference back to the DeltaExchanger, so the exchanger can
+// be collected (its finalizer closes req, ending the goroutine).
+type drainer struct {
+	comm *mpi.Comm
+	plan *boundaryPlan
+	req  chan drainReq
+	res  chan drainResult
+
+	// Decode arenas, reused across rounds.
+	updates []Update
+	tally   []int64
+	outL    []int32
+	outP    []int64
+	tallies []int64
 }
 
 // NewDeltaExchanger builds the boundary plan for g. Construction is
@@ -194,7 +282,118 @@ func (g *Graph) NewDeltaExchanger() *DeltaExchanger {
 		g:        g,
 		plan:     plan,
 		sendBufs: make([][]int64, len(plan.sendRanks)),
+		fwdIdx:   make([][]int32, len(plan.sendRanks)),
+		fwdVal:   make([][]int64, len(plan.sendRanks)),
+		fwdEnc:   make([][]int64, len(plan.sendRanks)),
+		revIdx:   make([][]int32, len(plan.recvRanks)),
+		revVal:   make([][]int64, len(plan.recvRanks)),
+		revEnc:   make([][]int64, len(plan.recvRanks)),
 	}
+}
+
+// ensureDrainer lazily starts the exchanger's persistent drainer.
+func (ex *DeltaExchanger) ensureDrainer() {
+	if ex.reqCh != nil {
+		return
+	}
+	d := &drainer{
+		comm: ex.g.Comm,
+		plan: ex.plan,
+		req:  make(chan drainReq, 1),
+		res:  make(chan drainResult, 1),
+	}
+	ex.reqCh, ex.resCh = d.req, d.res
+	go d.loop()
+	runtime.SetFinalizer(ex, finalizeExchanger)
+}
+
+// finalizeExchanger releases the drainer goroutine of a collected
+// exchanger.
+func finalizeExchanger(ex *DeltaExchanger) {
+	if ex.reqCh != nil {
+		close(ex.reqCh)
+	}
+}
+
+// loop serves drain requests until the request channel closes. Each
+// iteration recovers panics (mailbox poison after a sibling rank's
+// crash, malformed frames) into the result so the main goroutine
+// re-raises them.
+func (d *drainer) loop() {
+	for req := range d.req {
+		var res drainResult
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					res.panicked = p
+				}
+			}()
+			if req.kind == roundUpdates {
+				res = d.drainUpdates(req.tallyLen)
+			} else {
+				res = d.drainValues(req.kind, req.tallyLen)
+			}
+		}()
+		d.res <- res
+	}
+}
+
+// resizeZero returns buf with length n and all elements zero, reusing
+// its capacity when possible.
+func resizeZero(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// drainUpdates receives one update-flow message from every boundary
+// neighbor, decoding packed updates and summing tally frames.
+func (d *drainer) drainUpdates(tallyLen int) drainResult {
+	d.updates = d.updates[:0]
+	d.tally = resizeZero(d.tally, tallyLen)
+	for i, src := range d.plan.recvRanks {
+		lids := d.plan.recvLists[i]
+		msg := mpi.Recv64(d.comm, int(src))
+		for _, w := range mpi.SplitTally(msg, d.tally) {
+			idx, value := unpackUpdate(w)
+			if int(idx) >= len(lids) {
+				panic(fmt.Sprintf("dgraph: rank %d: delta index %d outside shared list of %d with rank %d",
+					d.comm.Rank(), idx, len(lids), src))
+			}
+			d.updates = append(d.updates, Update{LID: lids[idx], Value: value})
+		}
+		d.comm.Recycle64(msg)
+	}
+	return drainResult{updates: d.updates, tally: d.tally}
+}
+
+// drainValues receives one value-flow message from every neighbor of
+// the given direction, decoding (lid, payload) pairs and capturing each
+// source's tally frame separately (value tallies are folded caller-side
+// so float partial sums can keep global rank order).
+func (d *drainer) drainValues(kind roundKind, tallyLen int) drainResult {
+	srcs, lists := d.plan.recvRanks, d.plan.recvLists
+	if kind == roundValuesRev {
+		srcs, lists = d.plan.sendRanks, d.plan.sendLists
+	}
+	d.outL = d.outL[:0]
+	d.outP = d.outP[:0]
+	d.tallies = resizeZero(d.tallies, len(srcs)*tallyLen)
+	for i, src := range srcs {
+		msg := mpi.Recv64(d.comm, int(src))
+		body := msg
+		if tallyLen > 0 {
+			body = mpi.SplitTally(msg, d.tallies[i*tallyLen:(i+1)*tallyLen])
+		}
+		d.outL, d.outP = decodeValues(int(src), body, lists[i], d.outL, d.outP)
+		d.comm.Recycle64(msg)
+	}
+	return drainResult{outL: d.outL, outP: d.outP, tallies: d.tallies}
 }
 
 // NeighborRanks returns the ranks this exchanger sends to (the ranks
@@ -242,45 +441,35 @@ func (ex *DeltaExchanger) gidsOf(lids []int32) []int64 {
 // BeginTally(0). Begin must be followed by exactly one Flush.
 func (ex *DeltaExchanger) Begin() { ex.BeginTally(0) }
 
-// BeginTally posts the receive side of the next round: a background
-// drainer that takes one message from each boundary neighbor as it
-// arrives, decoding into ghost-lid updates while the caller's compute
-// is still in flight. tallyLen declares the length of the piggybacked
-// tally frame every neighbor's message will carry this round (0 for
-// none); the matching FlushTally must pass a tally of exactly that
-// length. BeginTally must be followed by exactly one Flush/FlushTally.
+// BeginTally posts the receive side of the next update round: the
+// exchanger's background drainer takes one message from each boundary
+// neighbor as it arrives, decoding into ghost-lid updates while the
+// caller's compute is still in flight. tallyLen declares the length of
+// the piggybacked tally frame every neighbor's message will carry this
+// round (0 for none); the matching FlushTally must pass a tally of
+// exactly that length. BeginTally must be followed by exactly one
+// Flush/FlushTally.
 func (ex *DeltaExchanger) BeginTally(tallyLen int) {
-	if ex.pending != nil {
+	if ex.pending != roundNone {
 		panic("dgraph: DeltaExchanger.Begin called twice without Flush")
 	}
-	plan := ex.plan
-	ch := make(chan drainResult, 1)
-	ex.pending = ch
+	ex.ensureDrainer()
+	ex.pending = roundUpdates
 	ex.tallyLen = tallyLen
-	go func() {
-		var res drainResult
-		if tallyLen > 0 {
-			res.tally = make([]int64, tallyLen)
-		}
-		defer func() {
-			if p := recover(); p != nil {
-				res.panicked = p
-			}
-			ch <- res
-		}()
-		for i, src := range plan.recvRanks {
-			lids := plan.recvLists[i]
-			msg := mpi.Irecv[int64](ex.g.Comm, int(src)).Await()
-			for _, w := range mpi.SplitTally(msg, res.tally) {
-				idx, value := unpackUpdate(w)
-				if int(idx) >= len(lids) {
-					panic(fmt.Sprintf("dgraph: rank %d: delta index %d outside shared list of %d with rank %d",
-						ex.g.Comm.Rank(), idx, len(lids), src))
-				}
-				res.updates = append(res.updates, Update{LID: lids[idx], Value: value})
-			}
-		}
-	}()
+	ex.reqCh <- drainReq{kind: roundUpdates, tallyLen: tallyLen}
+}
+
+// join collects the pending round's result from the drainer, re-raising
+// any panic it recovered.
+func (ex *DeltaExchanger) join() drainResult {
+	res := <-ex.resCh
+	ex.pending = roundNone
+	ex.ownTally = nil
+	if res.panicked != nil {
+		panic(res.panicked)
+	}
+	ex.Rounds++
+	return res
 }
 
 // Flush is FlushTally without a tally frame.
@@ -296,10 +485,14 @@ func (ex *DeltaExchanger) Flush(q []Update) []Update {
 // together with the element-wise sum of the neighbors' tallies (nil
 // when the round carries none). len(tally) must equal the pending
 // round's tallyLen on every rank — the tally is part of the message
-// framing, so a mismatch corrupts decoding on the peer.
+// framing, so a mismatch corrupts decoding on the peer. The returned
+// slices alias exchanger arenas and are valid until the next round.
 func (ex *DeltaExchanger) FlushTally(q []Update, tally []int64) ([]Update, []int64) {
-	if ex.pending == nil {
+	if ex.pending == roundNone {
 		ex.BeginTally(len(tally))
+	}
+	if ex.pending != roundUpdates {
+		panic("dgraph: FlushTally during a pending value round")
 	}
 	if len(tally) != ex.tallyLen {
 		panic(fmt.Sprintf("dgraph: FlushTally with tally length %d, Begin posted %d", len(tally), ex.tallyLen))
@@ -316,19 +509,34 @@ func (ex *DeltaExchanger) FlushTally(q []Update, tally []int64) ([]Update, []int
 			ex.sendBufs[t.rankPos] = append(ex.sendBufs[t.rankPos], packUpdate(t.idx, upd.Value))
 		}
 	}
-	reqs := make([]mpi.Request, len(plan.sendRanks))
 	for i, dst := range plan.sendRanks {
 		ex.sendBufs[i] = mpi.AppendTally(ex.g.Comm, ex.sendBufs[i], tally)
-		reqs[i] = mpi.Isend(ex.g.Comm, int(dst), ex.sendBufs[i])
+		mpi.Isend64(ex.g.Comm, int(dst), ex.sendBufs[i])
 	}
-	mpi.Waitall(reqs...)
-	res := <-ex.pending
-	ex.pending = nil
-	if res.panicked != nil {
-		panic(res.panicked)
-	}
-	ex.Rounds++
+	res := ex.join()
 	return res.updates, res.tally
+}
+
+// NeighborhoodComplete reports whether every rank of the communicator
+// neighbors every other rank — the condition under which tallies
+// piggybacked on boundary messages already sum over all ranks, making
+// piggybacked reductions (part sizes, convergence counters, PageRank's
+// dangling mass) exact without any Allreduce. The first call is
+// collective (one Allreduce, the detection the partitioner and the
+// overlapped analytics share); the result is cached.
+func (ex *DeltaExchanger) NeighborhoodComplete() bool {
+	if ex.complete == 0 {
+		full := int64(0)
+		if len(ex.plan.sendRanks) == ex.g.Comm.Size()-1 {
+			full = 1
+		}
+		if mpi.AllreduceScalar(ex.g.Comm, full, mpi.Min) == 1 {
+			ex.complete = 1
+		} else {
+			ex.complete = 2
+		}
+	}
+	return ex.complete == 1
 }
 
 // Value-flow wire format (ExchangeValues and PushValues). One message
@@ -346,13 +554,13 @@ func (ex *DeltaExchanger) FlushTally(q []Update, tally []int64) ([]Update, []int
 // full boundary in lid order, PageRank-style.
 const denseHeader = -1
 
-// encodeValues builds one value-flow message for a neighbor whose
-// shared list has listLen entries; idxs/vals hold this round's pairs in
-// queue order.
-func encodeValues(listLen int, idxs []int32, vals []int64) []int64 {
+// encodeValues appends one value-flow message for a neighbor whose
+// shared list has listLen entries onto dst (a reusable per-neighbor
+// arena); idxs/vals hold this round's pairs in queue order.
+func encodeValues(dst []int64, listLen int, idxs []int32, vals []int64) []int64 {
 	k := len(idxs)
 	if k == 0 {
-		return nil
+		return dst
 	}
 	dense := k == listLen
 	if dense {
@@ -364,21 +572,18 @@ func encodeValues(listLen int, idxs []int32, vals []int64) []int64 {
 		}
 	}
 	if dense {
-		msg := make([]int64, 0, 1+k)
-		msg = append(msg, denseHeader)
-		return append(msg, vals...)
+		dst = append(dst, denseHeader)
+		return append(dst, vals...)
 	}
-	np := (k + 1) / 2
-	msg := make([]int64, 0, 1+np+k)
-	msg = append(msg, int64(k))
+	dst = append(dst, int64(k))
 	for j := 0; j < k; j += 2 {
 		hi, lo := idxs[j], int32(0)
 		if j+1 < k {
 			lo = idxs[j+1]
 		}
-		msg = append(msg, packUpdate(hi, lo))
+		dst = append(dst, packUpdate(hi, lo))
 	}
-	return append(msg, vals...)
+	return append(dst, vals...)
 }
 
 // decodeValues appends one value-flow message's (lid, payload) pairs —
@@ -415,73 +620,182 @@ func decodeValues(rank int, msg []int64, list []int32, outL []int32, outP []int6
 	return outL, outP
 }
 
+// TallyRound is the piggybacked reduction one split-phase value round
+// collected: this rank's own contribution plus one frame per source
+// neighbor, kept separate so the caller controls fold order. On a
+// complete rank neighborhood the fold covers every rank, so it
+// replaces the round's Allreduce exactly.
+type TallyRound struct {
+	own  []int64
+	srcs []int32
+	flat []int64
+	n    int
+	rank int32
+}
+
+// Len returns the round's tally frame length.
+func (t TallyRound) Len() int { return t.n }
+
+// Sum returns own[i] plus entry i of every received frame — the global
+// sum for order-insensitive integer counters (convergence counts).
+func (t TallyRound) Sum(i int) int64 {
+	s := t.own[i]
+	for f := 0; f < len(t.srcs); f++ {
+		s += t.flat[f*t.n+i]
+	}
+	return s
+}
+
+// FoldFloat folds entry i as float64 bit patterns in ascending global
+// rank order, with this rank's own contribution at its rank position —
+// the exact accumulation order of mpi.Allreduce(Sum), so on complete
+// neighborhoods the result is bit-identical to the Allreduce it
+// replaces.
+func (t TallyRound) FoldFloat(i int) float64 {
+	var sum float64
+	first := true
+	add := func(bits int64) {
+		v := math.Float64frombits(uint64(bits))
+		if first {
+			sum, first = v, false
+			return
+		}
+		sum += v
+	}
+	ownDone := false
+	for f, src := range t.srcs {
+		if !ownDone && t.rank < src {
+			add(t.own[i])
+			ownDone = true
+		}
+		add(t.flat[f*t.n+i])
+	}
+	if !ownDone {
+		add(t.own[i])
+	}
+	return sum
+}
+
+// BeginValues posts a split-phase owner → ghost value round: it encodes
+// and sends full 64-bit payloads for the given owned vertices to every
+// neighbor ghosting them — with the rank's tally frame appended to each
+// message (tally may be nil) — and tells the background drainer to
+// start collecting the symmetric incoming messages. The caller then
+// computes work that does not read ghost values (interior vertices)
+// while the messages are in flight, and settles with FlushValues.
+// tally must stay untouched until FlushValues returns.
+func (ex *DeltaExchanger) BeginValues(lids []int32, payloads []int64, tally []int64) {
+	if ex.pending != roundNone {
+		panic("dgraph: BeginValues during a pending round")
+	}
+	ex.ensureDrainer()
+	plan := ex.plan
+	for i := range ex.fwdIdx {
+		ex.fwdIdx[i] = ex.fwdIdx[i][:0]
+		ex.fwdVal[i] = ex.fwdVal[i][:0]
+	}
+	for qi, lid := range lids {
+		if int(lid) >= len(plan.targets) {
+			panic(fmt.Sprintf("dgraph: BeginValues with non-owned lid %d", lid))
+		}
+		for _, t := range plan.targets[lid] {
+			ex.fwdIdx[t.rankPos] = append(ex.fwdIdx[t.rankPos], t.idx)
+			ex.fwdVal[t.rankPos] = append(ex.fwdVal[t.rankPos], payloads[qi])
+		}
+	}
+	ex.pending = roundValuesFwd
+	ex.tallyLen = len(tally)
+	ex.ownTally = tally
+	ex.reqCh <- drainReq{kind: roundValuesFwd, tallyLen: len(tally)}
+	for i, dst := range plan.sendRanks {
+		buf := encodeValues(ex.fwdEnc[i][:0], len(plan.sendLists[i]), ex.fwdIdx[i], ex.fwdVal[i])
+		buf = mpi.AppendTally(ex.g.Comm, buf, tally)
+		ex.fwdEnc[i] = buf
+		mpi.Isend64(ex.g.Comm, int(dst), buf)
+	}
+}
+
+// FlushValues joins the round posted by BeginValues and returns the
+// (ghost lid, payload) pairs received plus the round's tally frames.
+// The returned slices alias exchanger arenas and are valid until the
+// next round.
+func (ex *DeltaExchanger) FlushValues() ([]int32, []int64, TallyRound) {
+	if ex.pending != roundValuesFwd {
+		panic("dgraph: FlushValues without a pending BeginValues round")
+	}
+	own, n := ex.ownTally, ex.tallyLen
+	res := ex.join()
+	tr := TallyRound{own: own, srcs: ex.plan.recvRanks, flat: res.tallies, n: n, rank: int32(ex.g.Comm.Rank())}
+	return res.outL, res.outP, tr
+}
+
+// BeginPush posts a split-phase ghost → owner value round: payloads for
+// the given ghost vertices travel to their owning ranks, with the
+// rank's tally frame appended to each message. Settle with FlushPush.
+func (ex *DeltaExchanger) BeginPush(lids []int32, payloads []int64, tally []int64) {
+	if ex.pending != roundNone {
+		panic("dgraph: BeginPush during a pending round")
+	}
+	ex.ensureDrainer()
+	plan := ex.plan
+	for i := range ex.revIdx {
+		ex.revIdx[i] = ex.revIdx[i][:0]
+		ex.revVal[i] = ex.revVal[i][:0]
+	}
+	for qi, lid := range lids {
+		gi := int(lid) - ex.g.NLocal
+		if gi < 0 || gi >= ex.g.NGhost {
+			panic(fmt.Sprintf("dgraph: BeginPush with owned lid %d", lid))
+		}
+		pos := plan.ghostRankPos[gi]
+		ex.revIdx[pos] = append(ex.revIdx[pos], plan.ghostIdx[gi])
+		ex.revVal[pos] = append(ex.revVal[pos], payloads[qi])
+	}
+	ex.pending = roundValuesRev
+	ex.tallyLen = len(tally)
+	ex.ownTally = tally
+	ex.reqCh <- drainReq{kind: roundValuesRev, tallyLen: len(tally)}
+	for i, dst := range plan.recvRanks {
+		buf := encodeValues(ex.revEnc[i][:0], len(plan.recvLists[i]), ex.revIdx[i], ex.revVal[i])
+		buf = mpi.AppendTally(ex.g.Comm, buf, tally)
+		ex.revEnc[i] = buf
+		mpi.Isend64(ex.g.Comm, int(dst), buf)
+	}
+}
+
+// FlushPush joins the round posted by BeginPush and returns the
+// (owned lid, payload) pairs received plus the round's tally frames.
+// The returned slices alias exchanger arenas and are valid until the
+// next round.
+func (ex *DeltaExchanger) FlushPush() ([]int32, []int64, TallyRound) {
+	if ex.pending != roundValuesRev {
+		panic("dgraph: FlushPush without a pending BeginPush round")
+	}
+	own, n := ex.ownTally, ex.tallyLen
+	res := ex.join()
+	tr := TallyRound{own: own, srcs: ex.plan.sendRanks, flat: res.tallies, n: n, rank: int32(ex.g.Comm.Rank())}
+	return res.outL, res.outP, tr
+}
+
 // ExchangeValues ships full 64-bit payloads for the given owned
 // vertices to every neighbor ghosting them — the value-flow engine
 // behind ExchangeInt64/ExchangeFloat64 in async mode — and returns the
-// (ghost lid, payload) pairs received from neighbors. It is a
-// collective over the graph's communicator; it must not overlap a
-// pending Begin round.
+// (ghost lid, payload) pairs received from neighbors. It is the
+// blocking composition of BeginValues and FlushValues; it must not
+// overlap a pending round.
 func (ex *DeltaExchanger) ExchangeValues(lids []int32, payloads []int64) ([]int32, []int64) {
-	if ex.pending != nil {
-		panic("dgraph: ExchangeValues during a pending update round")
-	}
-	plan := ex.plan
-	nIdx := make([][]int32, len(plan.sendRanks))
-	nVal := make([][]int64, len(plan.sendRanks))
-	for qi, lid := range lids {
-		if int(lid) >= len(plan.targets) {
-			panic(fmt.Sprintf("dgraph: ExchangeValues with non-owned lid %d", lid))
-		}
-		for _, t := range plan.targets[lid] {
-			nIdx[t.rankPos] = append(nIdx[t.rankPos], t.idx)
-			nVal[t.rankPos] = append(nVal[t.rankPos], payloads[qi])
-		}
-	}
-	reqs := make([]mpi.Request, len(plan.sendRanks))
-	for i, dst := range plan.sendRanks {
-		reqs[i] = mpi.Isend(ex.g.Comm, int(dst), encodeValues(len(plan.sendLists[i]), nIdx[i], nVal[i]))
-	}
-	mpi.Waitall(reqs...)
-	var outL []int32
-	var outP []int64
-	for i, src := range plan.recvRanks {
-		msg := mpi.Irecv[int64](ex.g.Comm, int(src)).Await()
-		outL, outP = decodeValues(int(src), msg, plan.recvLists[i], outL, outP)
-	}
+	ex.BeginValues(lids, payloads, nil)
+	outL, outP, _ := ex.FlushValues()
 	return outL, outP
 }
 
 // PushValues ships full 64-bit payloads for the given ghost vertices to
 // their owning ranks — the reverse flow behind PushToOwners in async
-// mode — and returns the (owned lid, payload) pairs received. It is a
-// collective over the graph's communicator; it must not overlap a
-// pending Begin round.
+// mode — and returns the (owned lid, payload) pairs received. It is
+// the blocking composition of BeginPush and FlushPush; it must not
+// overlap a pending round.
 func (ex *DeltaExchanger) PushValues(lids []int32, payloads []int64) ([]int32, []int64) {
-	if ex.pending != nil {
-		panic("dgraph: PushValues during a pending update round")
-	}
-	plan := ex.plan
-	nIdx := make([][]int32, len(plan.recvRanks))
-	nVal := make([][]int64, len(plan.recvRanks))
-	for qi, lid := range lids {
-		gi := int(lid) - ex.g.NLocal
-		if gi < 0 || gi >= ex.g.NGhost {
-			panic(fmt.Sprintf("dgraph: PushValues with owned lid %d", lid))
-		}
-		pos := plan.ghostRankPos[gi]
-		nIdx[pos] = append(nIdx[pos], plan.ghostIdx[gi])
-		nVal[pos] = append(nVal[pos], payloads[qi])
-	}
-	reqs := make([]mpi.Request, len(plan.recvRanks))
-	for i, dst := range plan.recvRanks {
-		reqs[i] = mpi.Isend(ex.g.Comm, int(dst), encodeValues(len(plan.recvLists[i]), nIdx[i], nVal[i]))
-	}
-	mpi.Waitall(reqs...)
-	var outL []int32
-	var outP []int64
-	for i, src := range plan.sendRanks {
-		msg := mpi.Irecv[int64](ex.g.Comm, int(src)).Await()
-		outL, outP = decodeValues(int(src), msg, plan.sendLists[i], outL, outP)
-	}
+	ex.BeginPush(lids, payloads, nil)
+	outL, outP, _ := ex.FlushPush()
 	return outL, outP
 }

@@ -42,8 +42,11 @@ type Graph struct {
 	// GhostOwner[i] is the owning rank of ghost NLocal+i.
 	GhostOwner []int32
 
-	// boundary caches BoundaryVertices.
-	boundary []int32
+	// boundary caches BoundaryVertices; interior its complement;
+	// boundaryMark the membership bitmap behind IsBoundaryVertex.
+	boundary     []int32
+	interior     []int32
+	boundaryMark []bool
 	// deltaEx caches the graph's delta exchanger (AsyncExchanger).
 	deltaEx *DeltaExchanger
 	// asyncRoute, when true, routes ExchangeInt64, ExchangeFloat64, and
@@ -458,20 +461,51 @@ func (g *Graph) exchangeValues(lids []int32, payloads []int64) ([]int32, []int64
 // ghost neighbor — the vertices whose values other ranks ghost. The
 // result is cached after the first call.
 func (g *Graph) BoundaryVertices() []int32 {
-	if g.boundary != nil {
-		return g.boundary
+	if g.boundaryMark == nil {
+		g.classifyBoundary()
 	}
-	out := make([]int32, 0, g.NGhost)
+	return g.boundary
+}
+
+// InteriorVertices returns the owned local ids with no ghost neighbor,
+// ascending — the complement of BoundaryVertices. Interior vertices
+// read only rank-local values, which is what lets the overlapped
+// analytics engines compute them while boundary messages are in
+// flight. The result is cached after the first call.
+func (g *Graph) InteriorVertices() []int32 {
+	if g.boundaryMark == nil {
+		g.classifyBoundary()
+	}
+	return g.interior
+}
+
+// IsBoundaryVertex reports whether owned vertex v has a ghost neighbor.
+func (g *Graph) IsBoundaryVertex(v int32) bool {
+	if g.boundaryMark == nil {
+		g.classifyBoundary()
+	}
+	return g.boundaryMark[v]
+}
+
+// classifyBoundary derives the boundary/interior split once per graph.
+func (g *Graph) classifyBoundary() {
+	mark := make([]bool, g.NLocal)
+	bnd := make([]int32, 0, g.NGhost)
+	inr := make([]int32, 0, g.NLocal)
 	for v := 0; v < g.NLocal; v++ {
 		for _, u := range g.Neighbors(int32(v)) {
 			if g.IsGhost(u) {
-				out = append(out, int32(v))
+				mark[v] = true
 				break
 			}
 		}
+		if mark[v] {
+			bnd = append(bnd, int32(v))
+		} else {
+			inr = append(inr, int32(v))
+		}
 	}
-	g.boundary = out
-	return out
+	g.boundary, g.interior, g.boundaryMark = bnd, inr, mark
 }
 
 // GatherGlobal reconstructs a global int32 array (for example part

@@ -27,14 +27,21 @@
 //     gid-sorted list of shared vertices, derived independently and
 //     identically on both sides of each pair — so updates name
 //     vertices by shared-list index, travel as packed elements over
-//     nonblocking point-to-point messages, and the receive side can
-//     drain on a background goroutine concurrently with local compute.
-//     Messages may additionally piggyback tally frames
-//     (mpi.AppendTally) so an exchange round doubles as a reduction.
+//     nonblocking point-to-point messages, and the receive side drains
+//     on a persistent background goroutine concurrently with local
+//     compute. Every flow is split-phase (Begin/Flush,
+//     BeginValues/FlushValues, BeginPush/FlushPush); messages may
+//     additionally piggyback tally frames (mpi.AppendTally) so an
+//     exchange round doubles as a reduction, with value rounds keeping
+//     the frames per source (TallyRound) so float partial sums fold in
+//     global rank order. Steady-state rounds allocate nothing: encode
+//     and decode buffers are per-exchanger arenas and transfer copies
+//     come from the mpi buffer pool.
 //
 // SetAsyncExchange routes the generic helpers (ExchangeInt64,
 // ExchangeFloat64, PushToOwners) through the delta engine; the
-// partitioner drives the update flow (Begin/Flush) directly. Both
+// partitioner drives the update flow (Begin/Flush) directly, and the
+// overlapped analytics engines drive the split-phase value flows. Both
 // transports deliver identical results — the choice is pure transport,
 // observable only in mpi.Stats traffic counters and wall time.
 package dgraph

@@ -1,7 +1,11 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
+	"time"
 
 	"repro"
 	"repro/internal/analytics"
@@ -20,18 +24,83 @@ import (
 //     per-iteration settle barrier the piggybacked tallies retire),
 //     and the edge cut — which must be identical, the async path is a
 //     pure transport change at fixed seeds.
-//   - Analytics: the ExchangeInt64/ExchangeFloat64/PushToOwners value
-//     flows driven by PageRank, WCC, and a BFS sweep.
+//   - Analytics: the value flows driven by PageRank, WCC, and a BFS
+//     sweep. The async engine runs them split-phase with the
+//     convergence counters piggybacked on the messages, so its
+//     Allreduce count collapses and its steady-state rounds allocate
+//     nothing (the Allocs/rnd column measures one boundary value round
+//     end to end).
 //   - SpMV: the expand/fold phases under 1D and 2D layouts, where the
 //     async engine also bypasses self-destined shares.
+//
+// With Config.JSONPath set, the same measurements are written as JSON
+// (BENCH_exchange.json) for machine consumption.
 func Exchange(cfg Config) error {
-	if err := exchangePartition(cfg); err != nil {
+	var rows []ExchangeRow
+	if err := exchangePartition(cfg, &rows); err != nil {
 		return err
 	}
-	if err := exchangeAnalytics(cfg); err != nil {
+	if err := exchangeAnalytics(cfg, &rows); err != nil {
 		return err
 	}
-	return exchangeSpMV(cfg)
+	if err := exchangeSpMV(cfg, &rows); err != nil {
+		return err
+	}
+	return writeExchangeJSON(cfg, rows)
+}
+
+// ExchangeRow is one machine-readable measurement of the exchange
+// comparison. Fields a path does not measure are pointers left nil and
+// omitted from the JSON, so a consumer can tell "measured zero" (the
+// async engine's headline allocation result) from "not applicable".
+type ExchangeRow struct {
+	// Path is the communication path: partition, analytics, or spmv.
+	Path  string `json:"path"`
+	Graph string `json:"graph"`
+	Ranks int    `json:"ranks"`
+	// Layout is set for spmv rows (1d or 2d).
+	Layout string `json:"layout,omitempty"`
+	// Mode is sync or async-delta.
+	Mode        string  `json:"mode"`
+	WallSeconds float64 `json:"wallSeconds"`
+	// ExchElems is the total element volume all ranks sent.
+	ExchElems int64 `json:"exchElems"`
+	// Reductions counts Allreduce operations (partition and analytics
+	// paths).
+	Reductions *int64 `json:"reductions,omitempty"`
+	// AllocsPerRound is the measured steady-state heap allocations of
+	// one boundary value round across all ranks (analytics path).
+	AllocsPerRound *float64 `json:"allocsPerRound,omitempty"`
+	// EdgeCut is the partition quality (partition path).
+	EdgeCut *float64 `json:"edgeCut,omitempty"`
+}
+
+// ptr boxes a measured value for ExchangeRow's optional fields.
+func ptr[T any](v T) *T { return &v }
+
+// writeExchangeJSON writes the collected rows to cfg.JSONPath (no-op
+// when unset).
+func writeExchangeJSON(cfg Config, rows []ExchangeRow) error {
+	if cfg.JSONPath == "" {
+		return nil
+	}
+	doc := struct {
+		Experiment string        `json:"experiment"`
+		Scale      string        `json:"scale"`
+		Seed       uint64        `json:"seed"`
+		Rows       []ExchangeRow `json:"rows"`
+	}{Experiment: "exchange", Scale: cfg.Scale.String(), Seed: cfg.seed(), Rows: rows}
+	f, err := os.Create(cfg.JSONPath)
+	if err != nil {
+		return fmt.Errorf("exchange: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return fmt.Errorf("exchange: %w", err)
+	}
+	return f.Close()
 }
 
 // modeCells names a comparison row and computes its volume reduction
@@ -49,7 +118,7 @@ func modeCells(async bool, syncVol *int64, vol int64) (mode, reduction string) {
 }
 
 // exchangePartition is the partitioning-path comparison.
-func exchangePartition(cfg Config) error {
+func exchangePartition(cfg Config, rows *[]ExchangeRow) error {
 	seed := cfg.seed()
 	const parts = 16
 	ranks := scalePick(cfg.Scale, 4, 8)
@@ -70,20 +139,86 @@ func exchangePartition(cfg Config) error {
 				fmt.Sprintf("%d", rep.ExchangeVolume), reduction,
 				fmt.Sprintf("%d", rep.ReductionOps),
 				fmt.Sprintf("%.3f", rep.Quality.EdgeCutRatio))
+			*rows = append(*rows, ExchangeRow{
+				Path: "partition", Graph: tg.name, Ranks: ranks, Mode: mode,
+				WallSeconds: rep.TotalTime.Seconds(), ExchElems: rep.ExchangeVolume,
+				Reductions: ptr(rep.ReductionOps), EdgeCut: ptr(rep.Quality.EdgeCutRatio),
+			})
 		}
 	}
 	t.flush()
 	return nil
 }
 
-// exchangeAnalytics measures the value-flow paths: total elements sent
-// while PageRank, WCC, and one BFS run over a vertex-block placement.
-func exchangeAnalytics(cfg Config) error {
+// allocRounds is how many steady-state value rounds the allocation
+// measurement averages over (after warmup).
+const allocRounds = 64
+
+// measureValueRoundAllocs measures the heap allocations of one
+// full-boundary value round in the graph's configured mode, averaged
+// over allocRounds rounds after warmup. It is a collective: every rank
+// runs the same rounds; rank 0 reads the process-wide allocation
+// counter between two barriers, so the result covers all ranks (the
+// async engine's rounds are expected to allocate zero in steady
+// state).
+func measureValueRoundAllocs(c *mpi.Comm, dg *dgraph.Graph) float64 {
+	bv := dg.BoundaryVertices()
+	vals := make([]int64, dg.NTotal())
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	round := func() { dg.ExchangeInt64(bv, vals) }
+	if dg.AsyncExchange() {
+		// Measure at the split-phase API the overlapped analytics use,
+		// tally frame included.
+		ex := dg.AsyncExchanger()
+		payload := make([]int64, len(bv))
+		tally := []int64{1}
+		round = func() {
+			for i, v := range bv {
+				payload[i] = vals[v]
+			}
+			ex.BeginValues(bv, payload, tally)
+			ex.FlushValues()
+		}
+	}
+	// Warmup must reach the transport's in-flight high-water mark (up
+	// to two rounds of pooled buffers per neighbor pair, and ranks can
+	// drift a round apart while free-running) before the measured
+	// window opens.
+	for i := 0; i < 32; i++ {
+		round()
+	}
+	c.Barrier()
+	var m0, m1 runtime.MemStats
+	if c.Rank() == 0 {
+		// Flush the preceding run's garbage out of the measured window;
+		// the second cycle waits out finalizers the first one queued.
+		runtime.GC()
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+	}
+	c.Barrier()
+	for i := 0; i < allocRounds; i++ {
+		round()
+	}
+	c.Barrier()
+	if c.Rank() == 0 {
+		runtime.ReadMemStats(&m1)
+	}
+	c.Barrier()
+	return float64(m1.Mallocs-m0.Mallocs) / allocRounds
+}
+
+// exchangeAnalytics measures the value-flow paths: total elements
+// sent, Allreduce operations, and steady-state allocations while
+// PageRank, WCC, and one BFS run over a vertex-block placement.
+func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 	seed := cfg.seed()
 	ranks := scalePick(cfg.Scale, 4, 8)
 	prIters := scalePick(cfg.Scale, 10, 20)
 	fmt.Fprintln(cfg.W, "\nAnalytics path (PR + WCC + BFS value exchanges):")
-	t := newTable(cfg.W, "Graph", "Ranks", "Mode", "ExchElems", "Reduction")
+	t := newTable(cfg.W, "Graph", "Ranks", "Mode", "Time(s)", "ExchElems", "Reduction", "Allreduces", "Allocs/rnd")
 	for _, tg := range representatives(cfg.Scale, seed)[:scalePick(cfg.Scale, 3, 6)] {
 		shared, err := tg.gen.Build()
 		if err != nil {
@@ -92,7 +227,9 @@ func exchangeAnalytics(cfg Config) error {
 		placement := partition.VertexBlock(shared, ranks)
 		var syncVol int64
 		for _, async := range []bool{false, true} {
-			var volume int64
+			var volume, reductions int64
+			var wall time.Duration
+			var allocs float64
 			mpi.Run(ranks, func(c *mpi.Comm) {
 				dg, err := dgraph.FromEdgeChunks(c, tg.gen.N, tg.gen.EdgesChunk(c.Rank(), c.Size()),
 					dgraph.PartsDist{Parts: placement})
@@ -101,17 +238,28 @@ func exchangeAnalytics(cfg Config) error {
 				}
 				dg.SetAsyncExchange(async)
 				c.ResetStats()
+				start := time.Now()
 				analytics.PageRank(dg, prIters, 0.85)
 				analytics.WCC(dg)
 				analytics.BFS(dg, 0)
+				elapsed := time.Since(start)
+				red := c.Stats().ReductionOps
 				v := mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
+				a := measureValueRoundAllocs(c, dg)
 				if c.Rank() == 0 {
-					volume = v
+					volume, reductions, wall, allocs = v, red, elapsed, a
 				}
 			})
 			mode, reduction := modeCells(async, &syncVol, volume)
-			t.add(tg.name, fmt.Sprintf("%d", ranks), mode,
-				fmt.Sprintf("%d", volume), reduction)
+			t.add(tg.name, fmt.Sprintf("%d", ranks), mode, secs(wall),
+				fmt.Sprintf("%d", volume), reduction,
+				fmt.Sprintf("%d", reductions),
+				fmt.Sprintf("%.1f", allocs))
+			*rows = append(*rows, ExchangeRow{
+				Path: "analytics", Graph: tg.name, Ranks: ranks, Mode: mode,
+				WallSeconds: wall.Seconds(), ExchElems: volume,
+				Reductions: ptr(reductions), AllocsPerRound: ptr(allocs),
+			})
 		}
 	}
 	t.flush()
@@ -119,7 +267,7 @@ func exchangeAnalytics(cfg Config) error {
 }
 
 // exchangeSpMV measures the expand/fold phases under both layouts.
-func exchangeSpMV(cfg Config) error {
+func exchangeSpMV(cfg Config, rows *[]ExchangeRow) error {
 	seed := cfg.seed()
 	ranks := scalePick(cfg.Scale, 4, 16)
 	iters := scalePick(cfg.Scale, 10, 100)
@@ -139,6 +287,7 @@ func exchangeSpMV(cfg Config) error {
 					l = spmv.TwoD
 				}
 				var volume int64
+				var wall time.Duration
 				var runErr error
 				mpi.Run(ranks, func(c *mpi.Comm) {
 					res, err := spmv.Run(c, shared, placement, spmv.Options{
@@ -152,7 +301,7 @@ func exchangeSpMV(cfg Config) error {
 					}
 					v := mpi.AllreduceScalar(c, res.CommVolume, mpi.Sum)
 					if c.Rank() == 0 {
-						volume = v
+						volume, wall = v, res.Time
 					}
 				})
 				if runErr != nil {
@@ -161,6 +310,10 @@ func exchangeSpMV(cfg Config) error {
 				mode, reduction := modeCells(async, &syncVol, volume)
 				t.add(tg.name, fmt.Sprintf("%d", ranks), layout, mode,
 					fmt.Sprintf("%d", volume), reduction)
+				*rows = append(*rows, ExchangeRow{
+					Path: "spmv", Graph: tg.name, Ranks: ranks, Layout: layout,
+					Mode: mode, WallSeconds: wall.Seconds(), ExchElems: volume,
+				})
 			}
 		}
 	}

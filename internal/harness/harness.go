@@ -31,6 +31,14 @@ func ParseScale(s string) (Scale, error) {
 	}
 }
 
+// String names the scale ("small" or "full").
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "small"
+}
+
 // Config parameterizes one experiment run.
 type Config struct {
 	// W receives the experiment's table output.
@@ -39,6 +47,11 @@ type Config struct {
 	Scale Scale
 	// Seed fixes all randomness.
 	Seed uint64
+	// JSONPath, when non-empty, makes experiments with machine-readable
+	// output (currently exchange) also write their measurements as JSON
+	// to this file, so benchmark trajectories can be tracked across
+	// commits.
+	JSONPath string
 }
 
 // value of Seed when the caller leaves it zero.

@@ -55,6 +55,18 @@
 // collective counts, point-to-point counts) so experiments can report
 // communication cost. AppendTally and SplitTally implement the framing
 // that piggybacks small reduction payloads ("tallies", e.g. per-part
-// size deltas) onto point-to-point messages, which is how the
-// partitioner's asynchronous mode retires its per-iteration Allreduce.
+// size deltas or convergence counters) onto point-to-point messages,
+// which is how the partitioner's and the analytics' asynchronous modes
+// retire their per-iteration Allreduces.
+//
+// # Pooled int64 fast path
+//
+// Isend64, Recv64, and Comm.Recycle64 form an allocation-free variant
+// of Isend/Irecv for int64 payloads: transfer copies are drawn from a
+// per-world best-fit buffer pool and returned to it by the receiver
+// after decoding. Once the pool reaches the transport's in-flight
+// high-water mark (a warmup round or two), steady-state exchange
+// rounds perform no heap allocation. The two variants interoperate —
+// Recv64 and Irecv accept messages from either send — but only the
+// pooled pair recycles.
 package mpi

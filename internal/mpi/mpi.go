@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 )
@@ -13,7 +14,65 @@ type world struct {
 	slots []any // one publication slot per rank, reused per collective
 	bar   *barrier
 	boxes []*mailbox // point-to-point FIFOs, indexed [src*size+dst]
+
+	// buf64 is the free list backing the pooled int64 point-to-point
+	// path (Isend64/Recv64/Recycle64), segregated into power-of-two
+	// capacity classes: bucket b holds buffers of capacity exactly
+	// 1<<b, so get and put are O(1) under the lock. Size classes
+	// matter: exchange rounds mix tiny tally-only messages with large
+	// dense payloads, and a single first-fit list would burn large
+	// buffers on small messages, re-allocating large ones forever.
+	// Pool residency is bounded by the number of in-flight messages,
+	// so after a warmup round the buckets reach their steady sizes and
+	// exchange rounds stop allocating.
+	buf64Mu sync.Mutex
+	buf64   [64][][]int64
 }
+
+// buf64Class returns the capacity class of a request for n > 0
+// elements: the smallest b with 1<<b >= n.
+func buf64Class(n int) int {
+	return bits.Len64(uint64(n) - 1)
+}
+
+// getBuf64 pops a pooled buffer from the request's capacity class, or
+// allocates one of exactly that class when the bucket is empty (so the
+// buffer returns to the same bucket on recycle). n == 0 returns a
+// canonical non-nil empty slice so message.i64 stays a valid
+// discriminator.
+func (w *world) getBuf64(n int) []int64 {
+	if n == 0 {
+		return empty64
+	}
+	c := buf64Class(n)
+	w.buf64Mu.Lock()
+	if bucket := w.buf64[c]; len(bucket) > 0 {
+		last := len(bucket) - 1
+		b := bucket[last]
+		bucket[last] = nil
+		w.buf64[c] = bucket[:last]
+		w.buf64Mu.Unlock()
+		return b[:n]
+	}
+	w.buf64Mu.Unlock()
+	return make([]int64, n, 1<<c)
+}
+
+// putBuf64 returns a buffer to its capacity-class bucket;
+// zero-capacity buffers (the canonical empty message) are dropped.
+func (w *world) putBuf64(buf []int64) {
+	if cap(buf) == 0 {
+		return
+	}
+	c := buf64Class(cap(buf))
+	w.buf64Mu.Lock()
+	w.buf64[c] = append(w.buf64[c], buf)
+	w.buf64Mu.Unlock()
+}
+
+// empty64 is the shared zero-length payload of empty pooled messages;
+// it is never written through.
+var empty64 = make([]int64, 0)
 
 // poisonAll releases every rank parked in a collective or a
 // point-to-point wait after a sibling panic.

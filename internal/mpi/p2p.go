@@ -20,17 +20,24 @@ import (
 // background goroutine while its main goroutine is still computing
 // (communication/computation overlap).
 
-// message is one in-flight point-to-point transfer.
+// message is one in-flight point-to-point transfer. Generic sends box
+// their copy in data; the int64 fast path (Isend64) stores its pooled
+// copy in i64 instead, so enqueueing allocates nothing.
 type message struct {
-	data  any // a private []T copy
+	data  any     // a private []T copy (generic path)
+	i64   []int64 // a pooled private copy (int64 fast path)
 	count int
 }
 
 // mailbox is the unbounded FIFO for one ordered (src, dst) rank pair.
+// Dequeuing advances head instead of reslicing so the backing array —
+// and with it the steady-state zero-allocation property of put — is
+// never lost to the front of the slice.
 type mailbox struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	msgs     []message
+	head     int
 	poisoned bool
 }
 
@@ -54,15 +61,30 @@ func (m *mailbox) put(msg message) {
 // receivers unwind instead of hanging.
 func (m *mailbox) take() message {
 	m.mu.Lock()
-	for len(m.msgs) == 0 && !m.poisoned {
+	for m.head >= len(m.msgs) && !m.poisoned {
 		m.cond.Wait()
 	}
 	if m.poisoned {
 		m.mu.Unlock()
 		panic(barrierPoisoned{})
 	}
-	msg := m.msgs[0]
-	m.msgs = m.msgs[1:]
+	msg := m.msgs[m.head]
+	m.msgs[m.head] = message{} // release the buffer reference
+	m.head++
+	if m.head == len(m.msgs) {
+		m.msgs = m.msgs[:0]
+		m.head = 0
+	} else if m.head >= 16 && m.head*2 >= len(m.msgs) {
+		// The dead prefix dominates a queue that never fully drains
+		// (producer consistently one round ahead): compact in place so
+		// the backing array stops growing.
+		n := copy(m.msgs, m.msgs[m.head:])
+		for i := n; i < len(m.msgs); i++ {
+			m.msgs[i] = message{}
+		}
+		m.msgs = m.msgs[:n]
+		m.head = 0
+	}
 	m.mu.Unlock()
 	return msg
 }
@@ -109,9 +131,20 @@ func (r *RecvRequest[T]) Wait() {
 		return
 	}
 	msg := r.box.take()
-	data, ok := msg.data.([]T)
-	if !ok {
-		panic(fmt.Sprintf("mpi: Irecv from rank %d: element type mismatch, message holds %T", r.src, msg.data))
+	var data []T
+	if msg.i64 != nil {
+		// Fast-path message (Isend64) received through the generic API.
+		d, ok := any(msg.i64).([]T)
+		if !ok {
+			panic(fmt.Sprintf("mpi: Irecv from rank %d: element type mismatch, message holds []int64", r.src))
+		}
+		data = d
+	} else {
+		d, ok := msg.data.([]T)
+		if !ok {
+			panic(fmt.Sprintf("mpi: Irecv from rank %d: element type mismatch, message holds %T", r.src, msg.data))
+		}
+		data = d
 	}
 	r.data = data
 	r.done = true
@@ -164,4 +197,53 @@ func Waitall(reqs ...Request) {
 	for _, r := range reqs {
 		r.Wait()
 	}
+}
+
+// Isend64 is Isend for int64 payloads with the transfer copy drawn
+// from the world's buffer pool instead of the heap: together with
+// Recv64/Recycle64 on the receive side, a steady-state exchange round
+// allocates nothing. Like Isend, the buffer is copied before return
+// and may be reused immediately; completion is eager, so no Request is
+// returned.
+func Isend64(c *Comm, dst int, data []int64) {
+	if dst < 0 || dst >= c.w.size {
+		panic(fmt.Sprintf("mpi: Isend64 to rank %d outside [0,%d)", dst, c.w.size))
+	}
+	cp := c.w.getBuf64(len(data))
+	copy(cp, data)
+	atomic.AddInt64(&c.stats.SendOps, 1)
+	atomic.AddInt64(&c.stats.ElemsSent, int64(len(cp)))
+	c.w.box(c.rank, dst).put(message{i64: cp, count: len(cp)})
+}
+
+// Recv64 blocks until the next int64 message from rank src arrives and
+// returns its payload — the blocking receive the delta exchanger's
+// drainer uses. The returned buffer is a private copy; when the caller
+// has decoded it, passing it to Recycle64 returns it to the pool so
+// subsequent sends reuse it. Messages sent with the generic Isend are
+// accepted too (they just were not pooled).
+func Recv64(c *Comm, src int) []int64 {
+	if src < 0 || src >= c.w.size {
+		panic(fmt.Sprintf("mpi: Recv64 from rank %d outside [0,%d)", src, c.w.size))
+	}
+	msg := c.w.box(src, c.rank).take()
+	data := msg.i64
+	if data == nil {
+		d, ok := msg.data.([]int64)
+		if !ok {
+			panic(fmt.Sprintf("mpi: Recv64 from rank %d: element type mismatch, message holds %T", src, msg.data))
+		}
+		data = d
+	}
+	atomic.AddInt64(&c.stats.RecvOps, 1)
+	atomic.AddInt64(&c.stats.ElemsRecv, int64(msg.count))
+	return data
+}
+
+// Recycle64 returns a buffer obtained from Recv64 to the world's pool.
+// The caller must not touch buf afterwards. Recycling is optional —
+// skipping it only costs allocations — and must happen at most once
+// per received buffer.
+func (c *Comm) Recycle64(buf []int64) {
+	c.w.putBuf64(buf)
 }

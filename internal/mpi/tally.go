@@ -52,27 +52,35 @@ func unpackTallyEntry(packed int64) (idx int, v int64) {
 // AppendTally appends the tally frame for tally to buf and returns the
 // extended buffer. len(tally) is the protocol's tallyLen; the receiver
 // must call SplitTally with the same value. The appended frame length
-// is accounted in Stats.TallyElems.
+// is accounted in Stats.TallyElems. The frame is sized in a counting
+// pass and encoded straight into buf, so callers reusing their send
+// buffers across rounds pay no per-round allocation here.
 func AppendTally(c *Comm, buf []int64, tally []int64) []int64 {
 	if len(tally) == 0 {
 		return buf
 	}
-	sparse := make([]int64, 0, len(tally))
+	nz := 0
+	sparseOK := true
 	for i, v := range tally {
 		if v == 0 {
 			continue
 		}
-		p, ok := packTallyEntry(i, v)
-		if !ok {
-			sparse = nil
+		if _, ok := packTallyEntry(i, v); !ok {
+			sparseOK = false
 			break
 		}
-		sparse = append(sparse, p)
+		nz++
 	}
 	before := len(buf)
-	if sparse != nil && len(sparse) < len(tally) {
-		buf = append(buf, sparse...)
-		buf = append(buf, int64(len(sparse)))
+	if sparseOK && nz < len(tally) {
+		for i, v := range tally {
+			if v == 0 {
+				continue
+			}
+			p, _ := packTallyEntry(i, v)
+			buf = append(buf, p)
+		}
+		buf = append(buf, int64(nz))
 	} else {
 		buf = append(buf, tally...)
 		buf = append(buf, -1)

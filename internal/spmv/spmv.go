@@ -129,6 +129,17 @@ type matrix struct {
 	// y accumulators.
 	partial []float64 // per present row
 	y       []float64 // per owned vector entry
+
+	// Reusable per-multiply wire state: the expand/fold send counts and
+	// buffers of the synchronous engine, and the per-peer staging
+	// buffer of the async engine. The schedules are fixed after build,
+	// so one warmup multiply sizes them and steady-state iterations
+	// stop allocating in the send paths.
+	expandCounts []int
+	foldCounts   []int
+	expandBuf    []float64
+	foldBuf      []float64
+	peerBuf      []float64
 }
 
 // nzRank maps nonzero (u, v) to its rank for the given layout.
@@ -332,40 +343,43 @@ func (m *matrix) multiply() int64 {
 	}
 	var volume int64
 
-	// Expand: ship owned x entries to nonzero holders.
-	counts := make([]int, m.p)
-	total := 0
-	for d := 0; d < m.p; d++ {
-		counts[d] = len(m.expandSend[d])
-		total += counts[d]
+	// Expand: ship owned x entries to nonzero holders. Counts are
+	// schedule-derived and fixed; buffers reuse their capacity.
+	if m.expandCounts == nil {
+		m.expandCounts = make([]int, m.p)
+		m.foldCounts = make([]int, m.p)
+		for d := 0; d < m.p; d++ {
+			m.expandCounts[d] = len(m.expandSend[d])
+			m.foldCounts[d] = len(m.foldSend[d])
+		}
 	}
-	sendBuf := make([]float64, 0, total)
+	total := 0
+	sendBuf := m.expandBuf[:0]
 	for d := 0; d < m.p; d++ {
+		total += m.expandCounts[d]
 		for _, xi := range m.expandSend[d] {
 			sendBuf = append(sendBuf, m.x[xi])
 		}
 	}
+	m.expandBuf = sendBuf
 	volume += int64(total)
-	recv, _ := mpi.Alltoallv(m.c, sendBuf, counts)
+	recv, _ := mpi.Alltoallv(m.c, sendBuf, m.expandCounts)
 	copy(m.xbuf, recv) // src-major, gid-sorted: matches colGIDs order
 
 	m.localMultiply()
 
 	// Fold: ship partial row sums to vector owners and accumulate.
-	fcounts := make([]int, m.p)
 	ftotal := 0
+	fbuf := m.foldBuf[:0]
 	for d := 0; d < m.p; d++ {
-		fcounts[d] = len(m.foldSend[d])
-		ftotal += fcounts[d]
-	}
-	fbuf := make([]float64, 0, ftotal)
-	for d := 0; d < m.p; d++ {
+		ftotal += m.foldCounts[d]
 		for _, ri := range m.foldSend[d] {
 			fbuf = append(fbuf, m.partial[ri])
 		}
 	}
+	m.foldBuf = fbuf
 	volume += int64(ftotal)
-	frecv, _ := mpi.Alltoallv(m.c, fbuf, fcounts)
+	frecv, _ := mpi.Alltoallv(m.c, fbuf, m.foldCounts)
 	for i := range m.y {
 		m.y[i] = 0
 	}
@@ -404,12 +418,14 @@ func (m *matrix) multiplyAsync() int64 {
 	me := m.c.Rank()
 
 	// Expand: remote sends first (Isend is eager and never blocks),
-	// then the local copy, then the receives.
+	// then the local copy, then the receives. Isend copies at call
+	// time, so one staging buffer serves every peer.
 	for _, d := range m.expandOut {
-		buf := make([]float64, len(m.expandSend[d]))
-		for i, xi := range m.expandSend[d] {
-			buf[i] = m.x[xi]
+		buf := m.peerBuf[:0]
+		for _, xi := range m.expandSend[d] {
+			buf = append(buf, m.x[xi])
 		}
+		m.peerBuf = buf
 		mpi.Isend(m.c, d, buf)
 		volume += int64(len(buf))
 	}
@@ -426,10 +442,11 @@ func (m *matrix) multiplyAsync() int64 {
 	// Fold: ship partial row sums to remote vector owners; under a 1D
 	// layout every row is owner-local and this loop sends nothing.
 	for _, d := range m.foldOut {
-		buf := make([]float64, len(m.foldSend[d]))
-		for i, ri := range m.foldSend[d] {
-			buf[i] = m.partial[ri]
+		buf := m.peerBuf[:0]
+		for _, ri := range m.foldSend[d] {
+			buf = append(buf, m.partial[ri])
 		}
+		m.peerBuf = buf
 		mpi.Isend(m.c, d, buf)
 		volume += int64(len(buf))
 	}
