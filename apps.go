@@ -25,6 +25,16 @@ type AnalyticsConfig struct {
 	// delta engine instead of the bulk-synchronous Alltoallv. Results
 	// are identical; exchanged-element volume is lower.
 	AsyncExchange bool
+	// TermEpoch bounds termination-test staleness in async mode on
+	// INCOMPLETE rank neighborhoods, mirroring Config.SizeEpoch for the
+	// partitioner: every TermEpoch-th round performs the exact
+	// termination Allreduce, the rounds between run unchecked, and a
+	// fixed point reached mid-epoch costs at most TermEpoch-1 extra
+	// no-op rounds — which cannot change any value, so results stay
+	// identical. 0 or 1 (default) keeps the exact per-round fallback;
+	// on complete neighborhoods the knob is irrelevant because the
+	// piggybacked counters already terminate without any Allreduce.
+	TermEpoch int
 }
 
 // RunAnalytics distributes the generator's graph over ranks simulated
@@ -79,9 +89,15 @@ func RunAnalyticsReport(g *Generator, parts []int32, cfg AnalyticsConfig) (Analy
 			panic(err) // parts validated above; construction is total
 		}
 		dg.SetAsyncExchange(cfg.AsyncExchange)
+		dg.SetTermEpoch(cfg.TermEpoch)
 		c.ResetStats()
 		res := analytics.RunAll(dg, cfg.HCSources)
 		vol := mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
+		// Normal-path teardown: stop the exchanger's drainer goroutine.
+		// Deliberately not deferred — on a panic mpi.Run poisons the
+		// world and the finalizer backstops, whereas a blocking Close
+		// during unwinding could wait on messages that never come.
+		dg.Close()
 		if c.Rank() == 0 {
 			out = AnalyticsReport{
 				Results: res,

@@ -1,0 +1,31 @@
+// Command benchcheck validates a BENCH_exchange.json benchmark
+// artifact: it must parse and carry every measurement the trajectory
+// tracking depends on (Allreduce counts on all paths, steady-state
+// allocations and the observed pipeline depth on the analytics path,
+// the SpMV norm-piggyback flag). CI runs it between generating and
+// uploading the artifact, so a truncated or schema-drifted file fails
+// the build instead of silently poisoning the recorded trajectory.
+//
+// Usage:
+//
+//	benchcheck BENCH_exchange.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_exchange.json")
+		os.Exit(2)
+	}
+	if err := harness.ValidateExchangeJSON(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: schema OK\n", os.Args[1])
+}

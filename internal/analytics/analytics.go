@@ -118,7 +118,7 @@ func PageRank(g *dgraph.Graph, iters int, damping float64) ([]float64, Result) {
 			var tally []int64
 			if e.complete {
 				e.tally[0] = int64(math.Float64bits(dL))
-				tally = e.tally[:]
+				tally = e.tally[:1]
 			}
 			e.ex.BeginValues(bnd, e.payload, tally)
 			for _, v := range inr {
@@ -272,14 +272,26 @@ func KCore(g *dgraph.Graph, maxIters int) ([]int64, Result) {
 		}
 		return false
 	}
-	iters := e.propagate(core, relax, maxIters)
-	var maxCore int64
-	for v := 0; v < g.NLocal; v++ {
-		if core[v] > maxCore {
-			maxCore = core[v]
+	localMax := func() int64 {
+		var m int64
+		for v := 0; v < g.NLocal; v++ {
+			if core[v] > m {
+				m = core[v]
+			}
 		}
+		return m
 	}
-	maxCore = mpi.AllreduceScalar(g.Comm, maxCore, mpi.Max)
+	// Piggyback the owned coreness maximum next to the convergence
+	// counter (max-combined via TallyRound.Max): when the overlapped run
+	// terminates through the counter, the estimates are final and the
+	// folded frame already is the global maximum — no trailing
+	// Allreduce. Runs cut short by maxIters (and sync runs) fall back.
+	e.aux = localMax
+	iters := e.propagate(core, relax, maxIters)
+	maxCore := e.auxVal
+	if !e.auxOK {
+		maxCore = mpi.AllreduceScalar(g.Comm, localMax(), mpi.Max)
+	}
 	return core[:g.NLocal], Result{Name: "KC", Iterations: iters, Time: time.Since(start), Value: float64(maxCore)}
 }
 

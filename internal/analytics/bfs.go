@@ -13,15 +13,20 @@ import (
 // frontier expansion, pushes discoveries of remote-owned vertices to
 // their owners, refreshes ghost copies, and tests global termination.
 //
-// On the async engine the round runs split-phase: the boundary part of
-// the frontier — the only part that can discover ghosts — expands
-// first and its discoveries are pushed with BeginPush, the interior
-// part expands while those messages are in flight, and the new
-// frontier's ghost refresh carries the frontier size as a piggybacked
-// counter, so termination needs no per-round Allreduce on complete
-// rank neighborhoods. Levels are identical across engines (all
-// discoveries within a round get the same depth, so expansion order
-// cannot change results).
+// On the async engine the rounds run split-phase AND pipelined to
+// depth two: the boundary part of the frontier — the only part that
+// can discover ghosts — expands first and its discoveries are pushed
+// with BeginPush while the PREVIOUS depth's ghost-refresh round is
+// still in flight, so two rounds of messages overlap each other plus
+// the interior expansion. The refresh carries the frontier size as a
+// piggybacked counter, so termination needs no per-round Allreduce on
+// complete rank neighborhoods (incomplete ones fall back to an exact
+// Allreduce every Graph.TermEpoch rounds). Levels are identical across
+// engines: all discoveries within a round get the same depth, so
+// expansion order cannot change results, and a boundary expansion that
+// reads a one-round-stale ghost copy can only re-discover a vertex its
+// owner already leveled — the owner keeps the first (correct) level
+// and drops the redundant push.
 func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
 	e := newEngine(g)
 	all := make([]int64, g.NTotal())
@@ -35,75 +40,19 @@ func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
 			frontier = append(frontier, lid)
 		}
 	}
-	depth := int64(0)
-	for {
-		next := make([]int32, 0, len(frontier))
-		var ghostFound []int32
-		var ghostLevels []int64
-		expand := func(v int32) {
-			for _, u := range g.Neighbors(v) {
-				if all[u] >= 0 {
-					continue
-				}
-				all[u] = depth + 1
-				if g.IsGhost(u) {
-					ghostFound = append(ghostFound, u)
-					ghostLevels = append(ghostLevels, depth+1)
-				} else {
-					next = append(next, u)
-				}
-			}
-		}
-		var total int64
-		if e.overlapped() {
-			// Boundary frontier first: only boundary vertices have
-			// ghost neighbors, so this prefix feeds the push round.
+	if e.overlapped() {
+		bfsPipelined(g, e, all, frontier)
+	} else {
+		depth := int64(0)
+		for {
+			rd := bfsRound{next: make([]int32, 0, len(frontier))}
 			for _, v := range frontier {
-				if g.IsBoundaryVertex(v) {
-					expand(v)
-				}
-			}
-			e.ex.BeginPush(ghostFound, ghostLevels, nil)
-			for _, v := range frontier {
-				if !g.IsBoundaryVertex(v) {
-					expand(v)
-				}
-			}
-			recvL, recvP, _ := e.ex.FlushPush()
-			for i, lid := range recvL {
-				if all[lid] < 0 {
-					all[lid] = recvP[i]
-					next = append(next, lid)
-				}
-			}
-			// Ghost refresh of the new frontier, with the frontier
-			// size riding the messages as the termination counter.
-			e.payload = e.payload[:0]
-			for _, v := range next {
-				e.payload = append(e.payload, all[v])
-			}
-			var tally []int64
-			if e.complete {
-				e.tally[0] = int64(len(next))
-				tally = e.tally[:]
-			}
-			e.ex.BeginValues(next, e.payload, tally)
-			outL, outP, tr := e.ex.FlushValues()
-			for i, lid := range outL {
-				all[lid] = outP[i]
-			}
-			if e.complete {
-				total = tr.Sum(0)
-			} else {
-				total = mpi.AllreduceScalar(g.Comm, int64(len(next)), mpi.Sum)
-			}
-		} else {
-			for _, v := range frontier {
-				expand(v)
+				rd.expand(g, all, depth, v)
 			}
 			// Tell owners about remotely discovered vertices; merge their
 			// pushes into our frontier (first discovery wins).
-			recvL, recvP := g.PushToOwners(ghostFound, ghostLevels)
+			recvL, recvP := g.PushToOwners(rd.ghostFound, rd.ghostLevels)
+			next := rd.next
 			for i, lid := range recvL {
 				if all[lid] < 0 {
 					all[lid] = recvP[i]
@@ -113,13 +62,12 @@ func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
 			// Refresh ghost copies of the new frontier so the next round's
 			// expansion does not rediscover them remotely.
 			g.ExchangeInt64(next, all)
-			total = mpi.AllreduceScalar(g.Comm, int64(len(next)), mpi.Sum)
+			if mpi.AllreduceScalar(g.Comm, int64(len(next)), mpi.Sum) == 0 {
+				break
+			}
+			depth++
+			frontier = next
 		}
-		if total == 0 {
-			break
-		}
-		depth++
-		frontier = next
 	}
 	var maxLevel int64
 	for v := 0; v < g.NLocal; v++ {
@@ -128,6 +76,133 @@ func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
 		}
 	}
 	return all[:g.NLocal], mpi.AllreduceScalar(g.Comm, maxLevel, mpi.Max)
+}
+
+// bfsRound accumulates one BFS round's discoveries. expand is the
+// frontier-expansion step BOTH engines share — a single definition, so
+// the bit-identical-across-engines invariant cannot drift between the
+// sync loop and the pipelined loop: unvisited neighbors get this
+// round's level, ghosts queue for the owner push, owned vertices join
+// the next frontier.
+type bfsRound struct {
+	next        []int32
+	ghostFound  []int32
+	ghostLevels []int64
+}
+
+func (r *bfsRound) expand(g *dgraph.Graph, all []int64, depth int64, v int32) {
+	for _, u := range g.Neighbors(v) {
+		if all[u] >= 0 {
+			continue
+		}
+		all[u] = depth + 1
+		if g.IsGhost(u) {
+			r.ghostFound = append(r.ghostFound, u)
+			r.ghostLevels = append(r.ghostLevels, depth+1)
+		} else {
+			r.next = append(r.next, u)
+		}
+	}
+}
+
+// bfsPipelined is the overlapped BFS loop: depth d+1's discovery push
+// is posted while depth d's ghost refresh is still in flight, keeping
+// two value rounds in the exchanger pipeline at all times.
+//
+// Per round:
+//
+//	expand boundary frontier        (ghosts may be one refresh stale)
+//	BeginPush(discoveries)          ── round 2r+1 in flight
+//	expand interior frontier        ── overlaps both rounds
+//	FlushValues                     ── settles round 2r-2's refresh,
+//	                                   yields the PREVIOUS frontier's
+//	                                   global size (termination)
+//	FlushPush → merge discoveries   ── settles round 2r+1
+//	BeginValues(new frontier)       ── round 2r+2 in flight
+//
+// Termination is observed one round late (the refresh that certifies a
+// globally empty frontier settles while the next — necessarily empty —
+// push round is already posted), so convergence costs one trailing
+// empty round; on incomplete neighborhoods the exact Allreduce runs
+// every e.termEpoch rounds, adding at most termEpoch-1 further empty
+// rounds. Empty rounds expand an empty frontier and therefore cannot
+// change levels.
+func bfsPipelined(g *dgraph.Graph, e *engine, all []int64, frontier []int32) {
+	ex := e.ex
+	pendingValues := false
+	prevLen := int64(0)
+	depth := int64(0)
+	round := 0
+	for {
+		round++
+		rd := bfsRound{next: make([]int32, 0, len(frontier))}
+		// Boundary frontier first: only boundary vertices have ghost
+		// neighbors, so this prefix feeds the push round. The previous
+		// round's ghost refresh may still be in flight, so a ghost
+		// copy can be stale here; the resulting redundant push claims
+		// a level no smaller than the owner's (rounds are level-
+		// synchronous), and the owner's first-discovery-wins merge
+		// drops it.
+		for _, v := range frontier {
+			if g.IsBoundaryVertex(v) {
+				rd.expand(g, all, depth, v)
+			}
+		}
+		ex.BeginPush(rd.ghostFound, rd.ghostLevels, nil)
+		for _, v := range frontier {
+			if !g.IsBoundaryVertex(v) {
+				rd.expand(g, all, depth, v)
+			}
+		}
+		done := false
+		if pendingValues {
+			// Settle the previous round's ghost refresh (posted before
+			// this round's push — flushes are FIFO). Owner levels are
+			// authoritative and final, so applying them after this
+			// round's expansion only corrects stale ghost copies.
+			outL, outP, tr := ex.FlushValues()
+			for i, lid := range outL {
+				all[lid] = outP[i]
+			}
+			pendingValues = false
+			if e.complete {
+				done = tr.Sum(0) == 0
+			} else if round%e.termEpoch == 0 {
+				done = mpi.AllreduceScalar(g.Comm, prevLen, mpi.Sum) == 0
+			}
+		}
+		recvL, recvP, _ := ex.FlushPush()
+		if done {
+			// The previous frontier was globally empty, so this round
+			// expanded nothing and the push just flushed was empty on
+			// every rank: exit with the pipeline drained.
+			break
+		}
+		next := rd.next
+		for i, lid := range recvL {
+			if all[lid] < 0 {
+				all[lid] = recvP[i]
+				next = append(next, lid)
+			}
+		}
+		// Ghost refresh of the new frontier, with the frontier size
+		// riding the messages as the termination counter; it settles
+		// mid-next-round.
+		e.payload = e.payload[:0]
+		for _, v := range next {
+			e.payload = append(e.payload, all[v])
+		}
+		var tally []int64
+		if e.complete {
+			e.tally[0] = int64(len(next))
+			tally = e.tally[:1]
+		}
+		ex.BeginValues(next, e.payload, tally)
+		pendingValues = true
+		prevLen = int64(len(next))
+		depth++
+		frontier = next
+	}
 }
 
 // HarmonicCentrality computes harmonic centrality for the given source

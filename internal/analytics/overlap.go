@@ -22,28 +22,48 @@ import (
 //     rank neighborhood the folded counter is the exact global count
 //     (one round stale — the price is a single trailing no-op round
 //     instead of one Allreduce per round); on incomplete neighborhoods
-//     the engine falls back to the exact per-round Allreduce, the
-//     analytics' equivalent of the partitioner's SizeEpoch=1 resync.
+//     the engine falls back to the exact Allreduce every
+//     Graph.TermEpoch rounds (default: every round), the analytics'
+//     equivalent of the partitioner's SizeEpoch resync — a fixed point
+//     reached mid-epoch costs at most TermEpoch-1 extra no-op rounds
+//     before the next check observes it.
+//
+// BFS additionally pipelines its rounds to dgraph.PipelineDepth (see
+// bfsPipelined), and analytics with a final max reduction can ride it
+// on the same tally frames (engine.aux, used by K-Core).
 
 // engine bundles the mode-selected exchange machinery of one analytic
 // run: blocking collective helpers in sync mode, split-phase delta
 // rounds with piggybacked counters in async mode.
 type engine struct {
-	g        *dgraph.Graph
-	ex       *dgraph.DeltaExchanger // non-nil in overlapped (async) mode
-	complete bool                   // piggybacked counters are exact
+	g         *dgraph.Graph
+	ex        *dgraph.DeltaExchanger // non-nil in overlapped (async) mode
+	complete  bool                   // piggybacked counters are exact
+	termEpoch int                    // incomplete-neighborhood Allreduce cadence (≥1)
+
+	// aux, when set before propagate, is an extra non-negative counter
+	// piggybacked next to the convergence counter on complete
+	// neighborhoods and max-combined across ranks (TallyRound.Max). At
+	// the round that detects convergence the propagated values are
+	// final, so the fold delivers the analytic's global maximum for
+	// free — K-Core's coreness maximum rides this instead of a trailing
+	// Allreduce. auxVal/auxOK hold the result when the run terminated
+	// through the piggybacked counter.
+	aux    func() int64
+	auxVal int64
+	auxOK  bool
 
 	// Arenas reused across rounds.
 	changed []int32
 	payload []int64
-	tally   [1]int64
+	tally   [2]int64
 }
 
-// newEngine derives the engine from the graph's exchange mode. In
-// async mode the first construction per graph performs the collective
-// rank-neighborhood completeness detection (cached thereafter).
+// newEngine derives the engine from the graph's exchange mode. The
+// completeness flag is a cached read — the collective detection ran
+// when the graph's exchanger was constructed.
 func newEngine(g *dgraph.Graph) *engine {
-	e := &engine{g: g}
+	e := &engine{g: g, termEpoch: g.TermEpoch()}
 	if g.AsyncExchange() {
 		e.ex = g.AsyncExchanger()
 		e.complete = e.ex.NeighborhoodComplete()
@@ -115,7 +135,11 @@ func (e *engine) propagate(vals []int64, relax func(v int32) bool, maxIters int)
 		var tally []int64
 		if e.complete {
 			e.tally[0] = prevLocal
-			tally = e.tally[:]
+			tally = e.tally[:1]
+			if e.aux != nil {
+				e.tally[1] = e.aux()
+				tally = e.tally[:2]
+			}
 		}
 		ex := e.ex
 		ex.BeginValues(e.changed, e.payload, tally)
@@ -137,12 +161,24 @@ func (e *engine) propagate(vals []int64, relax func(v int32) bool, maxIters int)
 				// The counter certifies the PREVIOUS round changed
 				// nothing anywhere, which makes the round just executed
 				// a global no-op: report the same productive-round
-				// count as the sync engine.
+				// count as the sync engine. Values have been final
+				// since that previous round, so the aux frames carried
+				// by this round's messages fold to the analytic's
+				// global maximum.
+				if e.aux != nil {
+					e.auxVal, e.auxOK = tr.Max(1), true
+				}
 				iters--
 				break
 			}
 			prevLocal = local
-		} else if mpi.AllreduceScalar(g.Comm, local, mpi.Sum) == 0 {
+		} else if iters%e.termEpoch == 0 &&
+			mpi.AllreduceScalar(g.Comm, local, mpi.Sum) == 0 {
+			// Termination epochs (Graph.SetTermEpoch): between checks
+			// the rounds run unchecked, so a fixed point reached mid-
+			// epoch costs at most termEpoch-1 extra no-op rounds —
+			// which cannot change any value — before this exact
+			// Allreduce observes a zero round and stops.
 			break
 		}
 	}

@@ -42,6 +42,16 @@ import (
 // reusable encode/decode arenas, with transfer copies drawn from the
 // mpi world's buffer pool (Isend64/Recv64/Recycle64): a steady-state
 // round performs zero heap allocations on either side.
+//
+// Rounds are pipelined to depth two: a second Begin* may be posted
+// while the previous round's Flush is still outstanding, so two rounds
+// of messages are in flight at once and a flush settles the OLDEST
+// pending round. Each round carries a monotone sequence number stamped
+// on its messages as an mpi round tag (asserted on receive, so skewed
+// pipelines fail loudly), and the drainer double-buffers its decode
+// arenas by round parity — which is what stretches the aliasing
+// contract from "valid until the next round is posted" to "valid until
+// the round after next is posted".
 
 // ghostTarget records one destination of an owned boundary vertex:
 // which neighbor (by position in the plan's sendRanks) ghosts it and
@@ -166,6 +176,12 @@ const (
 	roundValuesRev
 )
 
+// PipelineDepth is how many rounds may be in flight per exchanger at
+// once: a Begin* may be posted while at most one earlier round is
+// still unflushed. The drainer double-buffers its decode arenas to
+// this depth.
+const PipelineDepth = 2
+
 // DeltaExchanger runs rounds of delta-only boundary exchange over
 // nonblocking point-to-point messages. Usage per update round,
 // collectively on every rank of the graph's communicator:
@@ -189,36 +205,54 @@ const (
 // returns the incoming pairs. ExchangeValues and PushValues are the
 // blocking compositions behind Graph.SetAsyncExchange.
 //
+// Rounds pipeline to PipelineDepth: after BeginValues (or BeginPush),
+// a second Begin* of any kind may be posted before the first round's
+// Flush, keeping two rounds of messages in flight; each Flush settles
+// the oldest pending round, in FIFO order. The overlapped BFS uses
+// this to keep depth d's ghost-refresh round and depth d+1's discovery
+// push in flight simultaneously.
+//
 // Every rank must call the same sequence of rounds or peers deadlock,
 // exactly as they would skipping a collective. Calling Flush without
 // Begin is allowed (the receive side is posted on entry, losing only
-// overlap). Slices returned by a round alias per-exchanger arenas and
-// stay valid only until the next round is posted.
+// overlap). Slices returned by a round alias per-exchanger arenas,
+// double-buffered by round parity: they stay valid until the round
+// after next is posted (two Begin* calls after the Flush that returned
+// them).
+//
+// Construction (NewDeltaExchanger, Graph.AsyncExchanger) is collective:
+// it performs the one-time rank-neighborhood completeness Allreduce so
+// NeighborhoodComplete is a pure cached read afterwards. An exchanger
+// owns one background goroutine; Close releases it (graph teardown
+// calls it via Graph.Close, and a finalizer backstops leaks).
 type DeltaExchanger struct {
 	g    *Graph
 	plan *boundaryPlan
 
 	// The persistent background drainer: one goroutine per exchanger,
-	// started on first use and shut down by a finalizer when the
-	// exchanger is collected. Posting a round costs a channel send
-	// instead of a goroutine spawn, and the drainer's decode arenas
-	// persist across rounds — both load-bearing for the zero-allocation
-	// steady state.
-	reqCh chan drainReq
-	resCh chan drainResult
+	// started on first use and shut down by Close (with a finalizer as
+	// backstop for exchangers that are collected without one). Posting
+	// a round costs a channel send instead of a goroutine spawn, and
+	// the drainer's decode arenas persist across rounds — both
+	// load-bearing for the zero-allocation steady state.
+	reqCh  chan drainReq
+	resCh  chan drainResult
+	doneCh chan struct{}
 
-	// pending is the kind of the posted-but-unflushed round; tallyLen
-	// its declared tally frame length; ownTally the caller's own
-	// contribution for the pending value round.
-	pending  roundKind
-	tallyLen int
-	ownTally []int64
+	// pend is the FIFO of posted-but-unflushed rounds (at most
+	// PipelineDepth); seq numbers rounds monotonically and stamps their
+	// messages as mpi round tags.
+	pend  [PipelineDepth]pendingRound
+	npend int
+	seq   uint32
 
 	// sendBufs are reusable per-neighbor encode buffers (update flow).
 	sendBufs [][]int64
 	// fwdIdx/fwdVal/fwdEnc are the owner→ghost value-flow arenas, one
 	// per send neighbor; revIdx/revVal/revEnc the ghost→owner
-	// counterparts, one per receive neighbor.
+	// counterparts, one per receive neighbor. They are consumed by the
+	// time Begin* returns (mpi sends copy eagerly), so pipelined rounds
+	// share them.
 	fwdIdx [][]int32
 	fwdVal [][]int64
 	fwdEnc [][]int64
@@ -226,18 +260,34 @@ type DeltaExchanger struct {
 	revVal [][]int64
 	revEnc [][]int64
 
-	// complete caches NeighborhoodComplete: 0 unknown, 1 yes, 2 no.
+	// complete caches the construction-time completeness detection:
+	// 1 yes, 2 no (0 only during construction itself).
 	complete int8
 
-	// Rounds counts completed rounds (diagnostics and tests).
-	Rounds int64
+	// Rounds counts completed rounds; MaxDepth is the high-water mark
+	// of simultaneously pending rounds (2 once a caller pipelines).
+	// Both are diagnostics for tests and the exchange experiment.
+	Rounds   int64
+	MaxDepth int
+}
+
+// pendingRound is one posted-but-unflushed round: its kind, declared
+// tally frame length, the caller's own tally contribution (value
+// rounds), and the sequence number its messages are tagged with.
+type pendingRound struct {
+	kind     roundKind
+	tallyLen int
+	ownTally []int64
+	seq      uint32
 }
 
 // drainReq tells the drainer what the next round receives: which
-// direction's messages and how long their tally frames are.
+// direction's messages, how long their tally frames are, and the round
+// tag to assert on every frame.
 type drainReq struct {
 	kind     roundKind
 	tallyLen int
+	seq      uint32
 }
 
 // drainResult is what the background drainer hands back at Flush: the
@@ -246,7 +296,7 @@ type drainReq struct {
 // recovered. Panics must travel back to the rank's main goroutine —
 // re-raised from Flush — so mpi.Run's per-rank recovery sees them; a
 // panic escaping on the drainer goroutine itself would kill the whole
-// process. All slices alias the drainer's arenas.
+// process. All slices alias the arena of the round's parity.
 type drainResult struct {
 	updates  []Update
 	tally    []int64
@@ -256,16 +306,11 @@ type drainResult struct {
 	panicked any
 }
 
-// drainer is the background half of one exchanger. It deliberately
-// holds no reference back to the DeltaExchanger, so the exchanger can
-// be collected (its finalizer closes req, ending the goroutine).
-type drainer struct {
-	comm *mpi.Comm
-	plan *boundaryPlan
-	req  chan drainReq
-	res  chan drainResult
-
-	// Decode arenas, reused across rounds.
+// drainArena is one parity's set of decode buffers. The drainer owns
+// PipelineDepth of them and serves round seq from arena seq%depth, so
+// a pipelined caller can still read round r's result while the drainer
+// decodes round r+1 into the other arena.
+type drainArena struct {
 	updates []Update
 	tally   []int64
 	outL    []int32
@@ -273,12 +318,31 @@ type drainer struct {
 	tallies []int64
 }
 
-// NewDeltaExchanger builds the boundary plan for g. Construction is
-// local — safe to call on any subset of ranks — but exchanging is
-// collective.
+// drainer is the background half of one exchanger. It deliberately
+// holds no reference back to the DeltaExchanger, so the exchanger can
+// be collected (its finalizer closes req, ending the goroutine).
+type drainer struct {
+	comm   *mpi.Comm
+	plan   *boundaryPlan
+	req    chan drainReq
+	res    chan drainResult
+	done   chan struct{}
+	arenas [PipelineDepth]drainArena
+}
+
+// NewDeltaExchanger builds the boundary plan for g and performs the
+// one-time rank-neighborhood completeness detection. The plan build is
+// local, but the detection is an Allreduce, so construction is
+// COLLECTIVE: every rank of the graph's communicator must construct
+// together (Graph.AsyncExchanger call sites do — the partitioner, the
+// analytics engines, and SetAsyncExchange all construct on every rank
+// at the same point). Moving the Allreduce here is what makes
+// NeighborhoodComplete safe to call from conditional code: it is a
+// cached read, never a hidden collective that could deadlock ranks
+// disagreeing about whether to ask.
 func (g *Graph) NewDeltaExchanger() *DeltaExchanger {
 	plan := newBoundaryPlan(g)
-	return &DeltaExchanger{
+	ex := &DeltaExchanger{
 		g:        g,
 		plan:     plan,
 		sendBufs: make([][]int64, len(plan.sendRanks)),
@@ -289,9 +353,16 @@ func (g *Graph) NewDeltaExchanger() *DeltaExchanger {
 		revVal:   make([][]int64, len(plan.recvRanks)),
 		revEnc:   make([][]int64, len(plan.recvRanks)),
 	}
+	if mpi.NeighborhoodComplete(g.Comm, len(plan.sendRanks)) {
+		ex.complete = 1
+	} else {
+		ex.complete = 2
+	}
+	return ex
 }
 
-// ensureDrainer lazily starts the exchanger's persistent drainer.
+// ensureDrainer lazily starts the exchanger's persistent drainer
+// (again, if the exchanger was Closed and then reused).
 func (ex *DeltaExchanger) ensureDrainer() {
 	if ex.reqCh != nil {
 		return
@@ -299,16 +370,53 @@ func (ex *DeltaExchanger) ensureDrainer() {
 	d := &drainer{
 		comm: ex.g.Comm,
 		plan: ex.plan,
-		req:  make(chan drainReq, 1),
-		res:  make(chan drainResult, 1),
+		req:  make(chan drainReq, PipelineDepth),
+		res:  make(chan drainResult, PipelineDepth),
+		done: make(chan struct{}),
 	}
-	ex.reqCh, ex.resCh = d.req, d.res
+	ex.reqCh, ex.resCh, ex.doneCh = d.req, d.res, d.done
 	go d.loop()
 	runtime.SetFinalizer(ex, finalizeExchanger)
 }
 
+// Close settles any rounds still in flight (re-raising a drainer panic
+// like the Flush that was never called would have) and stops the
+// exchanger's background drainer goroutine, waiting until it has
+// exited. Close is idempotent, and a closed exchanger may be reused —
+// the next Begin* starts a fresh drainer. Graph.Close calls it during
+// teardown; the finalizer remains only as a backstop for exchangers
+// dropped without Close (finalizers are not guaranteed to run, so
+// long-lived processes must not rely on it).
+//
+// Close belongs on the NORMAL teardown path, not in a defer that can
+// run while a panic unwinds: settling a pending round blocks until the
+// peers' messages arrive, and a rank that panicked out of the
+// collective schedule would wait for sends that never come — before
+// mpi.Run's recovery gets the chance to poison the world. After a
+// panic, skip Close; poison unblocks the drainer and the finalizer
+// reclaims it. Close must also not race a concurrent Begin*/Flush,
+// and — like Flush — it must not be called with a pending update
+// round whose FlushTally never ran, since peers are still waiting for
+// that round's messages.
+func (ex *DeltaExchanger) Close() {
+	if ex.reqCh == nil {
+		return
+	}
+	for ex.npend > 0 {
+		ex.join()
+	}
+	runtime.SetFinalizer(ex, nil)
+	close(ex.reqCh)
+	<-ex.doneCh
+	ex.reqCh, ex.resCh, ex.doneCh = nil, nil, nil
+}
+
+// InFlight reports the number of posted-but-unflushed rounds.
+func (ex *DeltaExchanger) InFlight() int { return ex.npend }
+
 // finalizeExchanger releases the drainer goroutine of a collected
-// exchanger.
+// exchanger that was never Closed (best effort: a finalizer may never
+// run — explicit Close is the supported path).
 func finalizeExchanger(ex *DeltaExchanger) {
 	if ex.reqCh != nil {
 		close(ex.reqCh)
@@ -320,7 +428,9 @@ func finalizeExchanger(ex *DeltaExchanger) {
 // crash, malformed frames) into the result so the main goroutine
 // re-raises them.
 func (d *drainer) loop() {
+	defer close(d.done)
 	for req := range d.req {
+		a := &d.arenas[int(req.seq)%PipelineDepth]
 		var res drainResult
 		func() {
 			defer func() {
@@ -329,9 +439,9 @@ func (d *drainer) loop() {
 				}
 			}()
 			if req.kind == roundUpdates {
-				res = d.drainUpdates(req.tallyLen)
+				res = d.drainUpdates(a, req)
 			} else {
-				res = d.drainValues(req.kind, req.tallyLen)
+				res = d.drainValues(a, req)
 			}
 		}()
 		d.res <- res
@@ -352,48 +462,50 @@ func resizeZero(buf []int64, n int) []int64 {
 }
 
 // drainUpdates receives one update-flow message from every boundary
-// neighbor, decoding packed updates and summing tally frames.
-func (d *drainer) drainUpdates(tallyLen int) drainResult {
-	d.updates = d.updates[:0]
-	d.tally = resizeZero(d.tally, tallyLen)
+// neighbor, decoding packed updates into arena a and summing tally
+// frames.
+func (d *drainer) drainUpdates(a *drainArena, req drainReq) drainResult {
+	a.updates = a.updates[:0]
+	a.tally = resizeZero(a.tally, req.tallyLen)
 	for i, src := range d.plan.recvRanks {
 		lids := d.plan.recvLists[i]
-		msg := mpi.Recv64(d.comm, int(src))
-		for _, w := range mpi.SplitTally(msg, d.tally) {
+		msg := mpi.Recv64Tag(d.comm, int(src), req.seq)
+		for _, w := range mpi.SplitTally(msg, a.tally) {
 			idx, value := unpackUpdate(w)
 			if int(idx) >= len(lids) {
 				panic(fmt.Sprintf("dgraph: rank %d: delta index %d outside shared list of %d with rank %d",
 					d.comm.Rank(), idx, len(lids), src))
 			}
-			d.updates = append(d.updates, Update{LID: lids[idx], Value: value})
+			a.updates = append(a.updates, Update{LID: lids[idx], Value: value})
 		}
 		d.comm.Recycle64(msg)
 	}
-	return drainResult{updates: d.updates, tally: d.tally}
+	return drainResult{updates: a.updates, tally: a.tally}
 }
 
 // drainValues receives one value-flow message from every neighbor of
-// the given direction, decoding (lid, payload) pairs and capturing each
-// source's tally frame separately (value tallies are folded caller-side
-// so float partial sums can keep global rank order).
-func (d *drainer) drainValues(kind roundKind, tallyLen int) drainResult {
+// the round's direction, decoding (lid, payload) pairs into arena a
+// and capturing each source's tally frame separately (value tallies
+// are folded caller-side so float partial sums can keep global rank
+// order).
+func (d *drainer) drainValues(a *drainArena, req drainReq) drainResult {
 	srcs, lists := d.plan.recvRanks, d.plan.recvLists
-	if kind == roundValuesRev {
+	if req.kind == roundValuesRev {
 		srcs, lists = d.plan.sendRanks, d.plan.sendLists
 	}
-	d.outL = d.outL[:0]
-	d.outP = d.outP[:0]
-	d.tallies = resizeZero(d.tallies, len(srcs)*tallyLen)
+	a.outL = a.outL[:0]
+	a.outP = a.outP[:0]
+	a.tallies = resizeZero(a.tallies, len(srcs)*req.tallyLen)
 	for i, src := range srcs {
-		msg := mpi.Recv64(d.comm, int(src))
+		msg := mpi.Recv64Tag(d.comm, int(src), req.seq)
 		body := msg
-		if tallyLen > 0 {
-			body = mpi.SplitTally(msg, d.tallies[i*tallyLen:(i+1)*tallyLen])
+		if req.tallyLen > 0 {
+			body = mpi.SplitTally(msg, a.tallies[i*req.tallyLen:(i+1)*req.tallyLen])
 		}
-		d.outL, d.outP = decodeValues(int(src), body, lists[i], d.outL, d.outP)
+		a.outL, a.outP = decodeValues(int(src), body, lists[i], a.outL, a.outP)
 		d.comm.Recycle64(msg)
 	}
-	return drainResult{outL: d.outL, outP: d.outP, tallies: d.tallies}
+	return drainResult{outL: a.outL, outP: a.outP, tallies: a.tallies}
 }
 
 // NeighborRanks returns the ranks this exchanger sends to (the ranks
@@ -441,30 +553,59 @@ func (ex *DeltaExchanger) gidsOf(lids []int32) []int64 {
 // BeginTally(0). Begin must be followed by exactly one Flush.
 func (ex *DeltaExchanger) Begin() { ex.BeginTally(0) }
 
+// post appends a round to the pending FIFO and hands its receive side
+// to the drainer, returning the round's sequence number (its message
+// tag). It panics when PipelineDepth rounds are already in flight, and
+// when a value/push round would be posted behind a pending update
+// round: value-flow sends are eager (Begin) while update-flow sends
+// are deferred (Flush), so that combination would put the value frames
+// ahead of the update frames in the pair FIFOs and skew every
+// receiver. The converse — an update round posted behind a value
+// round — is fine, because flushes run oldest-first and the update's
+// deferred sends happen after the value round has fully settled.
+func (ex *DeltaExchanger) post(kind roundKind, tallyLen int, ownTally []int64) uint32 {
+	if ex.npend == PipelineDepth {
+		panic(fmt.Sprintf("dgraph: DeltaExchanger round posted with %d rounds already in flight (PipelineDepth)", ex.npend))
+	}
+	if kind != roundUpdates {
+		for i := 0; i < ex.npend; i++ {
+			if ex.pend[i].kind == roundUpdates {
+				panic("dgraph: value round posted behind a pending update round (update sends are deferred to Flush; flush it first)")
+			}
+		}
+	}
+	ex.ensureDrainer()
+	s := ex.seq
+	ex.seq++
+	ex.pend[ex.npend] = pendingRound{kind: kind, tallyLen: tallyLen, ownTally: ownTally, seq: s}
+	ex.npend++
+	if ex.npend > ex.MaxDepth {
+		ex.MaxDepth = ex.npend
+	}
+	ex.reqCh <- drainReq{kind: kind, tallyLen: tallyLen, seq: s}
+	return s
+}
+
 // BeginTally posts the receive side of the next update round: the
 // exchanger's background drainer takes one message from each boundary
 // neighbor as it arrives, decoding into ghost-lid updates while the
 // caller's compute is still in flight. tallyLen declares the length of
 // the piggybacked tally frame every neighbor's message will carry this
 // round (0 for none); the matching FlushTally must pass a tally of
-// exactly that length. BeginTally must be followed by exactly one
-// Flush/FlushTally.
+// exactly that length. Every BeginTally must eventually be matched by
+// exactly one Flush/FlushTally; flushes settle rounds oldest-first.
 func (ex *DeltaExchanger) BeginTally(tallyLen int) {
-	if ex.pending != roundNone {
-		panic("dgraph: DeltaExchanger.Begin called twice without Flush")
-	}
-	ex.ensureDrainer()
-	ex.pending = roundUpdates
-	ex.tallyLen = tallyLen
-	ex.reqCh <- drainReq{kind: roundUpdates, tallyLen: tallyLen}
+	ex.post(roundUpdates, tallyLen, nil)
 }
 
-// join collects the pending round's result from the drainer, re-raising
-// any panic it recovered.
+// join collects the oldest pending round's result from the drainer
+// (results arrive in round order), pops it from the FIFO, and
+// re-raises any panic the drainer recovered.
 func (ex *DeltaExchanger) join() drainResult {
 	res := <-ex.resCh
-	ex.pending = roundNone
-	ex.ownTally = nil
+	copy(ex.pend[:], ex.pend[1:ex.npend])
+	ex.pend[ex.npend-1] = pendingRound{}
+	ex.npend--
 	if res.panicked != nil {
 		panic(res.panicked)
 	}
@@ -479,23 +620,26 @@ func (ex *DeltaExchanger) Flush(q []Update) []Update {
 }
 
 // FlushTally encodes the round's owned-vertex updates, appends the
-// rank's tally frame, sends one message to every boundary neighbor,
-// joins the drainer posted by BeginTally (posting it now if the caller
-// skipped it), and returns the updates received for this rank's ghosts
-// together with the element-wise sum of the neighbors' tallies (nil
-// when the round carries none). len(tally) must equal the pending
-// round's tallyLen on every rank — the tally is part of the message
+// rank's tally frame, sends one message to every boundary neighbor —
+// tagged with the oldest pending update round's sequence number —
+// joins that round's drain (posting the round now if the caller
+// skipped Begin), and returns the updates received for this rank's
+// ghosts together with the element-wise sum of the neighbors' tallies
+// (nil when the round carries none). len(tally) must equal the round's
+// declared tallyLen on every rank — the tally is part of the message
 // framing, so a mismatch corrupts decoding on the peer. The returned
-// slices alias exchanger arenas and are valid until the next round.
+// slices alias exchanger arenas and are valid until the round after
+// next is posted.
 func (ex *DeltaExchanger) FlushTally(q []Update, tally []int64) ([]Update, []int64) {
-	if ex.pending == roundNone {
+	if ex.npend == 0 {
 		ex.BeginTally(len(tally))
 	}
-	if ex.pending != roundUpdates {
-		panic("dgraph: FlushTally during a pending value round")
+	oldest := ex.pend[0]
+	if oldest.kind != roundUpdates {
+		panic("dgraph: FlushTally while the oldest pending round is a value round")
 	}
-	if len(tally) != ex.tallyLen {
-		panic(fmt.Sprintf("dgraph: FlushTally with tally length %d, Begin posted %d", len(tally), ex.tallyLen))
+	if len(tally) != oldest.tallyLen {
+		panic(fmt.Sprintf("dgraph: FlushTally with tally length %d, Begin posted %d", len(tally), oldest.tallyLen))
 	}
 	plan := ex.plan
 	for i := range ex.sendBufs {
@@ -511,7 +655,7 @@ func (ex *DeltaExchanger) FlushTally(q []Update, tally []int64) ([]Update, []int
 	}
 	for i, dst := range plan.sendRanks {
 		ex.sendBufs[i] = mpi.AppendTally(ex.g.Comm, ex.sendBufs[i], tally)
-		mpi.Isend64(ex.g.Comm, int(dst), ex.sendBufs[i])
+		mpi.Isend64Tag(ex.g.Comm, int(dst), oldest.seq, ex.sendBufs[i])
 	}
 	res := ex.join()
 	return res.updates, res.tally
@@ -521,21 +665,11 @@ func (ex *DeltaExchanger) FlushTally(q []Update, tally []int64) ([]Update, []int
 // neighbors every other rank — the condition under which tallies
 // piggybacked on boundary messages already sum over all ranks, making
 // piggybacked reductions (part sizes, convergence counters, PageRank's
-// dangling mass) exact without any Allreduce. The first call is
-// collective (one Allreduce, the detection the partitioner and the
-// overlapped analytics share); the result is cached.
+// dangling mass) exact without any Allreduce. The detection runs once,
+// collectively, during construction (NewDeltaExchanger), so this is a
+// pure cached read — safe to call from conditional, per-rank code
+// without any collective-mismatch deadlock risk.
 func (ex *DeltaExchanger) NeighborhoodComplete() bool {
-	if ex.complete == 0 {
-		full := int64(0)
-		if len(ex.plan.sendRanks) == ex.g.Comm.Size()-1 {
-			full = 1
-		}
-		if mpi.AllreduceScalar(ex.g.Comm, full, mpi.Min) == 1 {
-			ex.complete = 1
-		} else {
-			ex.complete = 2
-		}
-	}
 	return ex.complete == 1
 }
 
@@ -646,6 +780,38 @@ func (t TallyRound) Sum(i int) int64 {
 	return s
 }
 
+// Max returns the maximum of own[i] and entry i of every received
+// frame — the global max for order-insensitive integer extrema (the
+// overlapped K-Core's coreness maximum). Entries absent from a frame
+// fold as that source's contribution of 0, so Max is meaningful only
+// for non-negative counters (like Sum, whose absent entries fold as 0).
+func (t TallyRound) Max(i int) int64 {
+	m := t.own[i]
+	for f := 0; f < len(t.srcs); f++ {
+		if v := t.flat[f*t.n+i]; v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// FoldFloatMax folds entry i as float64 bit patterns under max — the
+// max-combining counterpart of FoldFloat. Max over floats is exact in
+// any order (no rounding, unlike sums), so on complete neighborhoods
+// the result is bit-identical to the Allreduce(Max) it replaces
+// regardless of fold order. (SpMV's ∞-norm piggyback rests on the same
+// argument but inlines its fold — its expand messages are float64, not
+// tally frames.)
+func (t TallyRound) FoldFloatMax(i int) float64 {
+	m := math.Float64frombits(uint64(t.own[i]))
+	for f := 0; f < len(t.srcs); f++ {
+		if v := math.Float64frombits(uint64(t.flat[f*t.n+i])); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
 // FoldFloat folds entry i as float64 bit patterns in ascending global
 // rank order, with this rank's own contribution at its rank position —
 // the exact accumulation order of mpi.Allreduce(Sum), so on complete
@@ -682,13 +848,11 @@ func (t TallyRound) FoldFloat(i int) float64 {
 // message (tally may be nil) — and tells the background drainer to
 // start collecting the symmetric incoming messages. The caller then
 // computes work that does not read ghost values (interior vertices)
-// while the messages are in flight, and settles with FlushValues.
-// tally must stay untouched until FlushValues returns.
+// while the messages are in flight, and settles with FlushValues. Up
+// to PipelineDepth rounds may be posted before flushing; lids and
+// payloads are consumed before BeginValues returns, but tally must
+// stay untouched until the round's FlushValues returns.
 func (ex *DeltaExchanger) BeginValues(lids []int32, payloads []int64, tally []int64) {
-	if ex.pending != roundNone {
-		panic("dgraph: BeginValues during a pending round")
-	}
-	ex.ensureDrainer()
 	plan := ex.plan
 	for i := range ex.fwdIdx {
 		ex.fwdIdx[i] = ex.fwdIdx[i][:0]
@@ -703,27 +867,24 @@ func (ex *DeltaExchanger) BeginValues(lids []int32, payloads []int64, tally []in
 			ex.fwdVal[t.rankPos] = append(ex.fwdVal[t.rankPos], payloads[qi])
 		}
 	}
-	ex.pending = roundValuesFwd
-	ex.tallyLen = len(tally)
-	ex.ownTally = tally
-	ex.reqCh <- drainReq{kind: roundValuesFwd, tallyLen: len(tally)}
+	seq := ex.post(roundValuesFwd, len(tally), tally)
 	for i, dst := range plan.sendRanks {
 		buf := encodeValues(ex.fwdEnc[i][:0], len(plan.sendLists[i]), ex.fwdIdx[i], ex.fwdVal[i])
 		buf = mpi.AppendTally(ex.g.Comm, buf, tally)
 		ex.fwdEnc[i] = buf
-		mpi.Isend64(ex.g.Comm, int(dst), buf)
+		mpi.Isend64Tag(ex.g.Comm, int(dst), seq, buf)
 	}
 }
 
-// FlushValues joins the round posted by BeginValues and returns the
-// (ghost lid, payload) pairs received plus the round's tally frames.
-// The returned slices alias exchanger arenas and are valid until the
-// next round.
+// FlushValues joins the oldest pending round — which must be a
+// BeginValues round — and returns the (ghost lid, payload) pairs
+// received plus the round's tally frames. The returned slices alias
+// exchanger arenas and are valid until the round after next is posted.
 func (ex *DeltaExchanger) FlushValues() ([]int32, []int64, TallyRound) {
-	if ex.pending != roundValuesFwd {
-		panic("dgraph: FlushValues without a pending BeginValues round")
+	if ex.npend == 0 || ex.pend[0].kind != roundValuesFwd {
+		panic("dgraph: FlushValues without a pending BeginValues round oldest in the pipeline")
 	}
-	own, n := ex.ownTally, ex.tallyLen
+	own, n := ex.pend[0].ownTally, ex.pend[0].tallyLen
 	res := ex.join()
 	tr := TallyRound{own: own, srcs: ex.plan.recvRanks, flat: res.tallies, n: n, rank: int32(ex.g.Comm.Rank())}
 	return res.outL, res.outP, tr
@@ -732,11 +893,10 @@ func (ex *DeltaExchanger) FlushValues() ([]int32, []int64, TallyRound) {
 // BeginPush posts a split-phase ghost → owner value round: payloads for
 // the given ghost vertices travel to their owning ranks, with the
 // rank's tally frame appended to each message. Settle with FlushPush.
+// Like BeginValues it may be posted while one earlier round is still
+// in flight — the overlapped BFS posts the next depth's discovery push
+// while the previous depth's ghost refresh is still pending.
 func (ex *DeltaExchanger) BeginPush(lids []int32, payloads []int64, tally []int64) {
-	if ex.pending != roundNone {
-		panic("dgraph: BeginPush during a pending round")
-	}
-	ex.ensureDrainer()
 	plan := ex.plan
 	for i := range ex.revIdx {
 		ex.revIdx[i] = ex.revIdx[i][:0]
@@ -751,27 +911,24 @@ func (ex *DeltaExchanger) BeginPush(lids []int32, payloads []int64, tally []int6
 		ex.revIdx[pos] = append(ex.revIdx[pos], plan.ghostIdx[gi])
 		ex.revVal[pos] = append(ex.revVal[pos], payloads[qi])
 	}
-	ex.pending = roundValuesRev
-	ex.tallyLen = len(tally)
-	ex.ownTally = tally
-	ex.reqCh <- drainReq{kind: roundValuesRev, tallyLen: len(tally)}
+	seq := ex.post(roundValuesRev, len(tally), tally)
 	for i, dst := range plan.recvRanks {
 		buf := encodeValues(ex.revEnc[i][:0], len(plan.recvLists[i]), ex.revIdx[i], ex.revVal[i])
 		buf = mpi.AppendTally(ex.g.Comm, buf, tally)
 		ex.revEnc[i] = buf
-		mpi.Isend64(ex.g.Comm, int(dst), buf)
+		mpi.Isend64Tag(ex.g.Comm, int(dst), seq, buf)
 	}
 }
 
-// FlushPush joins the round posted by BeginPush and returns the
-// (owned lid, payload) pairs received plus the round's tally frames.
-// The returned slices alias exchanger arenas and are valid until the
-// next round.
+// FlushPush joins the oldest pending round — which must be a BeginPush
+// round — and returns the (owned lid, payload) pairs received plus the
+// round's tally frames. The returned slices alias exchanger arenas and
+// are valid until the round after next is posted.
 func (ex *DeltaExchanger) FlushPush() ([]int32, []int64, TallyRound) {
-	if ex.pending != roundValuesRev {
-		panic("dgraph: FlushPush without a pending BeginPush round")
+	if ex.npend == 0 || ex.pend[0].kind != roundValuesRev {
+		panic("dgraph: FlushPush without a pending BeginPush round oldest in the pipeline")
 	}
-	own, n := ex.ownTally, ex.tallyLen
+	own, n := ex.pend[0].ownTally, ex.pend[0].tallyLen
 	res := ex.join()
 	tr := TallyRound{own: own, srcs: ex.plan.sendRanks, flat: res.tallies, n: n, rank: int32(ex.g.Comm.Rank())}
 	return res.outL, res.outP, tr

@@ -231,7 +231,9 @@ func benchExchangeRound(b *testing.B, async bool) {
 func BenchmarkExchangeRoundSync8Ranks(b *testing.B)       { benchExchangeRound(b, false) }
 func BenchmarkExchangeRoundAsyncDelta8Ranks(b *testing.B) { benchExchangeRound(b, true) }
 
-func TestDeltaExchangerDoubleBeginPanics(t *testing.T) {
+// Rounds pipeline to depth PipelineDepth: a second Begin before the
+// first Flush is legal, a third must panic.
+func TestDeltaExchangerPipelineOverflowPanics(t *testing.T) {
 	g := gen.ER(60, 240, 31)
 	mpi.Run(1, func(c *mpi.Comm) {
 		dg, err := FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()), BlockDist{N: g.N, P: 1})
@@ -240,12 +242,20 @@ func TestDeltaExchangerDoubleBeginPanics(t *testing.T) {
 			return
 		}
 		ex := dg.NewDeltaExchanger()
+		defer ex.Close()
 		ex.Begin()
+		ex.Begin() // depth 2: legal
+		if ex.InFlight() != PipelineDepth {
+			t.Errorf("InFlight = %d after two Begins, want %d", ex.InFlight(), PipelineDepth)
+		}
 		defer func() {
 			if recover() == nil {
-				t.Error("expected panic for double Begin")
+				t.Error("expected panic for Begin past PipelineDepth")
 			}
-			ex.Flush(nil) // drain the posted round so the drainer exits
+			// Drain the two legally posted rounds so Close has nothing
+			// blocked (Flush pairs them oldest-first).
+			ex.Flush(nil)
+			ex.Flush(nil)
 		}()
 		ex.Begin()
 	})

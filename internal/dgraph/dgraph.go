@@ -52,6 +52,8 @@ type Graph struct {
 	// asyncRoute, when true, routes ExchangeInt64, ExchangeFloat64, and
 	// PushToOwners through the delta engine (SetAsyncExchange).
 	asyncRoute bool
+	// termEpoch is the analytics termination-epoch knob (SetTermEpoch).
+	termEpoch int
 }
 
 // NTotal returns the local array extent NLocal+NGhost.
@@ -389,15 +391,51 @@ func (g *Graph) ExchangeUpdates(q []Update) []Update {
 }
 
 // AsyncExchanger returns the graph's delta exchanger, building the
-// shared boundary plan on first use. Construction is rank-local;
-// exchanging through it is collective. The instance is shared by every
-// consumer of the graph (the partitioner's update rounds and the
-// generic value exchanges), so the boundary plan is derived once.
+// shared boundary plan — and running the one-time collective
+// rank-neighborhood completeness detection — on first use, so the
+// first call per graph must happen at the same point on every rank
+// (see NewDeltaExchanger). The instance is shared by every consumer of
+// the graph (the partitioner's update rounds and the generic value
+// exchanges), so the boundary plan is derived once.
 func (g *Graph) AsyncExchanger() *DeltaExchanger {
 	if g.deltaEx == nil {
 		g.deltaEx = g.NewDeltaExchanger()
 	}
 	return g.deltaEx
+}
+
+// Close releases the graph's cached delta exchanger, stopping its
+// background drainer goroutine. Long-lived processes that build many
+// graphs must call it (or DeltaExchanger.Close directly) — the
+// exchanger's finalizer is only a backstop, and finalizers are not
+// guaranteed to run. Close is idempotent and cheap on graphs that
+// never built an exchanger; the facade's distributed runs call it on
+// every rank before the rank function returns.
+func (g *Graph) Close() {
+	if g.deltaEx != nil {
+		g.deltaEx.Close()
+		g.deltaEx = nil
+	}
+}
+
+// SetTermEpoch bounds termination-test staleness for the overlapped
+// analytics on incomplete rank neighborhoods: every k-th round performs
+// the exact termination Allreduce, with the rounds in between running
+// unchecked — at most k-1 extra no-op rounds past the fixed point, which
+// by definition cannot change any value. 0 or 1 (the default) keeps the
+// exact per-round fallback. On complete neighborhoods the knob is
+// irrelevant: piggybacked counters already terminate without any
+// Allreduce. The analytics counterpart of core.Options.SizeEpoch; every
+// rank must set the same value.
+func (g *Graph) SetTermEpoch(k int) { g.termEpoch = k }
+
+// TermEpoch returns the termination-epoch knob (see SetTermEpoch),
+// normalized to at least 1.
+func (g *Graph) TermEpoch() int {
+	if g.termEpoch < 1 {
+		return 1
+	}
+	return g.termEpoch
 }
 
 // SetAsyncExchange selects the transport behind ExchangeInt64,

@@ -30,18 +30,33 @@
 //     nonblocking point-to-point messages, and the receive side drains
 //     on a persistent background goroutine concurrently with local
 //     compute. Every flow is split-phase (Begin/Flush,
-//     BeginValues/FlushValues, BeginPush/FlushPush); messages may
+//     BeginValues/FlushValues, BeginPush/FlushPush) and rounds
+//     pipeline to PipelineDepth — a second Begin* may be posted while
+//     the previous round's Flush is still outstanding, with each
+//     round's messages stamped with its sequence number as an mpi
+//     round tag and flushes settling rounds oldest-first. Messages may
 //     additionally piggyback tally frames (mpi.AppendTally) so an
 //     exchange round doubles as a reduction, with value rounds keeping
 //     the frames per source (TallyRound) so float partial sums fold in
-//     global rank order. Steady-state rounds allocate nothing: encode
-//     and decode buffers are per-exchanger arenas and transfer copies
-//     come from the mpi buffer pool.
+//     global rank order (and extrema max-combine exactly: Max,
+//     FoldFloatMax). Steady-state rounds allocate nothing: encode
+//     buffers are per-exchanger arenas, decode buffers are drainer
+//     arenas double-buffered by round parity, and transfer copies come
+//     from the mpi buffer pool.
+//
+// Exchanger construction is collective (it runs the one-time
+// rank-neighborhood completeness Allreduce so NeighborhoodComplete is
+// a pure cached read), and every exchanger owns one drainer goroutine
+// released by DeltaExchanger.Close — Graph.Close calls it at teardown;
+// a finalizer exists only as a backstop for dropped exchangers.
 //
 // SetAsyncExchange routes the generic helpers (ExchangeInt64,
 // ExchangeFloat64, PushToOwners) through the delta engine; the
 // partitioner drives the update flow (Begin/Flush) directly, and the
-// overlapped analytics engines drive the split-phase value flows. Both
-// transports deliver identical results — the choice is pure transport,
-// observable only in mpi.Stats traffic counters and wall time.
+// overlapped analytics engines drive the split-phase value flows
+// (BFS keeping two rounds in flight). SetTermEpoch bounds the
+// overlapped analytics' termination-Allreduce cadence on incomplete
+// rank neighborhoods. Both transports deliver identical results — the
+// choice is pure transport, observable only in mpi.Stats traffic
+// counters and wall time.
 package dgraph

@@ -1,0 +1,383 @@
+package dgraph
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/mpi"
+)
+
+// Depth-2 pipelining and the drainer lifecycle: these tests drive the
+// exchanger with two rounds in flight and assert results stay
+// bit-identical to the sequential Begin/Flush schedule, that pipelined
+// steady-state rounds still allocate nothing, and that Close actually
+// releases the drainer goroutine (the finalizer is only a backstop).
+
+// TestCloseStopsDrainerGoroutine cycles exchanger create/use/Close and
+// asserts the process goroutine count does not grow — the regression
+// test for drainer leaks in long-lived processes, where finalizers
+// (the old shutdown path) are not guaranteed to run.
+func TestCloseStopsDrainerGoroutine(t *testing.T) {
+	g := gen.ER(200, 1000, 7)
+	const ranks = 2
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		dg, err := FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()), HashDist{P: c.Size(), Seed: 3})
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		bv := dg.BoundaryVertices()
+		payload := make([]int64, len(bv))
+		cycle := func() {
+			ex := dg.AsyncExchanger()
+			ex.BeginValues(bv, payload, nil)
+			ex.FlushValues()
+			dg.Close()
+		}
+		cycle() // warm caches (boundary plan arenas, mpi pool)
+		c.Barrier()
+		before := runtime.NumGoroutine()
+		for i := 0; i < 20; i++ {
+			cycle()
+		}
+		c.Barrier()
+		// Closed drainers exit synchronously (Close waits on the done
+		// channel), so the count must not trend upward. Allow a little
+		// slack for unrelated runtime goroutines.
+		after := runtime.NumGoroutine()
+		if after > before+ranks {
+			t.Errorf("rank %d: %d goroutines after 20 create/Close cycles, started with %d (drainer leak)",
+				c.Rank(), after, before)
+		}
+	})
+}
+
+// TestCloseWithPendingRoundSettles posts a round and Closes without
+// flushing: Close must join the in-flight round and still stop the
+// drainer.
+func TestCloseWithPendingRoundSettles(t *testing.T) {
+	g := gen.ER(200, 1000, 7)
+	mpi.Run(2, func(c *mpi.Comm) {
+		dg, err := FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()), HashDist{P: c.Size(), Seed: 3})
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		ex := dg.AsyncExchanger()
+		bv := dg.BoundaryVertices()
+		payload := make([]int64, len(bv))
+		ex.BeginValues(bv, payload, nil)
+		ex.BeginValues(bv, payload, nil) // two rounds in flight
+		dg.Close()                       // settles both, then stops the drainer
+		if ex.InFlight() != 0 {
+			t.Errorf("rank %d: %d rounds still pending after Close", c.Rank(), ex.InFlight())
+		}
+		// A closed exchanger is reusable: the next round restarts the
+		// drainer.
+		ex.BeginValues(bv, payload, nil)
+		ex.FlushValues()
+		ex.Close()
+	})
+}
+
+// TestPipelinedValueRoundsMatchSequential runs the same sequence of
+// full-boundary value rounds twice — once Begin/Flush strictly
+// alternating, once with two rounds in flight (BFS-style software
+// pipeline) — and asserts every round's delivered ghost values and
+// folded tallies are bit-identical, and that the pipelined schedule
+// actually reached depth 2.
+func TestPipelinedValueRoundsMatchSequential(t *testing.T) {
+	g := gen.RMAT(10, 8, 3)
+	const rounds = 12
+	mpi.Run(4, func(c *mpi.Comm) {
+		dg, err := FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()), HashDist{P: c.Size(), Seed: 5})
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		defer dg.Close()
+		ex := dg.AsyncExchanger()
+		bv := dg.BoundaryVertices()
+
+		// payloadFor derives round r's payload for owned vertex v
+		// deterministically so both schedules ship identical data.
+		payloadFor := func(r int, v int32) int64 {
+			return int64(r+1)*1_000_003 + int64(dg.L2G[v])
+		}
+		run := func(pipelined bool) ([][]int64, [][2]float64) {
+			vals := make([][]int64, rounds)    // per round: ghost lid -> payload (dense by NTotal)
+			sums := make([][2]float64, rounds) // per round: FoldFloat(0), FoldFloatMax(1)
+			payload := make([]int64, len(bv))
+			tallies := make([][]int64, rounds)
+			for r := range tallies {
+				tallies[r] = []int64{
+					int64(math.Float64bits(float64(c.Rank()+1) * float64(r+1) * 0.125)),
+					int64(math.Float64bits(float64((c.Rank()*7+r)%5) + 0.5)),
+				}
+			}
+			settle := func(r int) {
+				outL, outP, tr := ex.FlushValues()
+				dense := make([]int64, dg.NTotal())
+				for i, lid := range outL {
+					dense[lid] = outP[i]
+				}
+				vals[r] = dense
+				sums[r] = [2]float64{tr.FoldFloat(0), tr.FoldFloatMax(1)}
+			}
+			post := func(r int) {
+				for i, v := range bv {
+					payload[i] = payloadFor(r, v)
+				}
+				ex.BeginValues(bv, payload, tallies[r])
+			}
+			if !pipelined {
+				for r := 0; r < rounds; r++ {
+					post(r)
+					settle(r)
+				}
+				return vals, sums
+			}
+			post(0)
+			for r := 1; r < rounds; r++ {
+				post(r) // two rounds now in flight
+				settle(r - 1)
+			}
+			settle(rounds - 1)
+			return vals, sums
+		}
+
+		seqVals, seqSums := run(false)
+		base := ex.MaxDepth
+		pipVals, pipSums := run(true)
+		if base >= PipelineDepth {
+			t.Errorf("rank %d: sequential schedule reached depth %d", c.Rank(), base)
+		}
+		if ex.MaxDepth != PipelineDepth {
+			t.Errorf("rank %d: pipelined schedule reached depth %d, want %d", c.Rank(), ex.MaxDepth, PipelineDepth)
+		}
+		for r := 0; r < rounds; r++ {
+			if seqSums[r] != pipSums[r] {
+				t.Errorf("rank %d round %d: folded tallies %v (sequential) vs %v (pipelined)",
+					c.Rank(), r, seqSums[r], pipSums[r])
+				return
+			}
+			for lid := range seqVals[r] {
+				if seqVals[r][lid] != pipVals[r][lid] {
+					t.Errorf("rank %d round %d: ghost value at lid %d diverges: %d vs %d",
+						c.Rank(), r, lid, seqVals[r][lid], pipVals[r][lid])
+					return
+				}
+			}
+		}
+	})
+}
+
+// TestPipelinedMixedValuePushRounds interleaves the two value-flow
+// directions with two rounds in flight — BeginPush posted while the
+// previous BeginValues is still pending, exactly the overlapped BFS
+// schedule — and checks both directions deliver what the blocking
+// compositions deliver.
+func TestPipelinedMixedValuePushRounds(t *testing.T) {
+	g := gen.ER(300, 1500, 11)
+	mpi.Run(4, func(c *mpi.Comm) {
+		dg, err := FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()), HashDist{P: c.Size(), Seed: 5})
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		defer dg.Close()
+		ex := dg.AsyncExchanger()
+		bv := dg.BoundaryVertices()
+		fwdPayload := make([]int64, len(bv))
+		for i, v := range bv {
+			fwdPayload[i] = dg.L2G[v] * 17
+		}
+		ghosts := make([]int32, dg.NGhost)
+		revPayload := make([]int64, dg.NGhost)
+		for i := range ghosts {
+			ghosts[i] = int32(dg.NLocal + i)
+			revPayload[i] = dg.L2G[ghosts[i]] * 23
+		}
+
+		// Blocking reference.
+		wantFL, wantFP := ex.ExchangeValues(bv, fwdPayload)
+		refF := make([]int64, dg.NTotal())
+		for i, lid := range wantFL {
+			refF[lid] = wantFP[i]
+		}
+		wantRL, wantRP := ex.PushValues(ghosts, revPayload)
+		refR := make([]int64, dg.NTotal())
+		for i, lid := range wantRL {
+			refR[lid] += wantRP[i]
+		}
+
+		// Pipelined: Values posted, Push posted behind it, then both
+		// flushed oldest-first.
+		ex.BeginValues(bv, fwdPayload, nil)
+		ex.BeginPush(ghosts, revPayload, nil)
+		if ex.InFlight() != 2 {
+			t.Errorf("rank %d: InFlight = %d, want 2", c.Rank(), ex.InFlight())
+		}
+		gotFL, gotFP, _ := ex.FlushValues()
+		gotF := make([]int64, dg.NTotal())
+		for i, lid := range gotFL {
+			gotF[lid] = gotFP[i]
+		}
+		gotRL, gotRP, _ := ex.FlushPush()
+		gotR := make([]int64, dg.NTotal())
+		for i, lid := range gotRL {
+			gotR[lid] += gotRP[i]
+		}
+		for lid := range refF {
+			if refF[lid] != gotF[lid] {
+				t.Errorf("rank %d: forward value at lid %d: %d vs %d", c.Rank(), lid, refF[lid], gotF[lid])
+				return
+			}
+			if refR[lid] != gotR[lid] {
+				t.Errorf("rank %d: reverse value at lid %d: %d vs %d", c.Rank(), lid, refR[lid], gotR[lid])
+				return
+			}
+		}
+	})
+}
+
+// TestPipelinedRoundsSteadyStateAllocFree is the AllocsPerRun == 0
+// regression for the DEPTH-2 schedule: with two rounds permanently in
+// flight, a steady-state Begin+Flush pair must still never touch the
+// heap (the drainer's double-buffered arenas and the mpi pool absorb
+// the deeper in-flight window).
+func TestPipelinedRoundsSteadyStateAllocFree(t *testing.T) {
+	allocHarness(t, 4, func(dg *Graph) func() {
+		ex := dg.AsyncExchanger()
+		bv := dg.BoundaryVertices()
+		payload := make([]int64, len(bv))
+		for i, v := range bv {
+			payload[i] = int64(v) * 3
+		}
+		tally := []int64{1}
+		pending := 0
+		return func() {
+			ex.BeginValues(bv, payload, tally)
+			pending++
+			if pending == PipelineDepth {
+				ex.FlushValues()
+				pending--
+			}
+		}
+	}, "pipelined BeginValues/FlushValues")
+}
+
+// TestTallyRoundMaxFolds exercises the max-combining folds: integer
+// Max and float FoldFloatMax must deliver the global extrema of the
+// per-rank contributions on a complete neighborhood.
+func TestTallyRoundMaxFolds(t *testing.T) {
+	g := gen.ER(300, 1500, 11)
+	const ranks = 4
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		dg, err := FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()), HashDist{P: c.Size(), Seed: 5})
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		defer dg.Close()
+		ex := dg.AsyncExchanger()
+		if !ex.NeighborhoodComplete() {
+			t.Errorf("rank %d: want complete neighborhood", c.Rank())
+			return
+		}
+		me := int64(c.Rank())
+		f := 1.5 * float64(c.Rank()+1)
+		tally := []int64{me * 10, int64(math.Float64bits(f))}
+		ex.BeginValues(nil, nil, tally)
+		_, _, tr := ex.FlushValues()
+		if got, want := tr.Max(0), int64((ranks-1)*10); got != want {
+			t.Errorf("rank %d: Max = %d, want %d", c.Rank(), got, want)
+		}
+		if got, want := tr.FoldFloatMax(1), 1.5*float64(ranks); got != want {
+			t.Errorf("rank %d: FoldFloatMax = %v, want %v", c.Rank(), got, want)
+		}
+		// And FoldFloatMax must equal the Allreduce it replaces, bit
+		// for bit.
+		if got, want := tr.FoldFloatMax(1), mpi.AllreduceScalar(c, f, mpi.Max); got != want {
+			t.Errorf("rank %d: FoldFloatMax %v != Allreduce(Max) %v", c.Rank(), got, want)
+		}
+	})
+}
+
+// A value round posted behind a pending update round must be rejected
+// at post time: value sends are eager while update sends are deferred
+// to Flush, so the combination would invert frame order in the pair
+// FIFOs (the drainer would see it as a skewed pipeline deep in
+// Recv64Tag — the panic here names the actual protocol error instead).
+func TestValueRoundBehindUpdateRoundPanics(t *testing.T) {
+	g := gen.ER(60, 240, 31)
+	mpi.Run(1, func(c *mpi.Comm) {
+		dg, err := FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()), BlockDist{N: g.N, P: 1})
+		if err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		ex := dg.NewDeltaExchanger()
+		defer ex.Close()
+		ex.Begin()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for BeginValues behind a pending update round")
+			}
+			ex.Flush(nil) // settle the legally posted update round
+		}()
+		ex.BeginValues(nil, nil, nil)
+	})
+}
+
+// TestRoundTagSkewPanics sends a frame with a forged round tag and
+// asserts the tagged receive rejects it — the wire-level guard that
+// turns a skewed pipeline into a loud failure.
+func TestRoundTagSkewPanics(t *testing.T) {
+	mpi.Run(2, func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			mpi.Isend64Tag(c, 1, 7, []int64{42})
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("Recv64Tag accepted a mismatched round tag")
+			}
+		}()
+		mpi.Recv64Tag(c, 0, 8)
+	})
+}
+
+// The drainer must still ferry panics (here: mailbox poison after a
+// sibling rank's crash) back through Flush with rounds pipelined.
+func TestPipelinedDrainerFerriesPanics(t *testing.T) {
+	g := gen.ER(200, 1000, 7)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected the injected rank panic to propagate")
+		}
+	}()
+	mpi.Run(2, func(c *mpi.Comm) {
+		dg, err := FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()), HashDist{P: c.Size(), Seed: 3})
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		ex := dg.AsyncExchanger()
+		bv := dg.BoundaryVertices()
+		payload := make([]int64, len(bv))
+		if c.Rank() == 1 {
+			// Crash before sending: rank 0's drainer blocks until the
+			// poison wakes it.
+			panic("injected failure")
+		}
+		ex.BeginValues(bv, payload, nil)
+		ex.BeginValues(bv, payload, nil)
+		time.Sleep(10 * time.Millisecond) // let the drainer park in Recv64
+		ex.FlushValues()                  // must re-raise the poison panic
+		ex.FlushValues()
+	})
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// exchangeDoc mirrors writeExchangeJSON's document shape for
+// validation.
+type exchangeDoc struct {
+	Experiment string        `json:"experiment"`
+	Scale      string        `json:"scale"`
+	Seed       uint64        `json:"seed"`
+	Rows       []ExchangeRow `json:"rows"`
+}
+
+// ValidateExchangeJSON parses a BENCH_exchange.json artifact and
+// checks the measurements CI depends on are actually present — the
+// artifact is load-bearing for the benchmark trajectory, so a silently
+// truncated or schema-drifted file must fail the build, not upload.
+// Beyond well-formedness it requires, per path:
+//
+//   - partition rows: a Reductions count and an EdgeCut;
+//   - analytics rows: Reductions and AllocsPerRound, and on async rows
+//     a PipelineDepth of at least 2 (the depth-2 pipeline must have
+//     been observed in flight during the allocation measurement);
+//   - spmv rows: a Reductions count (the SpMV-Allreduce measurement),
+//     and on async rows the NormPiggyback flag.
+func ValidateExchangeJSON(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("benchcheck: %w", err)
+	}
+	var doc exchangeDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("benchcheck: %s: %w", path, err)
+	}
+	if doc.Experiment != "exchange" {
+		return fmt.Errorf("benchcheck: %s: experiment %q, want \"exchange\"", path, doc.Experiment)
+	}
+	if len(doc.Rows) == 0 {
+		return fmt.Errorf("benchcheck: %s: no measurement rows", path)
+	}
+	paths := map[string]int{}
+	for i, r := range doc.Rows {
+		where := fmt.Sprintf("%s: row %d (%s/%s/%s)", path, i, r.Path, r.Graph, r.Mode)
+		paths[r.Path]++
+		switch r.Path {
+		case "partition":
+			if r.Reductions == nil || r.EdgeCut == nil {
+				return fmt.Errorf("benchcheck: %s: missing reductions or edgeCut", where)
+			}
+		case "analytics":
+			if r.Reductions == nil || r.AllocsPerRound == nil {
+				return fmt.Errorf("benchcheck: %s: missing reductions or allocsPerRound", where)
+			}
+			if r.Mode == "async-delta" {
+				if r.PipelineDepth == nil {
+					return fmt.Errorf("benchcheck: %s: missing pipelineDepth", where)
+				}
+				if *r.PipelineDepth < 2 {
+					return fmt.Errorf("benchcheck: %s: pipelineDepth %d, want >= 2 (second round never in flight)",
+						where, *r.PipelineDepth)
+				}
+			}
+		case "spmv":
+			if r.Reductions == nil {
+				return fmt.Errorf("benchcheck: %s: missing reductions (SpMV-Allreduce measurement)", where)
+			}
+			if r.Mode == "async-delta" && r.NormPiggyback == nil {
+				return fmt.Errorf("benchcheck: %s: missing normPiggyback", where)
+			}
+		default:
+			return fmt.Errorf("benchcheck: %s: unknown path %q", where, r.Path)
+		}
+	}
+	for _, want := range []string{"partition", "analytics", "spmv"} {
+		if paths[want] == 0 {
+			return fmt.Errorf("benchcheck: %s: no %s rows", path, want)
+		}
+	}
+	return nil
+}

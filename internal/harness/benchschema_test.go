@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The exchange experiment's JSON artifact must round-trip through the
+// schema validator: this is the end-to-end guarantee behind CI's
+// benchcheck gate (generate → validate → upload).
+func TestExchangeJSONSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exchange is a heavy reproduction; skipped in -short")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_exchange.json")
+	var buf bytes.Buffer
+	if err := Exchange(Config{W: &buf, Scale: Small, Seed: 1, JSONPath: path}); err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+	if err := ValidateExchangeJSON(path); err != nil {
+		t.Fatalf("generated artifact fails its own schema: %v", err)
+	}
+}
+
+// Corrupted or incomplete artifacts must be rejected with a message
+// naming the problem.
+func TestExchangeJSONSchemaRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name, content, want string
+	}{
+		{"truncated.json", `{"experiment":"exchange","rows":[{"path":"partition"`, "unexpected end"},
+		{"wrongexp.json", `{"experiment":"table2","rows":[{"path":"spmv"}]}`, `want "exchange"`},
+		{"norows.json", `{"experiment":"exchange","rows":[]}`, "no measurement rows"},
+		{"spmvnored.json", `{"experiment":"exchange","rows":[{"path":"spmv","mode":"sync"}]}`, "missing reductions"},
+		{"shallowpipe.json", `{"experiment":"exchange","rows":[{"path":"analytics","mode":"async-delta",` +
+			`"reductions":1,"allocsPerRound":0,"pipelineDepth":1}]}`, "pipelineDepth 1"},
+	}
+	for _, tc := range cases {
+		err := ValidateExchangeJSON(write(tc.name, tc.content))
+		if err == nil {
+			t.Errorf("%s: validator accepted a broken artifact", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// writeExchangeJSON must surface write/close failures instead of
+// leaving a truncated artifact behind as a success: pointing it at a
+// directory makes Create fail; a missing parent makes it fail too.
+func TestWriteExchangeJSONPropagatesErrors(t *testing.T) {
+	cfg := Config{JSONPath: t.TempDir()} // a directory: Create must fail
+	if err := writeExchangeJSON(cfg, []ExchangeRow{{Path: "spmv"}}); err == nil {
+		t.Error("expected error writing JSON to a directory path")
+	}
+	cfg.JSONPath = filepath.Join(t.TempDir(), "missing", "out.json")
+	if err := writeExchangeJSON(cfg, []ExchangeRow{{Path: "spmv"}}); err == nil {
+		t.Error("expected error writing JSON under a missing directory")
+	}
+}

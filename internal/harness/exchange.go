@@ -28,10 +28,14 @@ import (
 //     sweep. The async engine runs them split-phase with the
 //     convergence counters piggybacked on the messages, so its
 //     Allreduce count collapses and its steady-state rounds allocate
-//     nothing (the Allocs/rnd column measures one boundary value round
-//     end to end).
+//     nothing (the Allocs/rnd column measures one boundary value
+//     round end to end — software-pipelined to two rounds in flight
+//     in async mode, reported by the PipeDepth column).
 //   - SpMV: the expand/fold phases under 1D and 2D layouts, where the
-//     async engine also bypasses self-destined shares.
+//     async engine also bypasses self-destined shares and — on
+//     complete expand neighborhoods (NormRide column) — piggybacks
+//     the power iteration's ∞-norm on the expand messages, collapsing
+//     the Allreduces column from iterations+1 to a constant.
 //
 // With Config.JSONPath set, the same measurements are written as JSON
 // (BENCH_exchange.json) for machine consumption.
@@ -65,12 +69,24 @@ type ExchangeRow struct {
 	WallSeconds float64 `json:"wallSeconds"`
 	// ExchElems is the total element volume all ranks sent.
 	ExchElems int64 `json:"exchElems"`
-	// Reductions counts Allreduce operations (partition and analytics
-	// paths).
+	// Reductions counts Allreduce operations (all three paths; for spmv
+	// it is the per-rank count from spmv.Result.Reductions — the async
+	// norm piggyback collapses it to a constant independent of the
+	// iteration count).
 	Reductions *int64 `json:"reductions,omitempty"`
 	// AllocsPerRound is the measured steady-state heap allocations of
-	// one boundary value round across all ranks (analytics path).
+	// one boundary value round across all ranks (analytics path; the
+	// async engine measures software-pipelined rounds).
 	AllocsPerRound *float64 `json:"allocsPerRound,omitempty"`
+	// PipelineDepth is the exchanger's observed in-flight round
+	// high-water mark during the measurement (analytics path, async
+	// mode; 2 = a second round was posted while the first was still
+	// outstanding).
+	PipelineDepth *int64 `json:"pipelineDepth,omitempty"`
+	// NormPiggyback reports whether SpMV's async engine rode the
+	// per-iteration ∞-norm on the expand messages (spmv path, async
+	// mode).
+	NormPiggyback *bool `json:"normPiggyback,omitempty"`
 	// EdgeCut is the partition quality (partition path).
 	EdgeCut *float64 `json:"edgeCut,omitempty"`
 }
@@ -97,10 +113,15 @@ func writeExchangeJSON(cfg Config, rows []ExchangeRow) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
-		f.Close()
+		f.Close() // the encode error is the root cause; report it
 		return fmt.Errorf("exchange: %w", err)
 	}
-	return f.Close()
+	// Close errors matter here: a full disk surfaces at Close, and
+	// swallowing it would upload a silently truncated artifact.
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("exchange: writing %s: %w", cfg.JSONPath, err)
+	}
+	return nil
 }
 
 // modeCells names a comparison row and computes its volume reduction
@@ -156,17 +177,26 @@ const allocRounds = 64
 
 // measureValueRoundAllocs measures the heap allocations of one
 // full-boundary value round in the graph's configured mode, averaged
-// over allocRounds rounds after warmup. It is a collective: every rank
-// runs the same rounds; rank 0 reads the process-wide allocation
+// over allocRounds rounds after warmup, and reports the exchanger's
+// observed pipeline depth (0 in sync mode). It is a collective: every
+// rank runs the same rounds; rank 0 reads the process-wide allocation
 // counter between two barriers, so the result covers all ranks (the
 // async engine's rounds are expected to allocate zero in steady
 // state).
-func measureValueRoundAllocs(c *mpi.Comm, dg *dgraph.Graph) float64 {
+//
+// In async mode the rounds are software-pipelined the way the
+// overlapped BFS runs them: each call posts the next round with
+// BeginValues BEFORE flushing the previous one, so two rounds of
+// messages are in flight throughout the measured window and the
+// reported depth is dgraph.PipelineDepth. One round stays pending when
+// the measurement ends; Graph.Close settles it during teardown.
+func measureValueRoundAllocs(c *mpi.Comm, dg *dgraph.Graph) (float64, int64) {
 	bv := dg.BoundaryVertices()
 	vals := make([]int64, dg.NTotal())
 	for i := range vals {
 		vals[i] = int64(i)
 	}
+	depth := func() int64 { return 0 }
 	round := func() { dg.ExchangeInt64(bv, vals) }
 	if dg.AsyncExchange() {
 		// Measure at the split-phase API the overlapped analytics use,
@@ -174,12 +204,23 @@ func measureValueRoundAllocs(c *mpi.Comm, dg *dgraph.Graph) float64 {
 		ex := dg.AsyncExchanger()
 		payload := make([]int64, len(bv))
 		tally := []int64{1}
+		pending := 0
+		// Reset the lifetime high-water mark (the analytics already
+		// drove it to 2) so the reported depth is what THIS measurement
+		// loop achieves — the benchcheck gate must fail if the
+		// pipelined schedule below regresses.
+		ex.MaxDepth = 0
+		depth = func() int64 { return int64(ex.MaxDepth) }
 		round = func() {
 			for i, v := range bv {
 				payload[i] = vals[v]
 			}
 			ex.BeginValues(bv, payload, tally)
-			ex.FlushValues()
+			pending++
+			if pending == dgraph.PipelineDepth {
+				ex.FlushValues()
+				pending--
+			}
 		}
 	}
 	// Warmup must reach the transport's in-flight high-water mark (up
@@ -207,7 +248,7 @@ func measureValueRoundAllocs(c *mpi.Comm, dg *dgraph.Graph) float64 {
 		runtime.ReadMemStats(&m1)
 	}
 	c.Barrier()
-	return float64(m1.Mallocs-m0.Mallocs) / allocRounds
+	return float64(m1.Mallocs-m0.Mallocs) / allocRounds, depth()
 }
 
 // exchangeAnalytics measures the value-flow paths: total elements
@@ -218,7 +259,7 @@ func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 	ranks := scalePick(cfg.Scale, 4, 8)
 	prIters := scalePick(cfg.Scale, 10, 20)
 	fmt.Fprintln(cfg.W, "\nAnalytics path (PR + WCC + BFS value exchanges):")
-	t := newTable(cfg.W, "Graph", "Ranks", "Mode", "Time(s)", "ExchElems", "Reduction", "Allreduces", "Allocs/rnd")
+	t := newTable(cfg.W, "Graph", "Ranks", "Mode", "Time(s)", "ExchElems", "Reduction", "Allreduces", "Allocs/rnd", "PipeDepth")
 	for _, tg := range representatives(cfg.Scale, seed)[:scalePick(cfg.Scale, 3, 6)] {
 		shared, err := tg.gen.Build()
 		if err != nil {
@@ -227,7 +268,7 @@ func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 		placement := partition.VertexBlock(shared, ranks)
 		var syncVol int64
 		for _, async := range []bool{false, true} {
-			var volume, reductions int64
+			var volume, reductions, depth int64
 			var wall time.Duration
 			var allocs float64
 			mpi.Run(ranks, func(c *mpi.Comm) {
@@ -237,6 +278,7 @@ func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 					panic(err)
 				}
 				dg.SetAsyncExchange(async)
+				dg.SetTermEpoch(cfg.TermEpoch)
 				c.ResetStats()
 				start := time.Now()
 				analytics.PageRank(dg, prIters, 0.85)
@@ -245,21 +287,30 @@ func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 				elapsed := time.Since(start)
 				red := c.Stats().ReductionOps
 				v := mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
-				a := measureValueRoundAllocs(c, dg)
+				a, d := measureValueRoundAllocs(c, dg)
+				// Settles the measurement's still-pending pipelined
+				// round (its messages are already in flight on every
+				// rank) and stops the drainer goroutine.
+				dg.Close()
 				if c.Rank() == 0 {
-					volume, reductions, wall, allocs = v, red, elapsed, a
+					volume, reductions, wall, allocs, depth = v, red, elapsed, a, d
 				}
 			})
 			mode, reduction := modeCells(async, &syncVol, volume)
 			t.add(tg.name, fmt.Sprintf("%d", ranks), mode, secs(wall),
 				fmt.Sprintf("%d", volume), reduction,
 				fmt.Sprintf("%d", reductions),
-				fmt.Sprintf("%.1f", allocs))
-			*rows = append(*rows, ExchangeRow{
+				fmt.Sprintf("%.1f", allocs),
+				fmt.Sprintf("%d", depth))
+			row := ExchangeRow{
 				Path: "analytics", Graph: tg.name, Ranks: ranks, Mode: mode,
 				WallSeconds: wall.Seconds(), ExchElems: volume,
 				Reductions: ptr(reductions), AllocsPerRound: ptr(allocs),
-			})
+			}
+			if async {
+				row.PipelineDepth = ptr(depth)
+			}
+			*rows = append(*rows, row)
 		}
 	}
 	t.flush()
@@ -272,7 +323,7 @@ func exchangeSpMV(cfg Config, rows *[]ExchangeRow) error {
 	ranks := scalePick(cfg.Scale, 4, 16)
 	iters := scalePick(cfg.Scale, 10, 100)
 	fmt.Fprintln(cfg.W, "\nSpMV path (expand/fold phases):")
-	t := newTable(cfg.W, "Graph", "Ranks", "Layout", "Mode", "SentVals", "Reduction")
+	t := newTable(cfg.W, "Graph", "Ranks", "Layout", "Mode", "SentVals", "Reduction", "Allreduces", "NormRide")
 	for _, tg := range representatives(cfg.Scale, seed)[:scalePick(cfg.Scale, 2, 4)] {
 		shared, err := tg.gen.Build()
 		if err != nil {
@@ -286,7 +337,8 @@ func exchangeSpMV(cfg Config, rows *[]ExchangeRow) error {
 				if layout == repro.Layout2D {
 					l = spmv.TwoD
 				}
-				var volume int64
+				var volume, reductions int64
+				var piggyback bool
 				var wall time.Duration
 				var runErr error
 				mpi.Run(ranks, func(c *mpi.Comm) {
@@ -302,6 +354,7 @@ func exchangeSpMV(cfg Config, rows *[]ExchangeRow) error {
 					v := mpi.AllreduceScalar(c, res.CommVolume, mpi.Sum)
 					if c.Rank() == 0 {
 						volume, wall = v, res.Time
+						reductions, piggyback = res.Reductions, res.NormPiggyback
 					}
 				})
 				if runErr != nil {
@@ -309,11 +362,18 @@ func exchangeSpMV(cfg Config, rows *[]ExchangeRow) error {
 				}
 				mode, reduction := modeCells(async, &syncVol, volume)
 				t.add(tg.name, fmt.Sprintf("%d", ranks), layout, mode,
-					fmt.Sprintf("%d", volume), reduction)
-				*rows = append(*rows, ExchangeRow{
+					fmt.Sprintf("%d", volume), reduction,
+					fmt.Sprintf("%d", reductions),
+					fmt.Sprintf("%v", piggyback))
+				row := ExchangeRow{
 					Path: "spmv", Graph: tg.name, Ranks: ranks, Layout: layout,
 					Mode: mode, WallSeconds: wall.Seconds(), ExchElems: volume,
-				})
+					Reductions: ptr(reductions),
+				}
+				if async {
+					row.NormPiggyback = ptr(piggyback)
+				}
+				*rows = append(*rows, row)
 			}
 		}
 	}

@@ -52,6 +52,13 @@ type Config struct {
 	// to this file, so benchmark trajectories can be tracked across
 	// commits.
 	JSONPath string
+	// TermEpoch is forwarded to the analytics runs of experiments that
+	// drive the async engine (currently exchange): on incomplete rank
+	// neighborhoods the overlapped analytics perform their exact
+	// termination Allreduce every TermEpoch-th round instead of every
+	// round (see repro.AnalyticsConfig.TermEpoch). 0 keeps the exact
+	// per-round default.
+	TermEpoch int
 }
 
 // value of Seed when the caller leaves it zero.

@@ -30,13 +30,23 @@
 // sequence of exchange operations — the same discipline collectives
 // require.
 //
+// Messages may carry a round tag (Isend64Tag/Recv64Tag). Tags never
+// affect matching — delivery stays strict FIFO per pair — but a
+// round-structured receiver can assert that the frame it dequeued
+// belongs to the round it is draining, which turns a skewed pipelined
+// exchange (one rank a round ahead) into an immediate panic naming
+// both rounds instead of silently mis-decoded payloads.
+//
 // Unlike the collectives, the point-to-point operations are safe to
 // complete from one helper goroutine concurrently with point-to-point
-// traffic on the rank's main goroutine (all traffic counters are
-// atomic, mailboxes are locked), but never concurrently with a
-// collective on the same Comm. This is what lets a rank drain incoming
-// boundary updates on a background goroutine while its main goroutine
-// is still computing (communication/computation overlap).
+// traffic — or a collective — on the rank's main goroutine (all
+// traffic counters are atomic, mailboxes are locked, and the mailbox
+// and barrier synchronization states are disjoint). This is what lets
+// a rank drain incoming boundary updates on a background goroutine
+// while its main goroutine is still computing (communication/
+// computation overlap), and lets the pipelined exchange engine keep a
+// posted round draining while the main goroutine enters an epoch
+// Allreduce.
 //
 // # Poison-on-panic
 //

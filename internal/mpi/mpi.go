@@ -87,9 +87,11 @@ func (w *world) poisonAll() {
 // the goroutine that received it from Run: collectives must be called
 // from that goroutine only. The nonblocking point-to-point operations
 // (Isend, Irecv, Waitall) may additionally be completed from one helper
-// goroutine concurrently with point-to-point traffic on the main
-// goroutine — traffic counters are atomic — but never concurrently
-// with a collective on the same Comm.
+// goroutine concurrently with point-to-point traffic — or a
+// collective — on the main goroutine: traffic counters are atomic, and
+// the mailbox and barrier/slot synchronization states are disjoint.
+// The pipelined exchange engine relies on this (its drainer receives a
+// posted round while the main goroutine enters an epoch Allreduce).
 type Comm struct {
 	w       *world
 	rank    int
@@ -410,4 +412,22 @@ func Allreduce[T Number](c *Comm, vals []T, op Op) []T {
 // AllreduceScalar reduces a single value across ranks.
 func AllreduceScalar[T Number](c *Comm, v T, op Op) T {
 	return Allreduce(c, []T{v}, op)[0]
+}
+
+// NeighborhoodComplete reports whether every rank's communication
+// neighborhood covers the whole world: each rank passes the number of
+// DISTINCT peer ranks its schedule exchanges with, and the result is
+// true exactly when that count is Size()-1 on every rank. This is the
+// one-time collective detection behind every piggybacked-reduction
+// optimization (the delta exchanger's tally folds, SpMV's ∞-norm
+// ride): on a complete neighborhood, per-peer message frames already
+// reach — and arrive from — every rank, so folding them reproduces a
+// world-wide reduction exactly. It is a collective (one Allreduce);
+// every rank must call it unconditionally at the same point.
+func NeighborhoodComplete(c *Comm, neighbors int) bool {
+	full := int64(0)
+	if neighbors == c.Size()-1 {
+		full = 1
+	}
+	return AllreduceScalar(c, full, Min) == 1
 }

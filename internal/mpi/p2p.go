@@ -18,15 +18,24 @@ import (
 // traffic counters are updated atomically and mailboxes are locked.
 // This is what lets a rank drain incoming boundary updates on a
 // background goroutine while its main goroutine is still computing
-// (communication/computation overlap).
+// (communication/computation overlap) — or, on the pipelined exchange
+// engine, while the main goroutine is inside a collective (the barrier
+// and mailbox synchronization states are disjoint).
+//
+// Messages may carry a round tag (Isend64Tag/Recv64Tag). Tags never
+// affect matching — delivery stays strict FIFO per pair — they only
+// let a round-structured receiver assert that the frame it dequeued
+// belongs to the round it is draining.
 
 // message is one in-flight point-to-point transfer. Generic sends box
 // their copy in data; the int64 fast path (Isend64) stores its pooled
-// copy in i64 instead, so enqueueing allocates nothing.
+// copy in i64 instead, so enqueueing allocates nothing. tag carries the
+// sender's round tag (Isend64Tag), zero for untagged sends.
 type message struct {
 	data  any     // a private []T copy (generic path)
 	i64   []int64 // a pooled private copy (int64 fast path)
 	count int
+	tag   uint32
 }
 
 // mailbox is the unbounded FIFO for one ordered (src, dst) rank pair.
@@ -206,6 +215,17 @@ func Waitall(reqs ...Request) {
 // and may be reused immediately; completion is eager, so no Request is
 // returned.
 func Isend64(c *Comm, dst int, data []int64) {
+	Isend64Tag(c, dst, 0, data)
+}
+
+// Isend64Tag is Isend64 with an explicit round tag stamped on the
+// message frame. Tags do not affect matching — mailboxes stay strict
+// FIFO per ordered pair, like MPI_ANY_TAG — but a receiver that knows
+// which round it is draining can assert the frame with Recv64Tag, so a
+// protocol skew (one rank a round ahead on a pipelined exchange)
+// surfaces as an immediate panic naming both rounds instead of as
+// silently mis-decoded payloads.
+func Isend64Tag(c *Comm, dst int, tag uint32, data []int64) {
 	if dst < 0 || dst >= c.w.size {
 		panic(fmt.Sprintf("mpi: Isend64 to rank %d outside [0,%d)", dst, c.w.size))
 	}
@@ -213,16 +233,34 @@ func Isend64(c *Comm, dst int, data []int64) {
 	copy(cp, data)
 	atomic.AddInt64(&c.stats.SendOps, 1)
 	atomic.AddInt64(&c.stats.ElemsSent, int64(len(cp)))
-	c.w.box(c.rank, dst).put(message{i64: cp, count: len(cp)})
+	c.w.box(c.rank, dst).put(message{i64: cp, count: len(cp), tag: tag})
 }
 
 // Recv64 blocks until the next int64 message from rank src arrives and
-// returns its payload — the blocking receive the delta exchanger's
-// drainer uses. The returned buffer is a private copy; when the caller
-// has decoded it, passing it to Recycle64 returns it to the pool so
-// subsequent sends reuse it. Messages sent with the generic Isend are
-// accepted too (they just were not pooled).
+// returns its payload. The returned buffer is a private copy; when the
+// caller has decoded it, passing it to Recycle64 returns it to the
+// pool so subsequent sends reuse it. Messages sent with the generic
+// Isend are accepted too (they just were not pooled). Recv64 ignores
+// round tags; the delta exchanger's drainer receives through Recv64Tag,
+// which asserts them.
 func Recv64(c *Comm, src int) []int64 {
+	data, _ := recv64(c, src)
+	return data
+}
+
+// Recv64Tag is Recv64 asserting the message's round tag: it panics if
+// the oldest undelivered frame from src does not carry want. Senders
+// stamp tags with Isend64Tag; untagged sends carry tag 0.
+func Recv64Tag(c *Comm, src int, want uint32) []int64 {
+	data, tag := recv64(c, src)
+	if tag != want {
+		panic(fmt.Sprintf("mpi: rank %d received round tag %d from rank %d, expected %d (pipelined rounds skewed)",
+			c.rank, tag, src, want))
+	}
+	return data
+}
+
+func recv64(c *Comm, src int) ([]int64, uint32) {
 	if src < 0 || src >= c.w.size {
 		panic(fmt.Sprintf("mpi: Recv64 from rank %d outside [0,%d)", src, c.w.size))
 	}
@@ -237,7 +275,7 @@ func Recv64(c *Comm, src int) []int64 {
 	}
 	atomic.AddInt64(&c.stats.RecvOps, 1)
 	atomic.AddInt64(&c.stats.ElemsRecv, int64(msg.count))
-	return data
+	return data, msg.tag
 }
 
 // Recycle64 returns a buffer obtained from Recv64 to the world's pool.

@@ -66,6 +66,22 @@ type Options struct {
 	// numerics are bit-identical to the synchronous engine (values,
 	// fill order, and accumulation order are unchanged); only traffic
 	// and synchronization differ.
+	//
+	// Async mode additionally piggybacks the power iteration's
+	// per-iteration ∞-norm on the expand messages when the expand
+	// schedule's rank neighborhood is complete (detected collectively
+	// once per run): normalization is deferred one iteration — each
+	// rank ships its still-unnormalized vector entries plus its local
+	// norm contribution, and receivers fold the global max (exact in
+	// any order) and divide while filling their x buffers — so
+	// iterations perform zero AllreduceScalar, with one trailing
+	// reduction settling the final normalization. On incomplete
+	// neighborhoods the engine falls back to the exact per-iteration
+	// Allreduce; 2D layouts confine each rank's expand traffic to its
+	// processor column, so they always take the fallback — the
+	// piggyback is effectively a 1D-layout optimization. Checksums
+	// stay bit-identical either way (same IEEE divisions of the same
+	// operands, only computed receiver-side).
 	Async bool
 }
 
@@ -77,11 +93,23 @@ type Result struct {
 	// sent across all iterations. The synchronous engine pushes
 	// self-destined shares through the Alltoallv like any MPI
 	// implementation and counts them; the async engine's local-copy
-	// bypass counts only values sent to other ranks.
+	// bypass counts only values sent to other ranks. The piggybacked
+	// norm element is framing, not a vector value, and is not counted.
 	CommVolume int64
 	// Checksum is the final ∞-norm of the iterated vector (identical on
 	// every rank; used to verify layout-independence of the numerics).
 	Checksum float64
+	// Reductions is the number of Allreduce operations this rank
+	// performed during Run: iterations+1 for the synchronous engine
+	// (one norm per iteration plus the checksum), a small constant for
+	// the async engine on complete rank neighborhoods (completeness
+	// detection, the trailing deferred normalization, and the
+	// checksum — independent of the iteration count).
+	Reductions int64
+	// NormPiggyback reports whether the async engine rode the
+	// per-iteration ∞-norm on the expand messages (complete rank
+	// neighborhood detected).
+	NormPiggyback bool
 }
 
 // matrix is one rank's prepared SpMV state.
@@ -125,6 +153,16 @@ type matrix struct {
 	expandOut []int
 	expandIn  []int
 	foldOut   []int
+
+	// Norm-piggyback state (async mode, complete expand neighborhood):
+	// pendNorm is this rank's local ∞-norm contribution for the
+	// deferred normalization — max |y| of the previous multiply, 1.0
+	// before the first (dividing by it must be exact, and x/1.0 is) —
+	// and normSegs parks received expand segments until every peer's
+	// contribution has arrived and the global divisor is known.
+	normPiggyback bool
+	pendNorm      float64
+	normSegs      [][]float64
 
 	// y accumulators.
 	partial []float64 // per present row
@@ -420,21 +458,25 @@ func (m *matrix) multiplyAsync() int64 {
 	// Expand: remote sends first (Isend is eager and never blocks),
 	// then the local copy, then the receives. Isend copies at call
 	// time, so one staging buffer serves every peer.
-	for _, d := range m.expandOut {
-		buf := m.peerBuf[:0]
-		for _, xi := range m.expandSend[d] {
-			buf = append(buf, m.x[xi])
+	if m.normPiggyback {
+		volume += m.expandPiggyback(me)
+	} else {
+		for _, d := range m.expandOut {
+			buf := m.peerBuf[:0]
+			for _, xi := range m.expandSend[d] {
+				buf = append(buf, m.x[xi])
+			}
+			m.peerBuf = buf
+			mpi.Isend(m.c, d, buf)
+			volume += int64(len(buf))
 		}
-		m.peerBuf = buf
-		mpi.Isend(m.c, d, buf)
-		volume += int64(len(buf))
-	}
-	for i, xi := range m.expandSend[me] {
-		m.xbuf[m.colOff[me]+i] = m.x[xi]
-	}
-	for _, s := range m.expandIn {
-		seg := mpi.Irecv[float64](m.c, s).Await()
-		copy(m.xbuf[m.colOff[s]:m.colOff[s+1]], seg)
+		for i, xi := range m.expandSend[me] {
+			m.xbuf[m.colOff[me]+i] = m.x[xi]
+		}
+		for _, s := range m.expandIn {
+			seg := mpi.Irecv[float64](m.c, s).Await()
+			copy(m.xbuf[m.colOff[s]:m.colOff[s+1]], seg)
+		}
 	}
 
 	m.localMultiply()
@@ -471,6 +513,54 @@ func (m *matrix) multiplyAsync() int64 {
 	return volume
 }
 
+// expandPiggyback is the expand phase under the ∞-norm piggyback: the
+// vector entries travel unnormalized with the sender's local norm
+// contribution appended, the receiver folds the global max over its
+// own and every peer's contribution (exact in any order — max never
+// rounds — so it equals the AllreduceScalar it replaces bit for bit),
+// and the deferred division happens while filling xbuf. The divided
+// values are the same IEEE quotients the synchronous engine computes
+// owner-side before shipping, so the numerics cannot drift. Received
+// segments are parked in normSegs until every contribution has
+// arrived, because no entry may be divided before the fold is total.
+func (m *matrix) expandPiggyback(me int) int64 {
+	var volume int64
+	for _, d := range m.expandOut {
+		buf := m.peerBuf[:0]
+		for _, xi := range m.expandSend[d] {
+			buf = append(buf, m.x[xi])
+		}
+		buf = append(buf, m.pendNorm)
+		m.peerBuf = buf
+		mpi.Isend(m.c, d, buf)
+		volume += int64(len(buf) - 1)
+	}
+	norm := m.pendNorm
+	m.normSegs = m.normSegs[:0]
+	for _, s := range m.expandIn {
+		seg := mpi.Irecv[float64](m.c, s).Await()
+		if n := seg[len(seg)-1]; n > norm {
+			norm = n
+		}
+		m.normSegs = append(m.normSegs, seg)
+	}
+	if norm == 0 {
+		norm = 1 // the synchronous engine's zero-norm guard
+	}
+	for i, xi := range m.expandSend[me] {
+		m.xbuf[m.colOff[me]+i] = m.x[xi] / norm
+	}
+	for si, s := range m.expandIn {
+		seg := m.normSegs[si]
+		dst := m.xbuf[m.colOff[s]:m.colOff[s+1]]
+		for j := range dst {
+			dst[j] = seg[j] / norm
+		}
+		m.normSegs[si] = nil // release the transfer copy
+	}
+	return volume
+}
+
 // Run executes opt.Iterations chained multiplies (x ← A x / ‖A x‖∞)
 // and reports timing, traffic, and a layout-independent checksum.
 func Run(c *mpi.Comm, g *graph.Graph, parts []int32, opt Options) (Result, error) {
@@ -482,6 +572,14 @@ func Run(c *mpi.Comm, g *graph.Graph, parts []int32, opt Options) (Result, error
 		return Result{}, err
 	}
 	m.async = opt.Async
+	redBase := c.Stats().ReductionOps
+	if opt.Async {
+		// One-time collective detection: the norm piggyback needs every
+		// rank to hear every other rank's contribution on each expand,
+		// i.e. a complete expand rank neighborhood on EVERY rank.
+		m.normPiggyback = mpi.NeighborhoodComplete(c, len(m.expandIn))
+		m.pendNorm = 1
+	}
 	var res Result
 	start := time.Now()
 	for it := 0; it < opt.Iterations; it++ {
@@ -494,11 +592,31 @@ func Run(c *mpi.Comm, g *graph.Graph, parts []int32, opt Options) (Result, error
 				local = a
 			}
 		}
+		if m.normPiggyback {
+			// Deferred: keep y unnormalized and remember the local norm
+			// contribution — the next expand ships it and divides on
+			// receive; no reduction this iteration.
+			m.pendNorm = local
+			copy(m.x, m.y)
+			continue
+		}
 		norm := mpi.AllreduceScalar(c, local, mpi.Max)
 		if norm == 0 {
 			norm = 1
 		}
 		for i, v := range m.y {
+			m.x[i] = v / norm
+		}
+	}
+	if m.normPiggyback && opt.Iterations > 0 {
+		// Settle the last iteration's deferred normalization: the one
+		// reduction the piggyback leaves, independent of the iteration
+		// count.
+		norm := mpi.AllreduceScalar(c, m.pendNorm, mpi.Max)
+		if norm == 0 {
+			norm = 1
+		}
+		for i, v := range m.x {
 			m.x[i] = v / norm
 		}
 	}
@@ -510,5 +628,7 @@ func Run(c *mpi.Comm, g *graph.Graph, parts []int32, opt Options) (Result, error
 		}
 	}
 	res.Checksum = mpi.AllreduceScalar(c, local, mpi.Max)
+	res.Reductions = c.Stats().ReductionOps - redBase
+	res.NormPiggyback = m.normPiggyback
 	return res, nil
 }

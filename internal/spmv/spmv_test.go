@@ -174,3 +174,103 @@ func BenchmarkSpMV1D8Ranks(b *testing.B) {
 		})
 	}
 }
+
+// The async engine's ∞-norm piggyback: on a complete expand
+// neighborhood the per-iteration norm reduction rides the expand
+// messages, so the run's Allreduce count is a small constant
+// independent of the iteration count — while the checksum stays
+// bit-identical to the synchronous engine. The 2D layout confines each
+// rank's expand traffic to its processor column, so its neighborhood
+// is structurally incomplete and it must take the exact per-iteration
+// fallback instead (same checksum either way).
+func TestNormPiggybackZeroPerIterationAllreduce(t *testing.T) {
+	g := gen.ChungLu(2048, 16384, 2.0, 9).MustBuild()
+	const p = 4
+	parts := partition.Random(g, p, 5)
+	for _, layout := range []Layout{OneD, TwoD} {
+		for _, iters := range []int{5, 20} {
+			var syncCS, asyncCS float64
+			var syncRed, asyncRed int64
+			var piggy bool
+			for _, async := range []bool{false, true} {
+				mpi.Run(p, func(c *mpi.Comm) {
+					res, err := Run(c, g, parts, Options{Layout: layout, Iterations: iters, Async: async})
+					if err != nil {
+						t.Errorf("%v async=%v: %v", layout, async, err)
+						return
+					}
+					if c.Rank() == 0 {
+						if async {
+							asyncCS, asyncRed, piggy = res.Checksum, res.Reductions, res.NormPiggyback
+						} else {
+							syncCS, syncRed = res.Checksum, res.Reductions
+						}
+					}
+				})
+			}
+			if syncCS != asyncCS {
+				t.Errorf("%v iters=%d: checksum %v (sync) vs %v (async), must be bit-identical", layout, iters, syncCS, asyncCS)
+			}
+			if want := int64(iters + 1); syncRed != want {
+				t.Errorf("%v iters=%d: sync performed %d Allreduces, want %d", layout, iters, syncRed, want)
+			}
+			if layout == OneD {
+				if !piggy {
+					t.Fatalf("1D iters=%d: random partition on %d ranks should give a complete expand neighborhood", iters, p)
+				}
+				// Detection + trailing deferred normalization + checksum:
+				// constant, independent of iters.
+				if asyncRed != 3 {
+					t.Errorf("1D iters=%d: async performed %d Allreduces, want 3 (norm must ride the expand messages)", iters, asyncRed)
+				}
+			} else {
+				if piggy {
+					t.Fatalf("2D iters=%d: column-confined expand traffic cannot form a complete neighborhood", iters)
+				}
+				if want := int64(iters + 2); asyncRed != want {
+					t.Errorf("2D iters=%d: async fallback performed %d Allreduces, want %d", iters, asyncRed, want)
+				}
+			}
+		}
+	}
+}
+
+// On an incomplete expand neighborhood (a blocked mesh where distant
+// slabs never exchange) the piggyback must detect infeasibility and
+// fall back to the exact per-iteration Allreduce — still bit-identical
+// to sync.
+func TestNormPiggybackIncompleteFallback(t *testing.T) {
+	g := gen.Grid3D(10, 10, 10).MustBuild()
+	const p = 5
+	parts := partition.VertexBlock(g, p)
+	const iters = 6
+	var syncCS, asyncCS float64
+	var asyncRed int64
+	var piggy bool
+	for _, async := range []bool{false, true} {
+		mpi.Run(p, func(c *mpi.Comm) {
+			res, err := Run(c, g, parts, Options{Layout: OneD, Iterations: iters, Async: async})
+			if err != nil {
+				t.Errorf("async=%v: %v", async, err)
+				return
+			}
+			if c.Rank() == 0 {
+				if async {
+					asyncCS, asyncRed, piggy = res.Checksum, res.Reductions, res.NormPiggyback
+				} else {
+					syncCS = res.Checksum
+				}
+			}
+		})
+	}
+	if piggy {
+		t.Fatalf("blocked 3D grid on %d ranks should have an incomplete expand neighborhood", p)
+	}
+	if syncCS != asyncCS {
+		t.Errorf("checksum %v (sync) vs %v (async fallback), must be bit-identical", syncCS, asyncCS)
+	}
+	// Detection + one norm per iteration + checksum.
+	if want := int64(iters + 2); asyncRed != want {
+		t.Errorf("async fallback performed %d Allreduces, want %d", asyncRed, want)
+	}
+}

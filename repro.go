@@ -198,6 +198,9 @@ func XtraPuLPGen(g *Generator, cfg Config) ([]int32, Report, error) {
 		}
 		local, r, err := core.Partition(dg, opt)
 		if err != nil {
+			// Partition errors are symmetric across ranks and happen
+			// between rounds, so the drainer teardown is safe here.
+			dg.Close()
 			if c.Rank() == 0 {
 				runErr = err
 			}
@@ -205,6 +208,10 @@ func XtraPuLPGen(g *Generator, cfg Config) ([]int32, Report, error) {
 		}
 		full := dg.GatherGlobal(local[:dg.NLocal])
 		vol := mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
+		// Normal-path teardown of the async exchanger's drainer (not
+		// deferred: after a panic the poison + finalizer backstop
+		// handle it — see Graph.Close).
+		dg.Close()
 		if c.Rank() == 0 {
 			parts = full
 			rep = Report{
