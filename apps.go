@@ -35,6 +35,15 @@ type AnalyticsConfig struct {
 	// on complete neighborhoods the knob is irrelevant because the
 	// piggybacked counters already terminate without any Allreduce.
 	TermEpoch int
+	// PipeDepth sets the async exchange engine's pipeline depth: how
+	// many rounds of boundary messages may be in flight at once
+	// (default 2). Depths of 4 and above let Harmonic Centrality run
+	// PipeDepth/2 of its independent BFS waves concurrently on the
+	// shared pipeline, cutting its per-source Allreduces and
+	// round-latency stalls; results stay bit-identical at every depth.
+	// Values 1 and below (other than 0 = default) are rejected.
+	// Ignored in sync mode.
+	PipeDepth int
 }
 
 // RunAnalytics distributes the generator's graph over ranks simulated
@@ -81,6 +90,9 @@ func RunAnalyticsReport(g *Generator, parts []int32, cfg AnalyticsConfig) (Analy
 			return AnalyticsReport{}, fmt.Errorf("repro: vertex %d assigned node %d outside [0,%d)", v, pt, cfg.Ranks)
 		}
 	}
+	if err := validatePipeDepth(cfg.PipeDepth); err != nil {
+		return AnalyticsReport{}, err
+	}
 	var out AnalyticsReport
 	mpi.Run(cfg.Ranks, func(c *mpi.Comm) {
 		dg, err := dgraph.FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()),
@@ -88,6 +100,7 @@ func RunAnalyticsReport(g *Generator, parts []int32, cfg AnalyticsConfig) (Analy
 		if err != nil {
 			panic(err) // parts validated above; construction is total
 		}
+		dg.SetPipeDepth(cfg.PipeDepth) // before the exchanger exists
 		dg.SetAsyncExchange(cfg.AsyncExchange)
 		dg.SetTermEpoch(cfg.TermEpoch)
 		c.ResetStats()
@@ -108,6 +121,15 @@ func RunAnalyticsReport(g *Generator, parts []int32, cfg AnalyticsConfig) (Analy
 		}
 	})
 	return out, nil
+}
+
+// validatePipeDepth rejects pipeline depths dgraph.SetPipeDepth would
+// panic on, turning the misconfiguration into an error at the facade.
+func validatePipeDepth(d int) error {
+	if d != 0 && d < dgraph.MinPipeDepth {
+		return fmt.Errorf("repro: PipeDepth = %d, need 0 (default) or >= %d", d, dgraph.MinPipeDepth)
+	}
+	return nil
 }
 
 // SpMVResult reports one distributed SpMV experiment.

@@ -71,6 +71,44 @@ func TestRunAnalyticsValidation(t *testing.T) {
 	if _, err := RunAnalytics(gen, bad, 4, 1); err == nil {
 		t.Fatal("expected out-of-range error")
 	}
+	// Pipeline depths below 2 (other than 0 = default) are rejected at
+	// the facade on both entry points, before any rank spawns.
+	parts := make([]int32, 100)
+	if _, err := RunAnalyticsCfg(gen, parts, AnalyticsConfig{Ranks: 4, PipeDepth: 1}); err == nil {
+		t.Fatal("expected PipeDepth validation error from RunAnalyticsCfg")
+	}
+	if _, _, err := XtraPuLPGen(gen, Config{Parts: 4, Ranks: 2, PipeDepth: -3}); err == nil {
+		t.Fatal("expected PipeDepth validation error from XtraPuLPGen")
+	}
+}
+
+// Analytics results must be depth-independent through the public
+// facade: a deeper pipeline only changes HC's wave schedule, never any
+// value.
+func TestRunAnalyticsDeepPipelineMatchesDefault(t *testing.T) {
+	const nodes = 4
+	gen := RandER(512, 2048, 3)
+	g := gen.MustBuild()
+	parts, err := Partition(MethodVertexBlock, g, nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs [2][]AnalyticResult
+	for i, depth := range []int{0, 8} {
+		runs[i], err = RunAnalyticsCfg(gen, parts, AnalyticsConfig{
+			Ranks: nodes, HCSources: 5, AsyncExchange: true, PipeDepth: depth,
+		})
+		if err != nil {
+			t.Fatalf("depth=%d: %v", depth, err)
+		}
+	}
+	for i := range runs[0] {
+		d, e := runs[0][i], runs[1][i]
+		if d.Name != e.Name || d.Value != e.Value || d.Iterations != e.Iterations {
+			t.Errorf("%s: depth 2 (%v, %d iters) vs depth 8 (%v, %d iters)",
+				d.Name, d.Value, d.Iterations, e.Value, e.Iterations)
+		}
+	}
 }
 
 func TestRunSpMVBothLayouts(t *testing.T) {

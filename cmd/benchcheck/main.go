@@ -2,9 +2,12 @@
 // artifact: it must parse and carry every measurement the trajectory
 // tracking depends on (Allreduce counts on all paths, steady-state
 // allocations and the observed pipeline depth on the analytics path,
-// the SpMV norm-piggyback flag). CI runs it between generating and
-// uploading the artifact, so a truncated or schema-drifted file fails
-// the build instead of silently poisoning the recorded trajectory.
+// the configured pipe depth with the HC-wave measurements — wave
+// count, HC Allreduces strictly below the sequential loop's, wall time
+// per source — and the SpMV norm-piggyback flag). CI runs it between
+// generating and uploading the artifact, so a truncated or
+// schema-drifted file fails the build instead of silently poisoning
+// the recorded trajectory.
 //
 // Usage:
 //

@@ -207,9 +207,12 @@ func WCC(g *dgraph.Graph) ([]int64, Result) {
 	return labels[:g.NLocal], Result{Name: "WCC", Iterations: iters, Time: time.Since(start), Value: float64(comps)}
 }
 
-// LabelProp runs iters rounds of plurality label propagation community
-// detection and returns owned community labels plus the number of
-// distinct communities among owned vertices.
+// LabelProp runs up to iters rounds of plurality label propagation
+// community detection and returns owned community labels plus the
+// GLOBAL number of distinct communities (hash-partitioned exact count,
+// identical on every rank — the LP analogue of WCC's component count).
+// Result.Iterations reports the rounds actually executed, which is
+// below iters when propagation reaches a fixed point early.
 func LabelProp(g *dgraph.Graph, iters int) ([]int64, Result) {
 	start := time.Now()
 	labels := make([]int64, g.NTotal())
@@ -240,12 +243,47 @@ func LabelProp(g *dgraph.Graph, iters int) ([]int64, Result) {
 		}
 		return false
 	}
-	e.propagate(labels, relax, iters)
-	distinct := make(map[int64]struct{})
-	for v := 0; v < g.NLocal; v++ {
-		distinct[labels[v]] = struct{}{}
+	ran := e.propagate(labels, relax, iters)
+	comms := globalDistinct(g, labels[:g.NLocal])
+	return labels[:g.NLocal], Result{Name: "LP", Iterations: ran, Time: time.Since(start), Value: float64(comms)}
+}
+
+// globalDistinct counts the distinct values among every rank's owned
+// labels exactly. Labels are partitioned by hash: each rank ships its
+// locally distinct labels to the owning counter rank, which dedupes
+// what it receives, and one Allreduce sums the per-rank counts — so a
+// community spanning several ranks is counted exactly once, unlike the
+// old rank-local count, which disagreed across ranks and overcounted
+// shared communities. Collective; every rank returns the same count.
+func globalDistinct(g *dgraph.Graph, labels []int64) int64 {
+	nprocs := g.Comm.Size()
+	local := make(map[int64]struct{}, 64)
+	for _, l := range labels {
+		local[l] = struct{}{}
 	}
-	return labels[:g.NLocal], Result{Name: "LP", Iterations: iters, Time: time.Since(start), Value: float64(len(distinct))}
+	counts := make([]int, nprocs)
+	dest := func(l int64) int { return int(uint64(l) % uint64(nprocs)) }
+	for l := range local {
+		counts[dest(l)]++
+	}
+	offsets := make([]int, nprocs+1)
+	for r := 0; r < nprocs; r++ {
+		offsets[r+1] = offsets[r] + counts[r]
+	}
+	sendBuf := make([]int64, offsets[nprocs])
+	cursor := make([]int, nprocs)
+	copy(cursor, offsets[:nprocs])
+	for l := range local {
+		d := dest(l)
+		sendBuf[cursor[d]] = l
+		cursor[d]++
+	}
+	recv, _ := mpi.Alltoallv(g.Comm, sendBuf, counts)
+	distinct := make(map[int64]struct{}, len(recv))
+	for _, l := range recv {
+		distinct[l] = struct{}{}
+	}
+	return mpi.AllreduceScalar(g.Comm, int64(len(distinct)), mpi.Sum)
 }
 
 // KCore computes the approximate k-core decomposition by iterated
@@ -259,13 +297,15 @@ func KCore(g *dgraph.Graph, maxIters int) ([]int64, Result) {
 		core[lid] = g.Degrees[lid]
 	}
 	hbuf := make([]int64, 0, 256)
+	bkts := make([]int64, 0, 256)
 	e := newEngine(g)
 	relax := func(v int32) bool {
 		hbuf = hbuf[:0]
 		for _, u := range g.Neighbors(v) {
 			hbuf = append(hbuf, core[u])
 		}
-		h := hIndex(hbuf)
+		var h int64
+		h, bkts = hIndex(hbuf, bkts)
 		if h < core[v] {
 			core[v] = h
 			return true
@@ -296,14 +336,23 @@ func KCore(g *dgraph.Graph, maxIters int) ([]int64, Result) {
 }
 
 // hIndex returns the largest h such that at least h values in vals are
-// >= h. vals is clobbered.
-func hIndex(vals []int64) int64 {
+// >= h, counting into buckets — a caller-pooled scratch buffer, reused
+// across calls so KCore's per-vertex-per-round hot loop stays off the
+// heap — and returns the (possibly grown) buffer for the next call.
+func hIndex(vals []int64, buckets []int64) (int64, []int64) {
 	n := int64(len(vals))
 	if n == 0 {
-		return 0
+		return 0, buckets
 	}
 	// Counting by bucket up to n (values above n count as n).
-	buckets := make([]int64, n+1)
+	if cap(buckets) < int(n)+1 {
+		buckets = make([]int64, n+1)
+	} else {
+		buckets = buckets[:n+1]
+		for i := range buckets {
+			buckets[i] = 0
+		}
+	}
 	for _, v := range vals {
 		if v > n {
 			v = n
@@ -317,8 +366,8 @@ func hIndex(vals []int64) int64 {
 	for h := n; h >= 0; h-- {
 		cum += buckets[h]
 		if cum >= h {
-			return h
+			return h, buckets
 		}
 	}
-	return 0
+	return 0, buckets
 }

@@ -212,11 +212,34 @@ func TestHIndex(t *testing.T) {
 		{[]int64{10, 8, 5, 4, 3}, 4},
 		{[]int64{25, 8, 5, 3, 3, 2}, 3},
 	}
+	var buckets []int64
 	for _, c := range cases {
 		cp := append([]int64(nil), c.vals...)
-		if got := hIndex(cp); got != c.want {
+		var got int64
+		got, buckets = hIndex(cp, buckets)
+		if got != c.want {
 			t.Errorf("hIndex(%v) = %d, want %d", c.vals, got, c.want)
 		}
+	}
+}
+
+// TestHIndexPooledBucketsAllocFree is the allocation regression for
+// KCore's hot loop: once the pooled bucket buffer has grown to the
+// neighborhood size, repeated hIndex calls must not touch the heap
+// (the old implementation allocated a fresh bucket slice per vertex
+// per round).
+func TestHIndexPooledBucketsAllocFree(t *testing.T) {
+	vals := make([]int64, 64)
+	for i := range vals {
+		vals[i] = int64(i % 17)
+	}
+	buckets := make([]int64, 0, len(vals)+1)
+	scratch := make([]int64, len(vals))
+	if avg := testing.AllocsPerRun(100, func() {
+		copy(scratch, vals)
+		_, buckets = hIndex(scratch, buckets)
+	}); avg != 0 {
+		t.Errorf("hIndex with pooled buckets: %.2f allocs per call, want 0", avg)
 	}
 }
 
@@ -326,6 +349,138 @@ func toInt32Scaled(vals []float64, dg *dgraph.Graph) []int32 {
 		out[i] = int32(v * 1000)
 	}
 	return out
+}
+
+// TestEmptyGraphAnalytics drives every analytic over a zero-vertex
+// graph: SCC used to sweep from pivot -1 (a BFS from a nonexistent
+// gid) and the guards must now return clean zero results without any
+// collective mismatch, in both exchange modes.
+func TestEmptyGraphAnalytics(t *testing.T) {
+	mpi.Run(2, func(c *mpi.Comm) {
+		for _, async := range []bool{false, true} {
+			dg, err := dgraph.FromEdgeChunks(c, 0, nil, dgraph.BlockDist{N: 0, P: c.Size()})
+			if err != nil {
+				t.Errorf("rank %d: %v", c.Rank(), err)
+				return
+			}
+			dg.SetAsyncExchange(async)
+			levels, ecc := BFS(dg, 0)
+			if len(levels) != 0 || ecc != 0 {
+				t.Errorf("async=%v: BFS on empty graph: %d levels, ecc %d", async, len(levels), ecc)
+			}
+			if _, res := SCC(dg); res.Value != 0 {
+				t.Errorf("async=%v: SCC on empty graph: size %v, want 0", async, res.Value)
+			}
+			results := RunAll(dg, 4)
+			if len(results) != 6 {
+				t.Fatalf("async=%v: RunAll on empty graph: %d results", async, len(results))
+			}
+			for _, r := range results {
+				if r.Value != 0 {
+					t.Errorf("async=%v: %s on empty graph: value %v, want 0", async, r.Name, r.Value)
+				}
+			}
+			dg.Close()
+		}
+	})
+}
+
+// TestSingleVertexAnalytics covers the one-vertex, zero-edge shard:
+// the pivot exists but has no neighbors anywhere.
+func TestSingleVertexAnalytics(t *testing.T) {
+	mpi.Run(2, func(c *mpi.Comm) {
+		dg, err := dgraph.FromEdgeChunks(c, 1, nil, dgraph.BlockDist{N: 1, P: c.Size()})
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		if _, res := SCC(dg); res.Value != 1 {
+			t.Errorf("SCC on single vertex: size %v, want 1", res.Value)
+		}
+		if _, res := WCC(dg); res.Value != 1 {
+			t.Errorf("WCC on single vertex: components %v, want 1", res.Value)
+		}
+		dg.Close()
+	})
+}
+
+// TestHCSourceListDistinct: no source may ever be counted twice, and a
+// request past the vertex count stops at it.
+func TestHCSourceListDistinct(t *testing.T) {
+	for _, tc := range []struct{ n, nGlobal, want int }{
+		{4, 100, 4}, {100, 7, 7}, {0, 5, 0}, {3, 0, 0},
+	} {
+		srcs := HCSourceList(tc.n, int64(tc.nGlobal))
+		if len(srcs) != tc.want {
+			t.Errorf("HCSourceList(%d, %d): %d sources, want %d", tc.n, tc.nGlobal, len(srcs), tc.want)
+		}
+		seen := map[int64]struct{}{}
+		for _, s := range srcs {
+			if s < 0 || s >= int64(tc.nGlobal) {
+				t.Errorf("HCSourceList(%d, %d): source %d out of range", tc.n, tc.nGlobal, s)
+			}
+			if _, dup := seen[s]; dup {
+				t.Errorf("HCSourceList(%d, %d): duplicate source %d", tc.n, tc.nGlobal, s)
+			}
+			seen[s] = struct{}{}
+		}
+	}
+}
+
+// TestLabelPropReportsExecutedRounds: LP used to report the REQUESTED
+// iteration bound as Result.Iterations even when propagation reached
+// its fixed point rounds earlier; it must report the executed count,
+// like WCC and KC.
+func TestLabelPropReportsExecutedRounds(t *testing.T) {
+	// Two 5-cliques, no bridge: plurality LP settles in a handful of
+	// rounds, far below the 50 requested.
+	var edges []graph.Edge
+	for b := int64(0); b < 2; b++ {
+		base := b * 5
+		for i := int64(0); i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				edges = append(edges, graph.Edge{U: base + i, V: base + j})
+			}
+		}
+	}
+	mpi.Run(2, func(c *mpi.Comm) {
+		var chunk []graph.Edge
+		if c.Rank() == 0 {
+			chunk = edges
+		}
+		dg, err := dgraph.FromEdgeChunks(c, 10, chunk, dgraph.BlockDist{N: 10, P: c.Size()})
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		_, res := LabelProp(dg, 50)
+		if res.Iterations <= 0 || res.Iterations >= 50 {
+			t.Errorf("LP reported %d iterations for a run that converges in a handful", res.Iterations)
+		}
+		dg.Close()
+	})
+}
+
+// TestLabelPropGlobalCommunityCount: Result.Value must be the GLOBAL
+// distinct-community count — identical on every rank and equal to the
+// count over the gathered labels — not the old rank-local count, which
+// overcounted communities spanning rank boundaries.
+func TestLabelPropGlobalCommunityCount(t *testing.T) {
+	g := gen.ChungLu(1<<9, 1<<12, 2.2, 13)
+	withDistributed(t, g, 4, func(dg *dgraph.Graph) {
+		labels, res := LabelProp(dg, 8)
+		all := mpi.Allgatherv(dg.Comm, labels)
+		distinct := map[int64]struct{}{}
+		for _, rankLabels := range all {
+			for _, l := range rankLabels {
+				distinct[l] = struct{}{}
+			}
+		}
+		if res.Value != float64(len(distinct)) {
+			t.Errorf("rank %d: LP community count %v, want global %d",
+				dg.Comm.Rank(), res.Value, len(distinct))
+		}
+	})
 }
 
 func TestApproxDiameterMatchesShared(t *testing.T) {

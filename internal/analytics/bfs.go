@@ -28,6 +28,14 @@ import (
 // owner already leveled — the owner keeps the first (correct) level
 // and drops the redundant push.
 func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
+	if g.NGlobal == 0 {
+		// Degenerate shard: no vertices anywhere, so no rank enters
+		// the round loop and no collective runs — returning early is
+		// symmetric. (Without the guard the sync loop would still run
+		// one empty round, but the final eccentricity Allreduce over
+		// an empty level array is pure noise.)
+		return make([]int64, 0), 0
+	}
 	e := newEngine(g)
 	all := make([]int64, g.NTotal())
 	for i := range all {
@@ -210,16 +218,27 @@ func bfsPipelined(g *dgraph.Graph, e *engine, all []int64, frontier []int32) {
 // fewer): for each source a full BFS accumulates 1/d(s, v) onto every
 // reached vertex. It returns the accumulated centralities for owned
 // vertices.
+//
+// On the synchronous engine the sources run as a sequential loop of
+// full BFS sweeps. On the async engine they run as HCWaves(g)
+// concurrent waves sharing the exchanger's depth-k pipeline (see
+// hc_waves.go): wave i's push and refresh rounds interleave with wave
+// i+1's, per-wave termination counters ride the tally frames, and no
+// per-source eccentricity Allreduce is paid. Centralities are
+// bit-identical across engines, wave counts, and pipeline depths.
 func HarmonicCentrality(g *dgraph.Graph, sources []int64) ([]float64, Result) {
 	start := time.Now()
 	hc := make([]float64, g.NLocal)
-	rounds := 0
-	for _, s := range sources {
-		levels, _ := BFS(g, s)
-		rounds++
-		for v := 0; v < g.NLocal; v++ {
-			if levels[v] > 0 {
-				hc[v] += 1.0 / float64(levels[v])
+	e := newEngine(g)
+	if e.overlapped() && g.NGlobal > 0 {
+		harmonicWaves(g, e, sources, hc)
+	} else {
+		for _, s := range sources {
+			levels, _ := BFS(g, s)
+			for v := 0; v < g.NLocal; v++ {
+				if levels[v] > 0 {
+					hc[v] += 1.0 / float64(levels[v])
+				}
 			}
 		}
 	}
@@ -230,7 +249,7 @@ func HarmonicCentrality(g *dgraph.Graph, sources []int64) ([]float64, Result) {
 		}
 	}
 	maxHC = mpi.AllreduceScalar(g.Comm, maxHC, mpi.Max)
-	return hc, Result{Name: "HC", Iterations: rounds, Time: time.Since(start), Value: maxHC}
+	return hc, Result{Name: "HC", Iterations: len(sources), Time: time.Since(start), Value: maxHC}
 }
 
 // SCC extracts the pivot's strongly connected component with the FW-BW
@@ -263,6 +282,12 @@ func SCC(g *dgraph.Graph) ([]int64, Result) {
 			pivotDeg, pivot = deg, gid
 		}
 	}
+	if pivot < 0 {
+		// Empty graph: no rank owned a vertex, so there is no pivot to
+		// sweep from. Every rank sees the same empty candidate list, so
+		// returning before the BFS sweeps is collectively symmetric.
+		return make([]int64, 0), Result{Name: "SCC", Iterations: 0, Time: time.Since(start), Value: 0}
+	}
 
 	fw, _ := BFS(g, pivot) // forward sweep
 	bw, _ := BFS(g, pivot) // backward sweep (transpose == same graph)
@@ -283,10 +308,7 @@ func SCC(g *dgraph.Graph) ([]int64, Result) {
 // LP, PR, SCC, WCC) with scaled default parameters and returns their
 // results.
 func RunAll(g *dgraph.Graph, hcSources int) []Result {
-	srcs := make([]int64, 0, hcSources)
-	for i := 0; len(srcs) < hcSources && int64(i) < g.NGlobal; i++ {
-		srcs = append(srcs, (int64(i)*2654435761)%g.NGlobal)
-	}
+	srcs := HCSourceList(hcSources, g.NGlobal)
 	_, hc := HarmonicCentrality(g, srcs)
 	_, kc := KCore(g, 50)
 	_, lp := LabelProp(g, 10)
@@ -294,6 +316,27 @@ func RunAll(g *dgraph.Graph, hcSources int) []Result {
 	_, scc := SCC(g)
 	_, wcc := WCC(g)
 	return []Result{hc, kc, lp, pr, scc, wcc}
+}
+
+// HCSourceList derives up to n DISTINCT harmonic-centrality sources by
+// Fibonacci-hashing the vertex space — RunAll's source schedule,
+// shared with the harness so experiments measure the same access
+// pattern. The hash is injective only while the multiplier and nGlobal
+// are coprime; the dedupe makes the no-source-counted-twice guarantee
+// unconditional, and a request for more distinct sources than vertices
+// stops at nGlobal.
+func HCSourceList(n int, nGlobal int64) []int64 {
+	srcs := make([]int64, 0, n)
+	seen := make(map[int64]struct{}, n)
+	for i := 0; len(srcs) < n && int64(i) < nGlobal; i++ {
+		s := (int64(i) * 2654435761) % nGlobal
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		srcs = append(srcs, s)
+	}
+	return srcs
 }
 
 // ApproxDiameter estimates the graph diameter with the paper's §IV

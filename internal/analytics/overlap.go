@@ -28,9 +28,11 @@ import (
 //     reached mid-epoch costs at most TermEpoch-1 extra no-op rounds
 //     before the next check observes it.
 //
-// BFS additionally pipelines its rounds to dgraph.PipelineDepth (see
-// bfsPipelined), and analytics with a final max reduction can ride it
-// on the same tally frames (engine.aux, used by K-Core).
+// BFS additionally pipelines its rounds (two in flight, see
+// bfsPipelined), Harmonic Centrality batches whole BFS waves onto the
+// depth-k pipeline (hc_waves.go), and analytics with a final max
+// reduction can ride it on the same tally frames (engine.aux, used by
+// K-Core).
 
 // engine bundles the mode-selected exchange machinery of one analytic
 // run: blocking collective helpers in sync mode, split-phase delta

@@ -49,7 +49,7 @@ func TestTermEpochIncompleteNeighborhood(t *testing.T) {
 // The overlapped BFS must actually pipeline: the discovery push of
 // depth d+1 is posted while depth d's ghost refresh is still in
 // flight, so the exchanger's in-flight high-water mark reaches
-// dgraph.PipelineDepth on any multi-round search.
+// dgraph.DefaultPipeDepth on any multi-round search.
 func TestBFSOverlappedPipelinesDepthTwo(t *testing.T) {
 	g := gen.ChungLu(1<<10, 1<<13, 2.2, 9)
 	mpi.Run(4, func(c *mpi.Comm) {
@@ -65,9 +65,9 @@ func TestBFSOverlappedPipelinesDepthTwo(t *testing.T) {
 		if ecc < 2 {
 			t.Errorf("rank %d: eccentricity %d too small to exercise pipelining", c.Rank(), ecc)
 		}
-		if got := dg.AsyncExchanger().MaxDepth; got != dgraph.PipelineDepth {
+		if got := dg.AsyncExchanger().MaxDepth; got != dgraph.DefaultPipeDepth {
 			t.Errorf("rank %d: BFS reached pipeline depth %d, want %d (push must overlap the pending refresh)",
-				c.Rank(), got, dgraph.PipelineDepth)
+				c.Rank(), got, dgraph.DefaultPipeDepth)
 		}
 	})
 }

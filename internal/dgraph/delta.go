@@ -43,15 +43,16 @@ import (
 // mpi world's buffer pool (Isend64/Recv64/Recycle64): a steady-state
 // round performs zero heap allocations on either side.
 //
-// Rounds are pipelined to depth two: a second Begin* may be posted
-// while the previous round's Flush is still outstanding, so two rounds
-// of messages are in flight at once and a flush settles the OLDEST
-// pending round. Each round carries a monotone sequence number stamped
-// on its messages as an mpi round tag (asserted on receive, so skewed
-// pipelines fail loudly), and the drainer double-buffers its decode
-// arenas by round parity — which is what stretches the aliasing
-// contract from "valid until the next round is posted" to "valid until
-// the round after next is posted".
+// Rounds are pipelined to a construction-time depth k (Graph's
+// SetPipeDepth knob, default DefaultPipeDepth): further Begin* calls
+// may be posted while up to k-1 earlier rounds are still unflushed, so
+// k rounds of messages are in flight at once and a flush settles the
+// OLDEST pending round. Each round carries a monotone sequence number
+// — composed with an optional caller-set wave id (SetRoundWave) into
+// an mpi round tag, asserted on receive so skewed pipelines fail
+// loudly — and the drainer cycles its decode arenas modulo the depth,
+// which is what stretches the aliasing contract from "valid until the
+// next round is posted" to "valid for depth-1 subsequent rounds".
 
 // ghostTarget records one destination of an owned boundary vertex:
 // which neighbor (by position in the plan's sendRanks) ghosts it and
@@ -176,11 +177,18 @@ const (
 	roundValuesRev
 )
 
-// PipelineDepth is how many rounds may be in flight per exchanger at
-// once: a Begin* may be posted while at most one earlier round is
-// still unflushed. The drainer double-buffers its decode arenas to
-// this depth.
-const PipelineDepth = 2
+// DefaultPipeDepth is the default pipeline depth: how many rounds may
+// be in flight per exchanger at once when the graph does not select a
+// deeper pipeline with SetPipeDepth. At the default, a Begin* may be
+// posted while at most one earlier round is still unflushed. The
+// drainer cycles its decode arenas modulo the configured depth.
+const DefaultPipeDepth = 2
+
+// MinPipeDepth is the smallest accepted pipeline depth. Depth 1 would
+// forbid posting a round behind a pending one — the split-phase BFS
+// schedule (push posted behind the previous refresh) needs two — so
+// shallower knob values are rejected at SetPipeDepth.
+const MinPipeDepth = 2
 
 // DeltaExchanger runs rounds of delta-only boundary exchange over
 // nonblocking point-to-point messages. Usage per update round,
@@ -205,20 +213,22 @@ const PipelineDepth = 2
 // returns the incoming pairs. ExchangeValues and PushValues are the
 // blocking compositions behind Graph.SetAsyncExchange.
 //
-// Rounds pipeline to PipelineDepth: after BeginValues (or BeginPush),
-// a second Begin* of any kind may be posted before the first round's
-// Flush, keeping two rounds of messages in flight; each Flush settles
-// the oldest pending round, in FIFO order. The overlapped BFS uses
-// this to keep depth d's ghost-refresh round and depth d+1's discovery
-// push in flight simultaneously.
+// Rounds pipeline to the graph's configured depth (SetPipeDepth,
+// default DefaultPipeDepth): after BeginValues (or BeginPush), further
+// Begin* calls of any kind may be posted before the first round's
+// Flush, keeping up to depth rounds of messages in flight; each Flush
+// settles the oldest pending round, in FIFO order. The overlapped BFS
+// uses this to keep depth d's ghost-refresh round and depth d+1's
+// discovery push in flight simultaneously, and the multi-wave HC
+// engine interleaves depth/2 independent BFS waves' rounds — stamped
+// with per-wave round tags via SetRoundWave — on the same pipeline.
 //
 // Every rank must call the same sequence of rounds or peers deadlock,
 // exactly as they would skipping a collective. Calling Flush without
 // Begin is allowed (the receive side is posted on entry, losing only
 // overlap). Slices returned by a round alias per-exchanger arenas,
-// double-buffered by round parity: they stay valid until the round
-// after next is posted (two Begin* calls after the Flush that returned
-// them).
+// cycled modulo the depth: they stay valid for depth-1 subsequent
+// rounds (depth-1 Begin* calls after the Flush that returned them).
 //
 // Construction (NewDeltaExchanger, Graph.AsyncExchanger) is collective:
 // it performs the one-time rank-neighborhood completeness Allreduce so
@@ -239,12 +249,18 @@ type DeltaExchanger struct {
 	resCh  chan drainResult
 	doneCh chan struct{}
 
-	// pend is the FIFO of posted-but-unflushed rounds (at most
-	// PipelineDepth); seq numbers rounds monotonically and stamps their
-	// messages as mpi round tags.
-	pend  [PipelineDepth]pendingRound
+	// depth is the construction-time pipeline depth (Graph.PipeDepth):
+	// how many rounds may be in flight at once.
+	depth int
+	// pend is the FIFO of posted-but-unflushed rounds (at most depth);
+	// seq numbers rounds monotonically and — composed with the current
+	// wave id — stamps their messages as mpi round tags.
+	pend  []pendingRound
 	npend int
 	seq   uint32
+	// wave is the 8-bit wave id stamped into subsequently posted
+	// rounds' tags (SetRoundWave); 0 for single-stream callers.
+	wave int
 
 	// sendBufs are reusable per-neighbor encode buffers (update flow).
 	sendBufs [][]int64
@@ -273,21 +289,25 @@ type DeltaExchanger struct {
 
 // pendingRound is one posted-but-unflushed round: its kind, declared
 // tally frame length, the caller's own tally contribution (value
-// rounds), and the sequence number its messages are tagged with.
+// rounds), its sequence number (which selects the drainer arena), and
+// the composed (wave, seq) tag its messages carry.
 type pendingRound struct {
 	kind     roundKind
 	tallyLen int
 	ownTally []int64
 	seq      uint32
+	tag      uint32
 }
 
 // drainReq tells the drainer what the next round receives: which
-// direction's messages, how long their tally frames are, and the round
-// tag to assert on every frame.
+// direction's messages, how long their tally frames are, the sequence
+// number selecting the decode arena, and the round tag to assert on
+// every frame.
 type drainReq struct {
 	kind     roundKind
 	tallyLen int
 	seq      uint32
+	tag      uint32
 }
 
 // drainResult is what the background drainer hands back at Flush: the
@@ -306,10 +326,10 @@ type drainResult struct {
 	panicked any
 }
 
-// drainArena is one parity's set of decode buffers. The drainer owns
-// PipelineDepth of them and serves round seq from arena seq%depth, so
-// a pipelined caller can still read round r's result while the drainer
-// decodes round r+1 into the other arena.
+// drainArena is one round slot's set of decode buffers. The drainer
+// owns depth of them and serves round seq from arena seq%depth, so a
+// pipelined caller can still read round r's result while the drainer
+// decodes rounds r+1 … r+depth-1 into the other arenas.
 type drainArena struct {
 	updates []Update
 	tally   []int64
@@ -327,7 +347,7 @@ type drainer struct {
 	req    chan drainReq
 	res    chan drainResult
 	done   chan struct{}
-	arenas [PipelineDepth]drainArena
+	arenas []drainArena
 }
 
 // NewDeltaExchanger builds the boundary plan for g and performs the
@@ -345,6 +365,7 @@ func (g *Graph) NewDeltaExchanger() *DeltaExchanger {
 	ex := &DeltaExchanger{
 		g:        g,
 		plan:     plan,
+		depth:    g.PipeDepth(),
 		sendBufs: make([][]int64, len(plan.sendRanks)),
 		fwdIdx:   make([][]int32, len(plan.sendRanks)),
 		fwdVal:   make([][]int64, len(plan.sendRanks)),
@@ -353,6 +374,7 @@ func (g *Graph) NewDeltaExchanger() *DeltaExchanger {
 		revVal:   make([][]int64, len(plan.recvRanks)),
 		revEnc:   make([][]int64, len(plan.recvRanks)),
 	}
+	ex.pend = make([]pendingRound, ex.depth)
 	if mpi.NeighborhoodComplete(g.Comm, len(plan.sendRanks)) {
 		ex.complete = 1
 	} else {
@@ -368,11 +390,12 @@ func (ex *DeltaExchanger) ensureDrainer() {
 		return
 	}
 	d := &drainer{
-		comm: ex.g.Comm,
-		plan: ex.plan,
-		req:  make(chan drainReq, PipelineDepth),
-		res:  make(chan drainResult, PipelineDepth),
-		done: make(chan struct{}),
+		comm:   ex.g.Comm,
+		plan:   ex.plan,
+		req:    make(chan drainReq, ex.depth),
+		res:    make(chan drainResult, ex.depth),
+		done:   make(chan struct{}),
+		arenas: make([]drainArena, ex.depth),
 	}
 	ex.reqCh, ex.resCh, ex.doneCh = d.req, d.res, d.done
 	go d.loop()
@@ -430,7 +453,7 @@ func finalizeExchanger(ex *DeltaExchanger) {
 func (d *drainer) loop() {
 	defer close(d.done)
 	for req := range d.req {
-		a := &d.arenas[int(req.seq)%PipelineDepth]
+		a := &d.arenas[int(req.seq)%len(d.arenas)]
 		var res drainResult
 		func() {
 			defer func() {
@@ -469,7 +492,7 @@ func (d *drainer) drainUpdates(a *drainArena, req drainReq) drainResult {
 	a.tally = resizeZero(a.tally, req.tallyLen)
 	for i, src := range d.plan.recvRanks {
 		lids := d.plan.recvLists[i]
-		msg := mpi.Recv64Tag(d.comm, int(src), req.seq)
+		msg := mpi.Recv64Tag(d.comm, int(src), req.tag)
 		for _, w := range mpi.SplitTally(msg, a.tally) {
 			idx, value := unpackUpdate(w)
 			if int(idx) >= len(lids) {
@@ -497,7 +520,7 @@ func (d *drainer) drainValues(a *drainArena, req drainReq) drainResult {
 	a.outP = a.outP[:0]
 	a.tallies = resizeZero(a.tallies, len(srcs)*req.tallyLen)
 	for i, src := range srcs {
-		msg := mpi.Recv64Tag(d.comm, int(src), req.seq)
+		msg := mpi.Recv64Tag(d.comm, int(src), req.tag)
 		body := msg
 		if req.tallyLen > 0 {
 			body = mpi.SplitTally(msg, a.tallies[i*req.tallyLen:(i+1)*req.tallyLen])
@@ -554,18 +577,19 @@ func (ex *DeltaExchanger) gidsOf(lids []int32) []int64 {
 func (ex *DeltaExchanger) Begin() { ex.BeginTally(0) }
 
 // post appends a round to the pending FIFO and hands its receive side
-// to the drainer, returning the round's sequence number (its message
-// tag). It panics when PipelineDepth rounds are already in flight, and
-// when a value/push round would be posted behind a pending update
-// round: value-flow sends are eager (Begin) while update-flow sends
-// are deferred (Flush), so that combination would put the value frames
-// ahead of the update frames in the pair FIFOs and skew every
-// receiver. The converse — an update round posted behind a value
-// round — is fine, because flushes run oldest-first and the update's
-// deferred sends happen after the value round has fully settled.
+// to the drainer, returning the round's message tag (the current wave
+// id composed with the round's sequence number). It panics when depth
+// rounds are already in flight, and when a value/push round would be
+// posted behind a pending update round: value-flow sends are eager
+// (Begin) while update-flow sends are deferred (Flush), so that
+// combination would put the value frames ahead of the update frames in
+// the pair FIFOs and skew every receiver. The converse — an update
+// round posted behind a value round — is fine, because flushes run
+// oldest-first and the update's deferred sends happen after the value
+// round has fully settled.
 func (ex *DeltaExchanger) post(kind roundKind, tallyLen int, ownTally []int64) uint32 {
-	if ex.npend == PipelineDepth {
-		panic(fmt.Sprintf("dgraph: DeltaExchanger round posted with %d rounds already in flight (PipelineDepth)", ex.npend))
+	if ex.npend == ex.depth {
+		panic(fmt.Sprintf("dgraph: DeltaExchanger round posted with %d rounds already in flight (pipe depth %d)", ex.npend, ex.depth))
 	}
 	if kind != roundUpdates {
 		for i := 0; i < ex.npend; i++ {
@@ -577,13 +601,31 @@ func (ex *DeltaExchanger) post(kind roundKind, tallyLen int, ownTally []int64) u
 	ex.ensureDrainer()
 	s := ex.seq
 	ex.seq++
-	ex.pend[ex.npend] = pendingRound{kind: kind, tallyLen: tallyLen, ownTally: ownTally, seq: s}
+	tag := mpi.RoundTag(ex.wave, s)
+	ex.pend[ex.npend] = pendingRound{kind: kind, tallyLen: tallyLen, ownTally: ownTally, seq: s, tag: tag}
 	ex.npend++
 	if ex.npend > ex.MaxDepth {
 		ex.MaxDepth = ex.npend
 	}
-	ex.reqCh <- drainReq{kind: kind, tallyLen: tallyLen, seq: s}
-	return s
+	ex.reqCh <- drainReq{kind: kind, tallyLen: tallyLen, seq: s, tag: tag}
+	return tag
+}
+
+// Depth returns the exchanger's construction-time pipeline depth.
+func (ex *DeltaExchanger) Depth() int { return ex.depth }
+
+// SetRoundWave selects the wave id stamped into the round tags of
+// subsequently posted rounds (0, the initial value, for single-stream
+// callers). Multi-wave schedules — the HC engine runs one BFS per wave
+// slot over the shared pipeline — set it before each wave's Begin*
+// calls, so a skewed schedule panics naming the wave AND the round.
+// Like the round sequence itself it must be set identically on every
+// rank; it never affects message matching.
+func (ex *DeltaExchanger) SetRoundWave(w int) {
+	if w < 0 || w > mpi.MaxTagWave {
+		panic(fmt.Sprintf("dgraph: SetRoundWave(%d) outside [0,%d]", w, mpi.MaxTagWave))
+	}
+	ex.wave = w
 }
 
 // BeginTally posts the receive side of the next update round: the
@@ -655,7 +697,7 @@ func (ex *DeltaExchanger) FlushTally(q []Update, tally []int64) ([]Update, []int
 	}
 	for i, dst := range plan.sendRanks {
 		ex.sendBufs[i] = mpi.AppendTally(ex.g.Comm, ex.sendBufs[i], tally)
-		mpi.Isend64Tag(ex.g.Comm, int(dst), oldest.seq, ex.sendBufs[i])
+		mpi.Isend64Tag(ex.g.Comm, int(dst), oldest.tag, ex.sendBufs[i])
 	}
 	res := ex.join()
 	return res.updates, res.tally
@@ -849,9 +891,9 @@ func (t TallyRound) FoldFloat(i int) float64 {
 // start collecting the symmetric incoming messages. The caller then
 // computes work that does not read ghost values (interior vertices)
 // while the messages are in flight, and settles with FlushValues. Up
-// to PipelineDepth rounds may be posted before flushing; lids and
-// payloads are consumed before BeginValues returns, but tally must
-// stay untouched until the round's FlushValues returns.
+// to the exchanger's pipeline depth rounds may be posted before
+// flushing; lids and payloads are consumed before BeginValues returns,
+// but tally must stay untouched until the round's FlushValues returns.
 func (ex *DeltaExchanger) BeginValues(lids []int32, payloads []int64, tally []int64) {
 	plan := ex.plan
 	for i := range ex.fwdIdx {
@@ -867,19 +909,19 @@ func (ex *DeltaExchanger) BeginValues(lids []int32, payloads []int64, tally []in
 			ex.fwdVal[t.rankPos] = append(ex.fwdVal[t.rankPos], payloads[qi])
 		}
 	}
-	seq := ex.post(roundValuesFwd, len(tally), tally)
+	tag := ex.post(roundValuesFwd, len(tally), tally)
 	for i, dst := range plan.sendRanks {
 		buf := encodeValues(ex.fwdEnc[i][:0], len(plan.sendLists[i]), ex.fwdIdx[i], ex.fwdVal[i])
 		buf = mpi.AppendTally(ex.g.Comm, buf, tally)
 		ex.fwdEnc[i] = buf
-		mpi.Isend64Tag(ex.g.Comm, int(dst), seq, buf)
+		mpi.Isend64Tag(ex.g.Comm, int(dst), tag, buf)
 	}
 }
 
 // FlushValues joins the oldest pending round — which must be a
 // BeginValues round — and returns the (ghost lid, payload) pairs
 // received plus the round's tally frames. The returned slices alias
-// exchanger arenas and are valid until the round after next is posted.
+// exchanger arenas and stay valid for depth-1 subsequent rounds.
 func (ex *DeltaExchanger) FlushValues() ([]int32, []int64, TallyRound) {
 	if ex.npend == 0 || ex.pend[0].kind != roundValuesFwd {
 		panic("dgraph: FlushValues without a pending BeginValues round oldest in the pipeline")
@@ -911,19 +953,19 @@ func (ex *DeltaExchanger) BeginPush(lids []int32, payloads []int64, tally []int6
 		ex.revIdx[pos] = append(ex.revIdx[pos], plan.ghostIdx[gi])
 		ex.revVal[pos] = append(ex.revVal[pos], payloads[qi])
 	}
-	seq := ex.post(roundValuesRev, len(tally), tally)
+	tag := ex.post(roundValuesRev, len(tally), tally)
 	for i, dst := range plan.recvRanks {
 		buf := encodeValues(ex.revEnc[i][:0], len(plan.recvLists[i]), ex.revIdx[i], ex.revVal[i])
 		buf = mpi.AppendTally(ex.g.Comm, buf, tally)
 		ex.revEnc[i] = buf
-		mpi.Isend64Tag(ex.g.Comm, int(dst), seq, buf)
+		mpi.Isend64Tag(ex.g.Comm, int(dst), tag, buf)
 	}
 }
 
 // FlushPush joins the oldest pending round — which must be a BeginPush
 // round — and returns the (owned lid, payload) pairs received plus the
 // round's tally frames. The returned slices alias exchanger arenas and
-// are valid until the round after next is posted.
+// stay valid for depth-1 subsequent rounds.
 func (ex *DeltaExchanger) FlushPush() ([]int32, []int64, TallyRound) {
 	if ex.npend == 0 || ex.pend[0].kind != roundValuesRev {
 		panic("dgraph: FlushPush without a pending BeginPush round oldest in the pipeline")

@@ -231,7 +231,7 @@ func benchExchangeRound(b *testing.B, async bool) {
 func BenchmarkExchangeRoundSync8Ranks(b *testing.B)       { benchExchangeRound(b, false) }
 func BenchmarkExchangeRoundAsyncDelta8Ranks(b *testing.B) { benchExchangeRound(b, true) }
 
-// Rounds pipeline to depth PipelineDepth: a second Begin before the
+// Rounds pipeline to depth DefaultPipeDepth: a second Begin before the
 // first Flush is legal, a third must panic.
 func TestDeltaExchangerPipelineOverflowPanics(t *testing.T) {
 	g := gen.ER(60, 240, 31)
@@ -245,12 +245,12 @@ func TestDeltaExchangerPipelineOverflowPanics(t *testing.T) {
 		defer ex.Close()
 		ex.Begin()
 		ex.Begin() // depth 2: legal
-		if ex.InFlight() != PipelineDepth {
-			t.Errorf("InFlight = %d after two Begins, want %d", ex.InFlight(), PipelineDepth)
+		if ex.InFlight() != DefaultPipeDepth {
+			t.Errorf("InFlight = %d after two Begins, want %d", ex.InFlight(), DefaultPipeDepth)
 		}
 		defer func() {
 			if recover() == nil {
-				t.Error("expected panic for Begin past PipelineDepth")
+				t.Error("expected panic for Begin past DefaultPipeDepth")
 			}
 			// Drain the two legally posted rounds so Close has nothing
 			// blocked (Flush pairs them oldest-first).

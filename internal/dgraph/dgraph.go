@@ -54,6 +54,8 @@ type Graph struct {
 	asyncRoute bool
 	// termEpoch is the analytics termination-epoch knob (SetTermEpoch).
 	termEpoch int
+	// pipeDepth is the exchange-pipeline depth knob (SetPipeDepth).
+	pipeDepth int
 }
 
 // NTotal returns the local array extent NLocal+NGhost.
@@ -436,6 +438,38 @@ func (g *Graph) TermEpoch() int {
 		return 1
 	}
 	return g.termEpoch
+}
+
+// SetPipeDepth selects the delta exchanger's pipeline depth: how many
+// exchange rounds may be in flight at once (DeltaExchanger.Depth). The
+// depth is a CONSTRUCTION-time parameter — the pending-round FIFO and
+// the drainer's decode arenas are sized to it — so it must be set
+// before the graph's exchanger is first built (AsyncExchanger,
+// SetAsyncExchange, or any analytics run in async mode); setting it
+// afterwards panics rather than silently not applying. 0 keeps the
+// default (DefaultPipeDepth); values below MinPipeDepth are rejected,
+// because the split-phase BFS schedule needs two rounds in flight.
+// Depths above 2*MinPipeDepth let the multi-wave HC engine run depth/2
+// concurrent BFS waves. Every rank must set the same value.
+func (g *Graph) SetPipeDepth(d int) {
+	if d != 0 && d < MinPipeDepth {
+		panic(fmt.Sprintf("dgraph: SetPipeDepth(%d): depth below %d rejected (the split-phase schedules keep a push and a refresh in flight)", d, MinPipeDepth))
+	}
+	if g.deltaEx != nil && g.deltaEx.Depth() != g.normalizePipeDepth(d) {
+		panic("dgraph: SetPipeDepth after the exchanger was built (depth is a construction-time parameter; set it before the first async exchange)")
+	}
+	g.pipeDepth = d
+}
+
+// PipeDepth returns the pipeline-depth knob (see SetPipeDepth),
+// normalized to the default when unset.
+func (g *Graph) PipeDepth() int { return g.normalizePipeDepth(g.pipeDepth) }
+
+func (g *Graph) normalizePipeDepth(d int) int {
+	if d == 0 {
+		return DefaultPipeDepth
+	}
+	return d
 }
 
 // SetAsyncExchange selects the transport behind ExchangeInt64,

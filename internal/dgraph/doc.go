@@ -31,10 +31,12 @@
 //     on a persistent background goroutine concurrently with local
 //     compute. Every flow is split-phase (Begin/Flush,
 //     BeginValues/FlushValues, BeginPush/FlushPush) and rounds
-//     pipeline to PipelineDepth — a second Begin* may be posted while
-//     the previous round's Flush is still outstanding, with each
-//     round's messages stamped with its sequence number as an mpi
-//     round tag and flushes settling rounds oldest-first. Messages may
+//     pipeline to a construction-time depth knob (SetPipeDepth,
+//     default DefaultPipeDepth) — further Begin* calls may be posted
+//     while earlier rounds' Flushes are still outstanding, with each
+//     round's messages stamped with its sequence number (composed
+//     with an optional wave id, SetRoundWave) as an mpi round tag and
+//     flushes settling rounds oldest-first. Messages may
 //     additionally piggyback tally frames (mpi.AppendTally) so an
 //     exchange round doubles as a reduction, with value rounds keeping
 //     the frames per source (TallyRound) so float partial sums fold in
@@ -53,10 +55,11 @@
 // SetAsyncExchange routes the generic helpers (ExchangeInt64,
 // ExchangeFloat64, PushToOwners) through the delta engine; the
 // partitioner drives the update flow (Begin/Flush) directly, and the
-// overlapped analytics engines drive the split-phase value flows
-// (BFS keeping two rounds in flight). SetTermEpoch bounds the
-// overlapped analytics' termination-Allreduce cadence on incomplete
-// rank neighborhoods. Both transports deliver identical results — the
-// choice is pure transport, observable only in mpi.Stats traffic
-// counters and wall time.
+// overlapped analytics engines drive the split-phase value flows (BFS
+// keeping two rounds in flight, the multi-wave HC engine keeping two
+// per wave). SetTermEpoch bounds the overlapped analytics'
+// termination-Allreduce cadence on incomplete rank neighborhoods.
+// Both transports deliver identical results — the choice is pure
+// transport, observable only in mpi.Stats traffic counters and wall
+// time.
 package dgraph

@@ -1,8 +1,10 @@
 package dgraph
 
 import (
+	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -152,11 +154,11 @@ func TestPipelinedValueRoundsMatchSequential(t *testing.T) {
 		seqVals, seqSums := run(false)
 		base := ex.MaxDepth
 		pipVals, pipSums := run(true)
-		if base >= PipelineDepth {
+		if base >= DefaultPipeDepth {
 			t.Errorf("rank %d: sequential schedule reached depth %d", c.Rank(), base)
 		}
-		if ex.MaxDepth != PipelineDepth {
-			t.Errorf("rank %d: pipelined schedule reached depth %d, want %d", c.Rank(), ex.MaxDepth, PipelineDepth)
+		if ex.MaxDepth != DefaultPipeDepth {
+			t.Errorf("rank %d: pipelined schedule reached depth %d, want %d", c.Rank(), ex.MaxDepth, DefaultPipeDepth)
 		}
 		for r := 0; r < rounds; r++ {
 			if seqSums[r] != pipSums[r] {
@@ -262,7 +264,7 @@ func TestPipelinedRoundsSteadyStateAllocFree(t *testing.T) {
 		return func() {
 			ex.BeginValues(bv, payload, tally)
 			pending++
-			if pending == PipelineDepth {
+			if pending == DefaultPipeDepth {
 				ex.FlushValues()
 				pending--
 			}
@@ -348,6 +350,186 @@ func TestRoundTagSkewPanics(t *testing.T) {
 			}
 		}()
 		mpi.Recv64Tag(c, 0, 8)
+	})
+}
+
+// TestWaveTagSkewPanicsNamingWave forges a frame from the wrong WAVE
+// and asserts the panic decodes the composed tag, naming both waves
+// and rounds — the multi-wave guard on top of the plain skew panic.
+func TestWaveTagSkewPanicsNamingWave(t *testing.T) {
+	mpi.Run(2, func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			mpi.Isend64Tag(c, 1, mpi.RoundTag(3, 7), []int64{42})
+			return
+		}
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Error("Recv64Tag accepted a frame from the wrong wave")
+				return
+			}
+			msg := fmt.Sprint(p)
+			if !strings.Contains(msg, "wave 3 round 7") || !strings.Contains(msg, "wave 2 round 7") {
+				t.Errorf("wave-skew panic %q does not name both waves and rounds", msg)
+			}
+		}()
+		mpi.Recv64Tag(c, 0, mpi.RoundTag(2, 7))
+	})
+}
+
+// TestRoundTagCompose round-trips the wave/sequence split, including
+// the 24-bit sequence wrap both sides mask identically.
+func TestRoundTagCompose(t *testing.T) {
+	cases := []struct {
+		wave int
+		seq  uint32
+	}{{0, 0}, {1, 5}, {mpi.MaxTagWave, 1<<mpi.TagSeqBits - 1}, {3, 0xdeadbe}}
+	for _, tc := range cases {
+		w, s := mpi.SplitRoundTag(mpi.RoundTag(tc.wave, tc.seq))
+		if w != tc.wave || s != tc.seq&(1<<mpi.TagSeqBits-1) {
+			t.Errorf("RoundTag(%d,%d) round-tripped to (%d,%d)", tc.wave, tc.seq, w, s)
+		}
+	}
+	// Wrapping sequences must compose to equal tags on both sides.
+	if mpi.RoundTag(2, 1<<mpi.TagSeqBits) != mpi.RoundTag(2, 0) {
+		t.Error("sequence wrap changed the tag")
+	}
+}
+
+// TestSetPipeDepthValidation: the knob rejects depths the split-phase
+// schedules cannot run at, accepts 0 as the default, and refuses to
+// change a depth the exchanger was already built with.
+func TestSetPipeDepthValidation(t *testing.T) {
+	g := gen.ER(60, 240, 31)
+	mpi.Run(1, func(c *mpi.Comm) {
+		dg, err := FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()), BlockDist{N: g.N, P: 1})
+		if err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		defer dg.Close()
+		mustPanic := func(what string, f func()) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", what)
+				}
+			}()
+			f()
+		}
+		mustPanic("SetPipeDepth(1)", func() { dg.SetPipeDepth(1) })
+		mustPanic("SetPipeDepth(-2)", func() { dg.SetPipeDepth(-2) })
+		if dg.PipeDepth() != DefaultPipeDepth {
+			t.Errorf("default PipeDepth = %d, want %d", dg.PipeDepth(), DefaultPipeDepth)
+		}
+		dg.SetPipeDepth(6)
+		if dg.PipeDepth() != 6 {
+			t.Errorf("PipeDepth = %d after SetPipeDepth(6)", dg.PipeDepth())
+		}
+		if ex := dg.AsyncExchanger(); ex.Depth() != 6 {
+			t.Errorf("exchanger depth = %d, want 6", ex.Depth())
+		}
+		dg.SetPipeDepth(6) // same depth after construction: allowed
+		mustPanic("SetPipeDepth after exchanger built", func() { dg.SetPipeDepth(4) })
+	})
+}
+
+// TestDeepPipelineRoundsMatchSequential drives a depth-4 exchanger
+// with four rounds permanently in flight and asserts every round's
+// ghost values and folded tallies are bit-identical to the strictly
+// alternating schedule — the depth-k generalization of
+// TestPipelinedValueRoundsMatchSequential, exercising the modulo-depth
+// arena cycling. It also checks the depth-k overflow guard: a fifth
+// pending round must panic.
+func TestDeepPipelineRoundsMatchSequential(t *testing.T) {
+	g := gen.RMAT(10, 8, 3)
+	const depth = 4
+	const rounds = 13
+	mpi.Run(4, func(c *mpi.Comm) {
+		dg, err := FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()), HashDist{P: c.Size(), Seed: 5})
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		defer dg.Close()
+		dg.SetPipeDepth(depth)
+		ex := dg.AsyncExchanger()
+		bv := dg.BoundaryVertices()
+		payloadFor := func(r int, v int32) int64 {
+			return int64(r+1)*1_000_003 + int64(dg.L2G[v])
+		}
+		run := func(inFlight int) ([][]int64, []float64) {
+			vals := make([][]int64, rounds)
+			sums := make([]float64, rounds)
+			payload := make([]int64, len(bv))
+			tallies := make([][]int64, rounds)
+			for r := range tallies {
+				tallies[r] = []int64{int64(math.Float64bits(float64(c.Rank()+1) * float64(r+1) * 0.125))}
+			}
+			post := func(r int) {
+				for i, v := range bv {
+					payload[i] = payloadFor(r, v)
+				}
+				ex.BeginValues(bv, payload, tallies[r])
+			}
+			settle := func(r int) {
+				outL, outP, tr := ex.FlushValues()
+				dense := make([]int64, dg.NTotal())
+				for i, lid := range outL {
+					dense[lid] = outP[i]
+				}
+				vals[r] = dense
+				sums[r] = tr.FoldFloat(0)
+			}
+			pending := 0
+			for r := 0; r < rounds; r++ {
+				post(r)
+				pending++
+				if pending == inFlight {
+					settle(r - pending + 1)
+					pending--
+				}
+			}
+			for ; pending > 0; pending-- {
+				settle(rounds - pending)
+			}
+			return vals, sums
+		}
+		seqVals, seqSums := run(1)
+		ex.MaxDepth = 0
+		deepVals, deepSums := run(depth)
+		if ex.MaxDepth != depth {
+			t.Errorf("rank %d: deep schedule reached depth %d, want %d", c.Rank(), ex.MaxDepth, depth)
+		}
+		for r := 0; r < rounds; r++ {
+			if seqSums[r] != deepSums[r] {
+				t.Errorf("rank %d round %d: folded tally %v (sequential) vs %v (depth %d)",
+					c.Rank(), r, seqSums[r], deepSums[r], depth)
+				return
+			}
+			for lid := range seqVals[r] {
+				if seqVals[r][lid] != deepVals[r][lid] {
+					t.Errorf("rank %d round %d: ghost value at lid %d diverges: %d vs %d",
+						c.Rank(), r, lid, seqVals[r][lid], deepVals[r][lid])
+					return
+				}
+			}
+		}
+		// Depth overflow: posting depth+1 rounds must panic before any
+		// message leaves, so recovering locally keeps ranks consistent.
+		for i := 0; i < depth; i++ {
+			ex.BeginValues(nil, nil, nil)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rank %d: round %d posted past the configured depth", c.Rank(), depth+1)
+				}
+			}()
+			ex.BeginValues(nil, nil, nil)
+		}()
+		for i := 0; i < depth; i++ {
+			ex.FlushValues()
+		}
 	})
 }
 

@@ -6,12 +6,14 @@ import (
 	"os"
 )
 
-// exchangeDoc mirrors writeExchangeJSON's document shape for
-// validation.
+// exchangeDoc is the BENCH_exchange.json document shape — written by
+// writeExchangeJSON and parsed back by ValidateExchangeJSON, one type
+// so the two sides cannot drift apart.
 type exchangeDoc struct {
 	Experiment string        `json:"experiment"`
 	Scale      string        `json:"scale"`
 	Seed       uint64        `json:"seed"`
+	PipeDepth  int           `json:"pipeDepth"`
 	Rows       []ExchangeRow `json:"rows"`
 }
 
@@ -21,10 +23,17 @@ type exchangeDoc struct {
 // truncated or schema-drifted file must fail the build, not upload.
 // Beyond well-formedness it requires, per path:
 //
+//   - a PipeDepth of at least 2 (the configured exchange-pipeline
+//     depth the run was measured at);
 //   - partition rows: a Reductions count and an EdgeCut;
-//   - analytics rows: Reductions and AllocsPerRound, and on async rows
-//     a PipelineDepth of at least 2 (the depth-2 pipeline must have
-//     been observed in flight during the allocation measurement);
+//   - analytics rows: Reductions and AllocsPerRound, the HC-wave
+//     measurements (HCWaves, HCReductions, HCSecPerSource), and on
+//     async rows a PipelineDepth no smaller than the configured depth
+//     (the full pipeline must have been observed in flight during the
+//     allocation measurement) plus HCWaves = PipeDepth/2;
+//   - per graph, the async analytics row's HCReductions strictly below
+//     the sync row's — the multi-wave engine must actually retire the
+//     sequential loop's per-source Allreduces;
 //   - spmv rows: a Reductions count (the SpMV-Allreduce measurement),
 //     and on async rows the NormPiggyback flag.
 func ValidateExchangeJSON(path string) error {
@@ -42,7 +51,12 @@ func ValidateExchangeJSON(path string) error {
 	if len(doc.Rows) == 0 {
 		return fmt.Errorf("benchcheck: %s: no measurement rows", path)
 	}
+	if doc.PipeDepth < 2 {
+		return fmt.Errorf("benchcheck: %s: pipeDepth %d, want >= 2", path, doc.PipeDepth)
+	}
+	wantWaves := int64(doc.PipeDepth / 2)
 	paths := map[string]int{}
+	syncHCRed := map[string]int64{}
 	for i, r := range doc.Rows {
 		where := fmt.Sprintf("%s: row %d (%s/%s/%s)", path, i, r.Path, r.Graph, r.Mode)
 		paths[r.Path]++
@@ -55,14 +69,39 @@ func ValidateExchangeJSON(path string) error {
 			if r.Reductions == nil || r.AllocsPerRound == nil {
 				return fmt.Errorf("benchcheck: %s: missing reductions or allocsPerRound", where)
 			}
+			if r.HCWaves == nil || r.HCReductions == nil || r.HCSecPerSource == nil {
+				return fmt.Errorf("benchcheck: %s: missing hcWaves, hcReductions, or hcSecPerSource", where)
+			}
 			if r.Mode == "async-delta" {
 				if r.PipelineDepth == nil {
 					return fmt.Errorf("benchcheck: %s: missing pipelineDepth", where)
 				}
-				if *r.PipelineDepth < 2 {
-					return fmt.Errorf("benchcheck: %s: pipelineDepth %d, want >= 2 (second round never in flight)",
-						where, *r.PipelineDepth)
+				if *r.PipelineDepth < int64(doc.PipeDepth) {
+					return fmt.Errorf("benchcheck: %s: pipelineDepth %d, want >= %d (full pipeline never in flight)",
+						where, *r.PipelineDepth, doc.PipeDepth)
 				}
+				if *r.HCWaves != wantWaves {
+					return fmt.Errorf("benchcheck: %s: hcWaves %d, want %d (= pipeDepth/2)",
+						where, *r.HCWaves, wantWaves)
+				}
+				// The sync row for a graph always precedes its async
+				// row; the wave engine must beat the sequential loop's
+				// Allreduce count (it retires per-source eccentricity
+				// and per-round termination reductions). A missing
+				// baseline is itself an error — otherwise a reordered
+				// or truncated artifact would skip the comparison and
+				// upload a regression as valid.
+				syncRed, ok := syncHCRed[r.Graph]
+				if !ok {
+					return fmt.Errorf("benchcheck: %s: no preceding sync analytics row for graph %q (hcReductions baseline missing)",
+						where, r.Graph)
+				}
+				if *r.HCReductions >= syncRed {
+					return fmt.Errorf("benchcheck: %s: hcReductions %d not below sync row's %d",
+						where, *r.HCReductions, syncRed)
+				}
+			} else {
+				syncHCRed[r.Graph] = *r.HCReductions
 			}
 		case "spmv":
 			if r.Reductions == nil {

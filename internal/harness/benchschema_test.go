@@ -42,9 +42,21 @@ func TestExchangeJSONSchemaRejects(t *testing.T) {
 		{"truncated.json", `{"experiment":"exchange","rows":[{"path":"partition"`, "unexpected end"},
 		{"wrongexp.json", `{"experiment":"table2","rows":[{"path":"spmv"}]}`, `want "exchange"`},
 		{"norows.json", `{"experiment":"exchange","rows":[]}`, "no measurement rows"},
-		{"spmvnored.json", `{"experiment":"exchange","rows":[{"path":"spmv","mode":"sync"}]}`, "missing reductions"},
-		{"shallowpipe.json", `{"experiment":"exchange","rows":[{"path":"analytics","mode":"async-delta",` +
-			`"reductions":1,"allocsPerRound":0,"pipelineDepth":1}]}`, "pipelineDepth 1"},
+		{"nodepth.json", `{"experiment":"exchange","rows":[{"path":"spmv","mode":"sync"}]}`, "pipeDepth 0"},
+		{"spmvnored.json", `{"experiment":"exchange","pipeDepth":2,"rows":[{"path":"spmv","mode":"sync"}]}`, "missing reductions"},
+		{"shallowpipe.json", `{"experiment":"exchange","pipeDepth":2,"rows":[{"path":"analytics","mode":"async-delta",` +
+			`"reductions":1,"allocsPerRound":0,"pipelineDepth":1,"hcWaves":1,"hcReductions":0,"hcSecPerSource":0.1}]}`, "pipelineDepth 1"},
+		{"nohc.json", `{"experiment":"exchange","pipeDepth":2,"rows":[{"path":"analytics","mode":"sync",` +
+			`"reductions":1,"allocsPerRound":0}]}`, "missing hcWaves"},
+		{"wrongwaves.json", `{"experiment":"exchange","pipeDepth":8,"rows":[{"path":"analytics","mode":"async-delta",` +
+			`"reductions":1,"allocsPerRound":0,"pipelineDepth":8,"hcWaves":2,"hcReductions":0,"hcSecPerSource":0.1}]}`, "hcWaves 2, want 4"},
+		{"nosyncbaseline.json", `{"experiment":"exchange","pipeDepth":4,"rows":[{"path":"analytics","graph":"g","mode":"async-delta",` +
+			`"reductions":1,"allocsPerRound":0,"pipelineDepth":4,"hcWaves":2,"hcReductions":0,"hcSecPerSource":0.1}]}`,
+			"no preceding sync analytics row"},
+		{"hcnotfewer.json", `{"experiment":"exchange","pipeDepth":4,"rows":[` +
+			`{"path":"analytics","graph":"g","mode":"sync","reductions":1,"allocsPerRound":0,"hcWaves":1,"hcReductions":5,"hcSecPerSource":0.1},` +
+			`{"path":"analytics","graph":"g","mode":"async-delta","reductions":1,"allocsPerRound":0,"pipelineDepth":4,"hcWaves":2,"hcReductions":5,"hcSecPerSource":0.1}]}`,
+			"hcReductions 5 not below sync row's 5"},
 	}
 	for _, tc := range cases {
 		err := ValidateExchangeJSON(write(tc.name, tc.content))

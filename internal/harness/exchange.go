@@ -29,8 +29,14 @@ import (
 //     convergence counters piggybacked on the messages, so its
 //     Allreduce count collapses and its steady-state rounds allocate
 //     nothing (the Allocs/rnd column measures one boundary value
-//     round end to end — software-pipelined to two rounds in flight
-//     in async mode, reported by the PipeDepth column).
+//     round end to end — software-pipelined to the configured depth
+//     in async mode, reported by the PipeDepth column). A separate
+//     Harmonic Centrality measurement compares the sequential
+//     BFS-per-source loop (sync mode) against the multi-wave engine
+//     (async mode, Config.PipeDepth/2 concurrent waves): the HCWaves,
+//     HCAllred, and HCs/src columns show the async engine issuing
+//     fewer total Allreduces and lower wall time per source while the
+//     centralities stay bit-identical.
 //   - SpMV: the expand/fold phases under 1D and 2D layouts, where the
 //     async engine also bypasses self-destined shares and — on
 //     complete expand neighborhoods (NormRide column) — piggybacks
@@ -87,6 +93,17 @@ type ExchangeRow struct {
 	// per-iteration ∞-norm on the expand messages (spmv path, async
 	// mode).
 	NormPiggyback *bool `json:"normPiggyback,omitempty"`
+	// HCWaves is the number of concurrent BFS waves the Harmonic
+	// Centrality measurement ran (analytics path: 1 in sync mode,
+	// PipeDepth/2 in async mode).
+	HCWaves *int64 `json:"hcWaves,omitempty"`
+	// HCReductions counts the Allreduce operations of the HC
+	// measurement alone; the multi-wave engine must come in strictly
+	// below the sequential loop (benchcheck gates it).
+	HCReductions *int64 `json:"hcReductions,omitempty"`
+	// HCSecPerSource is the HC measurement's wall time divided by its
+	// source count (analytics path).
+	HCSecPerSource *float64 `json:"hcSecPerSource,omitempty"`
 	// EdgeCut is the partition quality (partition path).
 	EdgeCut *float64 `json:"edgeCut,omitempty"`
 }
@@ -100,12 +117,10 @@ func writeExchangeJSON(cfg Config, rows []ExchangeRow) error {
 	if cfg.JSONPath == "" {
 		return nil
 	}
-	doc := struct {
-		Experiment string        `json:"experiment"`
-		Scale      string        `json:"scale"`
-		Seed       uint64        `json:"seed"`
-		Rows       []ExchangeRow `json:"rows"`
-	}{Experiment: "exchange", Scale: cfg.Scale.String(), Seed: cfg.seed(), Rows: rows}
+	// exchangeDoc is shared with the schema validator, so the written
+	// and validated shapes cannot drift apart.
+	doc := exchangeDoc{Experiment: "exchange", Scale: cfg.Scale.String(), Seed: cfg.seed(),
+		PipeDepth: cfg.pipeDepth(), Rows: rows}
 	f, err := os.Create(cfg.JSONPath)
 	if err != nil {
 		return fmt.Errorf("exchange: %w", err)
@@ -150,7 +165,7 @@ func exchangePartition(cfg Config, rows *[]ExchangeRow) error {
 		for _, async := range []bool{false, true} {
 			_, rep, err := repro.XtraPuLPGen(tg.gen, repro.Config{
 				Parts: parts, Ranks: ranks, RandomDist: true, Seed: seed,
-				AsyncExchange: async,
+				AsyncExchange: async, PipeDepth: cfg.PipeDepth,
 			})
 			if err != nil {
 				return fmt.Errorf("exchange: %s async=%v: %w", tg.name, async, err)
@@ -186,10 +201,11 @@ const allocRounds = 64
 //
 // In async mode the rounds are software-pipelined the way the
 // overlapped BFS runs them: each call posts the next round with
-// BeginValues BEFORE flushing the previous one, so two rounds of
-// messages are in flight throughout the measured window and the
-// reported depth is dgraph.PipelineDepth. One round stays pending when
-// the measurement ends; Graph.Close settles it during teardown.
+// BeginValues BEFORE flushing the oldest one, so the exchanger's full
+// configured depth of rounds is in flight throughout the measured
+// window and the reported depth is DeltaExchanger.Depth. Depth-1
+// rounds stay pending when the measurement ends; Graph.Close settles
+// them during teardown.
 func measureValueRoundAllocs(c *mpi.Comm, dg *dgraph.Graph) (float64, int64) {
 	bv := dg.BoundaryVertices()
 	vals := make([]int64, dg.NTotal())
@@ -217,7 +233,7 @@ func measureValueRoundAllocs(c *mpi.Comm, dg *dgraph.Graph) (float64, int64) {
 			}
 			ex.BeginValues(bv, payload, tally)
 			pending++
-			if pending == dgraph.PipelineDepth {
+			if pending == ex.Depth() {
 				ex.FlushValues()
 				pending--
 			}
@@ -253,23 +269,29 @@ func measureValueRoundAllocs(c *mpi.Comm, dg *dgraph.Graph) (float64, int64) {
 
 // exchangeAnalytics measures the value-flow paths: total elements
 // sent, Allreduce operations, and steady-state allocations while
-// PageRank, WCC, and one BFS run over a vertex-block placement.
+// PageRank, WCC, and one BFS run over a vertex-block placement — plus
+// a separate Harmonic Centrality measurement comparing the sequential
+// BFS-per-source loop (sync mode) against the multi-wave engine (async
+// mode, Config.PipeDepth/2 concurrent waves).
 func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 	seed := cfg.seed()
 	ranks := scalePick(cfg.Scale, 4, 8)
 	prIters := scalePick(cfg.Scale, 10, 20)
-	fmt.Fprintln(cfg.W, "\nAnalytics path (PR + WCC + BFS value exchanges):")
-	t := newTable(cfg.W, "Graph", "Ranks", "Mode", "Time(s)", "ExchElems", "Reduction", "Allreduces", "Allocs/rnd", "PipeDepth")
+	hcSources := scalePick(cfg.Scale, 8, 24)
+	fmt.Fprintf(cfg.W, "\nAnalytics path (PR + WCC + BFS value exchanges; HC with %d sources):\n", hcSources)
+	t := newTable(cfg.W, "Graph", "Ranks", "Mode", "Time(s)", "ExchElems", "Reduction", "Allreduces",
+		"Allocs/rnd", "PipeDepth", "HCWaves", "HCAllred", "HCs/src")
 	for _, tg := range representatives(cfg.Scale, seed)[:scalePick(cfg.Scale, 3, 6)] {
 		shared, err := tg.gen.Build()
 		if err != nil {
 			return fmt.Errorf("exchange: %s: %w", tg.name, err)
 		}
 		placement := partition.VertexBlock(shared, ranks)
+		srcs := analytics.HCSourceList(hcSources, tg.gen.N)
 		var syncVol int64
 		for _, async := range []bool{false, true} {
-			var volume, reductions, depth int64
-			var wall time.Duration
+			var volume, reductions, depth, hcWaves, hcRed int64
+			var wall, hcWall time.Duration
 			var allocs float64
 			mpi.Run(ranks, func(c *mpi.Comm) {
 				dg, err := dgraph.FromEdgeChunks(c, tg.gen.N, tg.gen.EdgesChunk(c.Rank(), c.Size()),
@@ -277,6 +299,7 @@ func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 				if err != nil {
 					panic(err)
 				}
+				dg.SetPipeDepth(cfg.PipeDepth)
 				dg.SetAsyncExchange(async)
 				dg.SetTermEpoch(cfg.TermEpoch)
 				c.ResetStats()
@@ -285,27 +308,47 @@ func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 				analytics.WCC(dg)
 				analytics.BFS(dg, 0)
 				elapsed := time.Since(start)
-				red := c.Stats().ReductionOps
+				// HC separately: in sync mode the sequential loop pays
+				// per-round termination plus one eccentricity Allreduce
+				// per source; the multi-wave engine piggybacks per-wave
+				// termination and needs no eccentricities at all.
+				redBefore := c.Stats().ReductionOps
+				hcStart := time.Now()
+				analytics.HarmonicCentrality(dg, srcs)
+				hcElapsed := time.Since(hcStart)
+				hcReduce := c.Stats().ReductionOps - redBefore
+				waves := int64(analytics.HCWaves(dg))
+				red := redBefore
 				v := mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
 				a, d := measureValueRoundAllocs(c, dg)
 				// Settles the measurement's still-pending pipelined
-				// round (its messages are already in flight on every
+				// rounds (their messages are already in flight on every
 				// rank) and stops the drainer goroutine.
 				dg.Close()
 				if c.Rank() == 0 {
 					volume, reductions, wall, allocs, depth = v, red, elapsed, a, d
+					hcWaves, hcRed, hcWall = waves, hcReduce, hcElapsed
 				}
 			})
 			mode, reduction := modeCells(async, &syncVol, volume)
+			hcPerSrc := hcWall.Seconds()
+			if len(srcs) > 0 {
+				hcPerSrc /= float64(len(srcs))
+			}
 			t.add(tg.name, fmt.Sprintf("%d", ranks), mode, secs(wall),
 				fmt.Sprintf("%d", volume), reduction,
 				fmt.Sprintf("%d", reductions),
 				fmt.Sprintf("%.1f", allocs),
-				fmt.Sprintf("%d", depth))
+				fmt.Sprintf("%d", depth),
+				fmt.Sprintf("%d", hcWaves),
+				fmt.Sprintf("%d", hcRed),
+				fmt.Sprintf("%.4f", hcPerSrc))
 			row := ExchangeRow{
 				Path: "analytics", Graph: tg.name, Ranks: ranks, Mode: mode,
 				WallSeconds: wall.Seconds(), ExchElems: volume,
 				Reductions: ptr(reductions), AllocsPerRound: ptr(allocs),
+				HCWaves: ptr(hcWaves), HCReductions: ptr(hcRed),
+				HCSecPerSource: ptr(hcPerSrc),
 			}
 			if async {
 				row.PipelineDepth = ptr(depth)

@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"repro/internal/dgraph"
 )
 
 // Scale selects experiment sizing.
@@ -59,6 +61,21 @@ type Config struct {
 	// round (see repro.AnalyticsConfig.TermEpoch). 0 keeps the exact
 	// per-round default.
 	TermEpoch int
+	// PipeDepth is forwarded to the async exchange engine of
+	// experiments that drive it (currently exchange): how many rounds
+	// of boundary messages may be in flight per exchanger (0 = default
+	// 2; see repro.AnalyticsConfig.PipeDepth). Depths >= 4 run HC as
+	// PipeDepth/2 concurrent BFS waves.
+	PipeDepth int
+}
+
+// pipeDepth returns the effective exchange pipeline depth of the run
+// (the knob normalized to the engine default).
+func (c *Config) pipeDepth() int {
+	if c.PipeDepth == 0 {
+		return dgraph.DefaultPipeDepth
+	}
+	return c.PipeDepth
 }
 
 // value of Seed when the caller leaves it zero.

@@ -208,6 +208,38 @@ func Waitall(reqs ...Request) {
 	}
 }
 
+// Round-tag space. A 32-bit round tag is split into an 8-bit wave id
+// (high bits) and a 24-bit round sequence (low bits), so callers that
+// interleave several independent round streams over one pair FIFO —
+// the multi-wave HC engine runs one BFS per wave slot — can stamp
+// every frame with the stream it belongs to. Tags still never affect
+// matching; the split only makes a skewed schedule panic with a
+// message naming the wave AND the round instead of two bare numbers.
+// Sequences wrap at 2^24 identically on both sides of a pair, so the
+// equality assert survives the wrap.
+const (
+	// TagWaveBits is the width of the wave-id field.
+	TagWaveBits = 8
+	// TagSeqBits is the width of the round-sequence field.
+	TagSeqBits = 32 - TagWaveBits
+	// MaxTagWave is the largest encodable wave id.
+	MaxTagWave = 1<<TagWaveBits - 1
+)
+
+// RoundTag composes a wave id and a round sequence into one round tag.
+// wave must be in [0, MaxTagWave]; seq is truncated to TagSeqBits.
+func RoundTag(wave int, seq uint32) uint32 {
+	if wave < 0 || wave > MaxTagWave {
+		panic(fmt.Sprintf("mpi: round-tag wave %d outside [0,%d]", wave, MaxTagWave))
+	}
+	return uint32(wave)<<TagSeqBits | seq&(1<<TagSeqBits-1)
+}
+
+// SplitRoundTag decomposes a round tag built by RoundTag.
+func SplitRoundTag(tag uint32) (wave int, seq uint32) {
+	return int(tag >> TagSeqBits), tag & (1<<TagSeqBits - 1)
+}
+
 // Isend64 is Isend for int64 payloads with the transfer copy drawn
 // from the world's buffer pool instead of the heap: together with
 // Recv64/Recycle64 on the receive side, a steady-state exchange round
@@ -254,8 +286,10 @@ func Recv64(c *Comm, src int) []int64 {
 func Recv64Tag(c *Comm, src int, want uint32) []int64 {
 	data, tag := recv64(c, src)
 	if tag != want {
-		panic(fmt.Sprintf("mpi: rank %d received round tag %d from rank %d, expected %d (pipelined rounds skewed)",
-			c.rank, tag, src, want))
+		gw, gs := SplitRoundTag(tag)
+		ww, ws := SplitRoundTag(want)
+		panic(fmt.Sprintf("mpi: rank %d received wave %d round %d from rank %d, expected wave %d round %d (pipelined rounds skewed)",
+			c.rank, gw, gs, src, ww, ws))
 	}
 	return data
 }

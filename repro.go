@@ -94,6 +94,15 @@ type Config struct {
 	// analytics and SpMV paths select the same engine through
 	// AnalyticsConfig.AsyncExchange and SpMVConfig.AsyncExchange.
 	AsyncExchange bool
+	// PipeDepth sets the async exchange engine's pipeline depth — how
+	// many rounds of boundary messages may be in flight per exchanger
+	// at once (0 = default 2; values 1 and below rejected). The
+	// partitioner's own schedule never pipelines past 2, but the knob
+	// travels with the graph, so analytics run on the same shards (and
+	// the exchange experiment) inherit it. Ignored in sync mode. See
+	// AnalyticsConfig.PipeDepth for the depth/2-wave HC engine it
+	// enables.
+	PipeDepth int
 	// SizeEpoch bounds part-size estimate staleness in async mode:
 	// every SizeEpoch-th iteration performs an exact Allreduce resync,
 	// with settles in between derived purely from piggybacked neighbor
@@ -161,6 +170,9 @@ func XtraPuLPGen(g *Generator, cfg Config) ([]int32, Report, error) {
 	if threads < 1 {
 		threads = 1
 	}
+	if err := validatePipeDepth(cfg.PipeDepth); err != nil {
+		return nil, Report{}, err
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
@@ -196,6 +208,7 @@ func XtraPuLPGen(g *Generator, cfg Config) ([]int32, Report, error) {
 			}
 			return
 		}
+		dg.SetPipeDepth(cfg.PipeDepth) // before the exchanger exists
 		local, r, err := core.Partition(dg, opt)
 		if err != nil {
 			// Partition errors are symmetric across ranks and happen
