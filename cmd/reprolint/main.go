@@ -1,0 +1,42 @@
+// Command reprolint is the project's multichecker: it runs every
+// analyzer in internal/lint over the packages matching its arguments
+// (default ./...) and exits nonzero if any finding survives the
+// //lint:ignore directives. CI runs it before the tests; run it
+// locally with scripts/lint.sh. See docs/INVARIANTS.md for the
+// contracts it enforces.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.RunAnalyzers(pkg, lint.All) {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "reprolint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

@@ -339,6 +339,8 @@ func KCore(g *dgraph.Graph, maxIters int) ([]int64, Result) {
 // >= h, counting into buckets — a caller-pooled scratch buffer, reused
 // across calls so KCore's per-vertex-per-round hot loop stays off the
 // heap — and returns the (possibly grown) buffer for the next call.
+//
+//repro:hotpath
 func hIndex(vals []int64, buckets []int64) (int64, []int64) {
 	n := int64(len(vals))
 	if n == 0 {

@@ -98,6 +98,7 @@ type bfsRound struct {
 	ghostLevels []int64
 }
 
+//repro:hotpath
 func (r *bfsRound) expand(g *dgraph.Graph, all []int64, depth int64, v int32) {
 	for _, u := range g.Neighbors(v) {
 		if all[u] >= 0 {

@@ -93,6 +93,7 @@ func TestAnalyticsCrossModeDeterminism(t *testing.T) {
 			t.Errorf("rank %d: %v", c.Rank(), err)
 			return
 		}
+		defer dg.Close()
 		sync := execCrossMode(c, dg, false)
 		async := execCrossMode(c, dg, true)
 		compareCrossMode(t, dg, sync, async)
@@ -133,6 +134,7 @@ func TestAnalyticsCrossModeIncompleteNeighborhood(t *testing.T) {
 			t.Errorf("rank %d: %v", c.Rank(), err)
 			return
 		}
+		defer dg.Close()
 		if dg.AsyncExchanger().NeighborhoodComplete() { // collective
 			if c.Rank() == 0 {
 				t.Errorf("blocked 3D grid on 3 ranks should have an incomplete rank neighborhood")

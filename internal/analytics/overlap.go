@@ -91,6 +91,8 @@ func (e *engine) overlapped() bool { return e.ex != nil }
 // round stale (the count shipped with round r's messages is round
 // r-1's), so convergence costs one extra no-op round, which by
 // definition changes nothing.
+//
+//repro:hotpath
 func (e *engine) propagate(vals []int64, relax func(v int32) bool, maxIters int) int {
 	g := e.g
 	bnd, inr := g.BoundaryVertices(), g.InteriorVertices()

@@ -28,6 +28,7 @@ func TestPiggybackStalenessBoundAndEpochResync(t *testing.T) {
 			t.Errorf("rank %d: %v", c.Rank(), err)
 			return
 		}
+		defer dg.Close()
 		ex := dg.AsyncExchanger()
 		wantNbrs := 1
 		if c.Rank() == 1 {

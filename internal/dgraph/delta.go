@@ -587,6 +587,8 @@ func (ex *DeltaExchanger) Begin() { ex.BeginTally(0) }
 // round posted behind a value round — is fine, because flushes run
 // oldest-first and the update's deferred sends happen after the value
 // round has fully settled.
+//
+//repro:hotpath
 func (ex *DeltaExchanger) post(kind roundKind, tallyLen int, ownTally []int64) uint32 {
 	if ex.npend == ex.depth {
 		panic(fmt.Sprintf("dgraph: DeltaExchanger round posted with %d rounds already in flight (pipe depth %d)", ex.npend, ex.depth))
@@ -643,6 +645,8 @@ func (ex *DeltaExchanger) BeginTally(tallyLen int) {
 // join collects the oldest pending round's result from the drainer
 // (results arrive in round order), pops it from the FIFO, and
 // re-raises any panic the drainer recovered.
+//
+//repro:hotpath
 func (ex *DeltaExchanger) join() drainResult {
 	res := <-ex.resCh
 	copy(ex.pend[:], ex.pend[1:ex.npend])
@@ -672,6 +676,8 @@ func (ex *DeltaExchanger) Flush(q []Update) []Update {
 // framing, so a mismatch corrupts decoding on the peer. The returned
 // slices alias exchanger arenas and are valid until the round after
 // next is posted.
+//
+//repro:hotpath
 func (ex *DeltaExchanger) FlushTally(q []Update, tally []int64) ([]Update, []int64) {
 	if ex.npend == 0 {
 		ex.BeginTally(len(tally))
@@ -894,6 +900,8 @@ func (t TallyRound) FoldFloat(i int) float64 {
 // to the exchanger's pipeline depth rounds may be posted before
 // flushing; lids and payloads are consumed before BeginValues returns,
 // but tally must stay untouched until the round's FlushValues returns.
+//
+//repro:hotpath
 func (ex *DeltaExchanger) BeginValues(lids []int32, payloads []int64, tally []int64) {
 	plan := ex.plan
 	for i := range ex.fwdIdx {
@@ -922,6 +930,8 @@ func (ex *DeltaExchanger) BeginValues(lids []int32, payloads []int64, tally []in
 // BeginValues round — and returns the (ghost lid, payload) pairs
 // received plus the round's tally frames. The returned slices alias
 // exchanger arenas and stay valid for depth-1 subsequent rounds.
+//
+//repro:hotpath
 func (ex *DeltaExchanger) FlushValues() ([]int32, []int64, TallyRound) {
 	if ex.npend == 0 || ex.pend[0].kind != roundValuesFwd {
 		panic("dgraph: FlushValues without a pending BeginValues round oldest in the pipeline")
@@ -938,6 +948,8 @@ func (ex *DeltaExchanger) FlushValues() ([]int32, []int64, TallyRound) {
 // Like BeginValues it may be posted while one earlier round is still
 // in flight — the overlapped BFS posts the next depth's discovery push
 // while the previous depth's ghost refresh is still pending.
+//
+//repro:hotpath
 func (ex *DeltaExchanger) BeginPush(lids []int32, payloads []int64, tally []int64) {
 	plan := ex.plan
 	for i := range ex.revIdx {
@@ -966,6 +978,8 @@ func (ex *DeltaExchanger) BeginPush(lids []int32, payloads []int64, tally []int6
 // round — and returns the (owned lid, payload) pairs received plus the
 // round's tally frames. The returned slices alias exchanger arenas and
 // stay valid for depth-1 subsequent rounds.
+//
+//repro:hotpath
 func (ex *DeltaExchanger) FlushPush() ([]int32, []int64, TallyRound) {
 	if ex.npend == 0 || ex.pend[0].kind != roundValuesRev {
 		panic("dgraph: FlushPush without a pending BeginPush round oldest in the pipeline")

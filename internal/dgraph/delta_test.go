@@ -25,6 +25,7 @@ func TestBoundaryPlanSymmetry(t *testing.T) {
 				return
 			}
 			ex := dg.NewDeltaExchanger()
+			defer ex.Close()
 			sends, recvs := map[int][]int64{}, map[int][]int64{}
 			for peer := 0; peer < p; peer++ {
 				if peer == c.Rank() {
@@ -81,6 +82,7 @@ func TestDeltaExchangerMatchesSyncExchange(t *testing.T) {
 			return
 		}
 		ex := dg.NewDeltaExchanger()
+		defer ex.Close()
 		vals := make([]int32, dg.NTotal())
 		for i := range vals {
 			vals[i] = -1
@@ -120,6 +122,7 @@ func TestDeltaExchangerHalvesWireVolume(t *testing.T) {
 			return
 		}
 		ex := dg.NewDeltaExchanger()
+		defer ex.Close()
 		q := make([]Update, dg.NLocal)
 		for v := 0; v < dg.NLocal; v++ {
 			q[v] = Update{LID: int32(v), Value: 1}
@@ -159,6 +162,7 @@ func TestDeltaExchangerSparseRounds(t *testing.T) {
 			return
 		}
 		ex := dg.NewDeltaExchanger()
+		defer ex.Close()
 		ghostVals := make(map[int32]int32)
 		for round := int32(0); round < 5; round++ {
 			// Each round moves a different slice of the boundary.
@@ -213,6 +217,7 @@ func benchExchangeRound(b *testing.B, async bool) {
 			return
 		}
 		ex := dg.NewDeltaExchanger()
+		defer ex.Close()
 		bv := dg.BoundaryVertices()
 		q := make([]Update, len(bv))
 		for i, v := range bv {

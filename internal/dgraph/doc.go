@@ -62,4 +62,14 @@
 // Both transports deliver identical results — the choice is pure
 // transport, observable only in mpi.Stats traffic counters and wall
 // time.
+//
+// # Hot-path annotation
+//
+// The steady-state delta-engine functions (round post/join, the
+// Flush/Begin value flows) carry a //repro:hotpath directive as the
+// last line of their doc comment: cmd/reprolint's hotpathalloc
+// analyzer enforces that they perform no heap allocation beyond the
+// sanctioned arena-growth idioms, turning the AllocsPerRun == 0
+// regression tests into a compile-time guarantee. See
+// docs/INVARIANTS.md for the rule and the full invariant catalogue.
 package dgraph

@@ -108,6 +108,7 @@ func BenchmarkFlushValuesSteadyState(b *testing.B) {
 			return
 		}
 		ex := dg.AsyncExchanger()
+		defer dg.Close()
 		bv := dg.BoundaryVertices()
 		payload := make([]int64, len(bv))
 		for i, v := range bv {
@@ -151,6 +152,7 @@ func BenchmarkFlushTallySteadyState(b *testing.B) {
 			return
 		}
 		ex := dg.AsyncExchanger()
+		defer dg.Close()
 		bv := dg.BoundaryVertices()
 		q := make([]Update, len(bv))
 		for i, v := range bv {

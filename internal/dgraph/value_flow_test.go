@@ -34,6 +34,7 @@ func TestValueFlowsMatchSyncTransport(t *testing.T) {
 			t.Errorf("rank %d: %v", c.Rank(), err)
 			return
 		}
+		defer dg.Close()
 
 		// Owner → ghost: a sparse subset of owned vertices.
 		var lids []int32
@@ -99,6 +100,7 @@ func TestValueFlowFloat64BitExact(t *testing.T) {
 			t.Errorf("rank %d: %v", c.Rank(), err)
 			return
 		}
+		defer dg.Close()
 		bv := dg.BoundaryVertices()
 		mk := func() []float64 {
 			vals := make([]float64, dg.NTotal())
@@ -133,6 +135,7 @@ func TestValueFlowDenseEncodingVolume(t *testing.T) {
 			t.Errorf("rank %d: %v", c.Rank(), err)
 			return
 		}
+		defer dg.Close()
 		bv := dg.BoundaryVertices()
 		vals := make([]int64, dg.NTotal())
 		for v := range vals {
@@ -174,6 +177,7 @@ func TestFlushTallySumsNeighborTallies(t *testing.T) {
 			t.Errorf("rank %d: %v", c.Rank(), err)
 			return
 		}
+		defer dg.Close()
 		ex := dg.AsyncExchanger()
 		if got := len(ex.NeighborRanks()); got != ranks-1 {
 			t.Errorf("rank %d: %d neighbors, want complete (%d)", c.Rank(), got, ranks-1)

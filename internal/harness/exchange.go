@@ -128,7 +128,7 @@ func writeExchangeJSON(cfg Config, rows []ExchangeRow) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
-		f.Close() // the encode error is the root cause; report it
+		f.Close() //lint:ignore errcheck the encode error is the root cause; report it instead
 		return fmt.Errorf("exchange: %w", err)
 	}
 	// Close errors matter here: a full disk surfaces at Close, and

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc turns the repo's AllocsPerRun == 0 benchmarks into a
+// static guarantee: a function whose doc comment carries the
+// //repro:hotpath directive must not contain heap-allocating
+// constructs. Flagged: make/new, slice- and map-typed composite
+// literals, &T{...}, fmt calls, function literals, go statements,
+// string concatenation, append calls that do not follow the
+// self-append discipline, and implicit interface boxing. Allowed by
+// design: allocation inside a cap-guard (`if cap(buf) < n { buf =
+// make(...) }` — the arena-grow idiom runs only until steady state)
+// and anything inside a panic argument (failure paths may allocate).
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//repro:hotpath functions must be free of heap allocations in steady state",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, unit := range funcUnits(pass.Files) {
+		if hasDirective(unit.decl, "//repro:hotpath") {
+			checkHotPath(pass, unit.decl)
+		}
+	}
+}
+
+func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+
+	// Parameter objects, for the `return append(param, ...)` allowance
+	// (append-into-caller-buffer is the arena idiom, the caller owns
+	// the growth).
+	params := map[types.Object]bool{}
+	for _, f := range fd.Type.Params.List {
+		for _, name := range f.Names {
+			if o := info.Defs[name]; o != nil {
+				params[o] = true
+			}
+		}
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, name := range f.Names {
+				if o := info.Defs[name]; o != nil {
+					params[o] = true
+				}
+			}
+		}
+	}
+	paramRooted := func(e ast.Expr) bool {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				return params[objOf(info, x)]
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.CallExpr:
+				// append(e.buf[:0], ...) style nesting
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 0 {
+					e = x.Args[0]
+					continue
+				}
+				return false
+			default:
+				return false
+			}
+		}
+	}
+
+	type ctx struct {
+		inPanic    bool
+		inCapGuard bool
+		inReturn   bool
+	}
+	var walk func(n ast.Node, c ctx)
+
+	isCapGuard := func(cond ast.Expr) bool {
+		found := false
+		ast.Inspect(cond, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+					if o, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && o != nil {
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	// selfAppend reports whether an assignment statement follows the
+	// allowed `x = append(x, ...)` / `x = append(x[:0], ...)` shape.
+	selfAppend := func(as *ast.AssignStmt) map[ast.Expr]bool {
+		ok := map[ast.Expr]bool{}
+		if len(as.Lhs) != len(as.Rhs) {
+			return ok
+		}
+		for i, rhs := range as.Rhs {
+			call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+			if !isCall || len(call.Args) == 0 {
+				continue
+			}
+			id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+			if !isIdent || id.Name != "append" {
+				continue
+			}
+			base := call.Args[0]
+			baseStr := exprString(base)
+			if s, isSlice := ast.Unparen(base).(*ast.SliceExpr); isSlice {
+				baseStr = exprString(s.X)
+			}
+			if baseStr == exprString(as.Lhs[i]) {
+				ok[call] = true
+			}
+		}
+		return ok
+	}
+
+	allowedAppends := map[ast.Expr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, okAs := n.(*ast.AssignStmt); okAs {
+			for e := range selfAppend(as) {
+				allowedAppends[e] = true
+			}
+		}
+		return true
+	})
+
+	boxCheck := func(pos token.Pos, have types.Type, want types.Type, what string, c ctx) {
+		if c.inPanic || have == nil || want == nil {
+			return
+		}
+		if _, isIface := want.Underlying().(*types.Interface); !isIface {
+			return
+		}
+		if _, haveIface := have.Underlying().(*types.Interface); haveIface {
+			return
+		}
+		switch have.Underlying().(type) {
+		case *types.Pointer, *types.Signature, *types.Map, *types.Slice, *types.Chan:
+			// Pointer-shaped values convert without allocating.
+			return
+		}
+		if have == types.Typ[types.UntypedNil] {
+			return
+		}
+		if b, okB := have.Underlying().(*types.Basic); okB && b.Info()&types.IsUntyped != 0 {
+			return
+		}
+		pass.Reportf(pos, "%s boxes %s into %s: interface conversion allocates on the hot path", what, have, want)
+	}
+
+	walk = func(n ast.Node, c ctx) {
+		if n == nil {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			if x.Init != nil {
+				walk(x.Init, c)
+			}
+			walk(x.Cond, c)
+			bodyCtx := c
+			if isCapGuard(x.Cond) {
+				bodyCtx.inCapGuard = true
+			}
+			walk(x.Body, bodyCtx)
+			if x.Else != nil {
+				walk(x.Else, bodyCtx)
+			}
+			return
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				switch id.Name {
+				case "panic":
+					pc := c
+					pc.inPanic = true
+					for _, a := range x.Args {
+						walk(a, pc)
+					}
+					return
+				case "make", "new":
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && !c.inCapGuard && !c.inPanic {
+						pass.Reportf(x.Pos(), "%s allocates on the hot path (allowed only inside a cap/len growth guard)", id.Name)
+					}
+				case "append":
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && !c.inPanic {
+						okHere := allowedAppends[x] || c.inCapGuard ||
+							(c.inReturn && len(x.Args) > 0 && paramRooted(x.Args[0]))
+						if !okHere {
+							pass.Reportf(x.Pos(), "append result does not feed back into its base: growth escapes the self-append discipline and may allocate every round")
+						}
+					}
+				}
+			}
+			isFmt := false
+			if callee, ok := calleeOf(info, x); ok {
+				if callee.pkg == "fmt" && !c.inPanic {
+					isFmt = true
+					pass.Reportf(x.Pos(), "fmt.%s allocates (boxing + formatting) on the hot path", callee.name)
+				}
+			}
+			// Implicit boxing at the call boundary (the fmt finding
+			// above already covers its own argument boxing).
+			if sig, ok := info.TypeOf(x.Fun).(*types.Signature); ok && sig != nil && !isFmt {
+				np := sig.Params().Len()
+				for i, a := range x.Args {
+					var want types.Type
+					switch {
+					case sig.Variadic() && i >= np-1:
+						if s, okS := sig.Params().At(np - 1).Type().(*types.Slice); okS && !x.Ellipsis.IsValid() {
+							want = s.Elem()
+						}
+					case i < np:
+						want = sig.Params().At(i).Type()
+					}
+					boxCheck(a.Pos(), info.TypeOf(a), want, "argument", c)
+				}
+			}
+			for _, a := range x.Args {
+				walk(a, c)
+			}
+			walk(x.Fun, c)
+			return
+		case *ast.CompositeLit:
+			if !c.inPanic && !c.inCapGuard {
+				if t := info.TypeOf(x); t != nil {
+					switch t.Underlying().(type) {
+					case *types.Slice, *types.Map:
+						pass.Reportf(x.Pos(), "composite %s literal allocates on the hot path", t)
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND && !c.inPanic {
+				if _, isLit := ast.Unparen(x.X).(*ast.CompositeLit); isLit {
+					pass.Reportf(x.Pos(), "&composite literal escapes to the heap on the hot path")
+				}
+			}
+		case *ast.FuncLit:
+			if !c.inPanic {
+				pass.Reportf(x.Pos(), "function literal allocates a closure on the hot path")
+			}
+			return // don't double-report its body
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "go statement allocates a goroutine on the hot path")
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && !c.inPanic {
+				if t := info.TypeOf(x); t != nil {
+					if b, okB := t.Underlying().(*types.Basic); okB && b.Info()&types.IsString != 0 && b.Info()&types.IsUntyped == 0 {
+						pass.Reportf(x.Pos(), "string concatenation allocates on the hot path")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			rc := c
+			rc.inReturn = true
+			for _, r := range x.Results {
+				walk(r, rc)
+			}
+			return
+		case *ast.AssignStmt:
+			// Boxing via assignment to an interface-typed lvalue.
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					if x.Tok == token.DEFINE {
+						continue
+					}
+					boxCheck(x.Rhs[i].Pos(), info.TypeOf(x.Rhs[i]), info.TypeOf(x.Lhs[i]), "assignment", c)
+				}
+			}
+		}
+		// Generic descent.
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			walk(m, c)
+			return false
+		})
+	}
+	for _, s := range fd.Body.List {
+		walk(s, ctx{})
+	}
+}

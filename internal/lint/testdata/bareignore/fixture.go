@@ -1,0 +1,11 @@
+// Package fixture holds a bare //lint:ignore — no analyzer name, no
+// reason — which must suppress nothing and be reported itself. It is
+// type-checked by the analyzer tests, never run.
+package fixture
+
+import "os"
+
+func bare(f *os.File) {
+	//lint:ignore
+	f.Close()
+}

@@ -1,0 +1,85 @@
+// Package fixture reproduces the conditional-collective deadlock
+// shapes (the PR 4 bug) for the collectivesym analyzer. It is
+// type-checked by the analyzer tests, never run.
+package fixture
+
+import (
+	"repro/internal/dgraph"
+	"repro/internal/mpi"
+)
+
+// condBarrier is the canonical bug: rank 0 enters the barrier, every
+// other rank walks past it and the job hangs.
+func condBarrier(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier() // want "reachable only under rank-local condition"
+	}
+	c.Barrier() // symmetric: every rank reaches it
+}
+
+// guardClause hides the asymmetry behind an early return.
+func guardClause(c *mpi.Comm, v int64) int64 {
+	if c.Rank() != 0 {
+		return 0
+	}
+	return mpi.AllreduceScalar(c, v, mpi.Sum) // want "rank-local"
+}
+
+// rankVar branches on a rank-named local instead of the call.
+func rankVar(c *mpi.Comm, v int64) {
+	rank := c.Rank()
+	if rank == 0 {
+		mpi.AllreduceScalar(c, v, mpi.Sum) // want "branches on rank"
+	}
+}
+
+// mapOrder: map iteration order differs per process, so the number
+// and order of collective calls does too.
+func mapOrder(c *mpi.Comm, work map[int32][]int64) {
+	for _, vals := range work {
+		mpi.Allreduce(c, vals, mpi.Sum) // want "map iteration order"
+	}
+}
+
+// condFlush is the exchange-engine variant: a Flush that only some
+// ranks perform leaves the others' drainers waiting on messages that
+// never come.
+func condFlush(c *mpi.Comm, ex *dgraph.DeltaExchanger, q []dgraph.Update) {
+	ex.BeginTally(0)
+	if c.Rank() == 0 {
+		q, _ = ex.FlushTally(q, nil) // want "FlushTally"
+	} else {
+		q, _ = ex.FlushTally(q, nil) // want "FlushTally"
+	}
+	_ = q
+}
+
+// condClose: tearing down the graph on one rank only strands its
+// neighbors' drainers.
+func condClose(c *mpi.Comm, g *dgraph.Graph) {
+	if c.Rank() == 0 {
+		g.Close() // want "Graph.Close"
+	}
+}
+
+// symmetric shapes below must produce no findings.
+
+func symmetricRounds(ex *dgraph.DeltaExchanger, q []dgraph.Update) []dgraph.Update {
+	ex.Begin()
+	return ex.Flush(q)
+}
+
+func loopOverCounts(c *mpi.Comm, v int64) {
+	nranks := c.Size()
+	for i := 0; i < nranks; i++ {
+		mpi.AllreduceScalar(c, v, mpi.Sum) // a count of ranks is symmetric
+	}
+}
+
+func rankInsideCondExpr(c *mpi.Comm, v int64) {
+	// The collective appears in the condition itself: every rank
+	// evaluates it.
+	if mpi.AllreduceScalar(c, v, mpi.Max) > 0 {
+		_ = v
+	}
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises the errcheck analyzer: artifact and
+// file-handling error results must be checked. It is type-checked by
+// the analyzer tests, never run.
+package fixture
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+)
+
+func bad(path string, doc any) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	enc := json.NewEncoder(f)
+	enc.Encode(doc)                  // want "Encoder.Encode is discarded"
+	f.Close()                        // want "File.Close is discarded"
+	os.Remove(path)                  // want "os.Remove is discarded"
+	_ = os.Rename(path, path+".bak") // want "os.Rename is discarded"
+}
+
+func badFlush(w *bufio.Writer) {
+	w.Flush() // want "Writer.Flush is discarded"
+}
+
+// good checks (or legitimately defers) everything and must produce no
+// findings.
+func good(path string, doc any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // deferred Close has nowhere to report: allowed
+	if err := json.NewEncoder(f).Encode(doc); err != nil {
+		return err
+	}
+	return os.Remove(path)
+}

@@ -1,0 +1,81 @@
+// Package fixture exercises the hotpathalloc analyzer: functions
+// annotated //repro:hotpath must not allocate in steady state. It is
+// type-checked by the analyzer tests, never run.
+package fixture
+
+import "fmt"
+
+type ring struct {
+	buf     []int64
+	scratch []int64
+}
+
+//repro:hotpath
+func badMake(vals []int64) int64 {
+	tmp := make([]int64, len(vals)) // want "make allocates"
+	copy(tmp, vals)
+	return tmp[0]
+}
+
+//repro:hotpath
+func badFmt(n int) {
+	fmt.Println(n) // want "fmt.Println allocates"
+}
+
+//repro:hotpath
+func badAppend(r *ring, v int64) {
+	r.buf = append(r.scratch, v) // want "does not feed back into its base"
+}
+
+//repro:hotpath
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//repro:hotpath
+func badBoxArg(v int64) {
+	consume(v) // want "boxes int64"
+}
+
+//repro:hotpath
+func badClosure(r *ring) {
+	f := func() { r.buf = r.buf[:0] } // want "closure"
+	f()
+}
+
+//repro:hotpath
+func badLiteral() []int64 {
+	return []int64{1, 2, 3} // want "composite"
+}
+
+func consume(v any) { _ = v }
+
+// good follows the steady-state discipline: cap-guard growth,
+// self-append, and panic-path formatting are all allowed.
+//
+//repro:hotpath
+func good(r *ring, vals []int64) {
+	if cap(r.scratch) < len(vals) {
+		r.scratch = make([]int64, 0, len(vals)) // growth guard: amortized to zero
+	}
+	r.scratch = r.scratch[:0]
+	for _, v := range vals {
+		r.scratch = append(r.scratch, v)
+	}
+	if len(vals) > 1<<40 {
+		panic(fmt.Sprintf("fixture: absurd input %d", len(vals))) // failure path may allocate
+	}
+}
+
+// appendInto returns growth into the caller's buffer — the arena
+// idiom.
+//
+//repro:hotpath
+func appendInto(dst []int64, vals []int64) []int64 {
+	return append(dst, vals...)
+}
+
+// unannotated functions may allocate freely.
+func unannotated() []int64 {
+	return make([]int64, 4)
+}

@@ -1,0 +1,28 @@
+// Package fixture exercises the //lint:ignore directive: a reasoned
+// ignore suppresses exactly the named analyzer's finding on its own or
+// the following line. It is type-checked by the analyzer tests, never
+// run.
+package fixture
+
+import "os"
+
+// suppressed: the directive names the analyzer and gives a reason, so
+// no finding survives.
+func suppressed(f *os.File) {
+	//lint:ignore errcheck the encode error is already the root cause
+	f.Close()
+}
+
+func suppressedSameLine(f *os.File) {
+	f.Close() //lint:ignore errcheck teardown best-effort, error has nowhere to go
+}
+
+// unrelated directives do not suppress other analyzers' findings.
+func wrongAnalyzer(f *os.File) {
+	//lint:ignore collectivesym reason aimed at a different analyzer
+	f.Close() // want "File.Close is discarded"
+}
+
+func stillFlagged(f *os.File) {
+	f.Close() // want "File.Close is discarded"
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Import paths of the packages whose contracts the suite encodes.
+const (
+	mpiPath    = "repro/internal/mpi"
+	dgraphPath = "repro/internal/dgraph"
+)
+
+// callee identifies a resolved call target: the defining package path,
+// the receiver's named-type name ("" for package-level functions), and
+// the function name.
+type callee struct {
+	pkg  string
+	recv string
+	name string
+}
+
+// calleeOf resolves a call expression to its target, or ok=false for
+// builtins, conversions, and calls the type info cannot resolve.
+func calleeOf(info *types.Info, call *ast.CallExpr) (callee, bool) {
+	fun := ast.Unparen(call.Fun)
+	// Strip explicit generic instantiation (mpi.Irecv[float64]).
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[f.Sel] // package-qualified identifier
+		}
+	case *ast.Ident:
+		obj = info.Uses[f]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return callee{}, false
+	}
+	c := callee{name: fn.Name()}
+	if fn.Pkg() != nil {
+		c.pkg = fn.Pkg().Path()
+	}
+	if recv := fn.Signature().Recv(); recv != nil {
+		if named := namedOf(recv.Type()); named != nil {
+			c.recv = named.Obj().Name()
+		}
+	}
+	return c, true
+}
+
+// namedOf unwraps pointers down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// recvString renders the receiver expression of a method call ("ex",
+// "e.ex", "waves[slot]") so calls on the same value can be correlated
+// textually within one function.
+func recvString(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return exprString(sel.X)
+}
+
+// exprString is a compact, parenthesis-free rendering of simple
+// expressions, used only for textual correlation — two equal strings
+// mean "same value" for the function-local heuristics.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[" + exprString(x.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	case *ast.UnaryExpr:
+		return x.Op.String() + exprString(x.X)
+	default:
+		return "?"
+	}
+}
+
+// funcUnits returns every function declaration of the files together
+// with its body; function literals are analyzed as part of their
+// enclosing declaration (the analyzers' heuristics are function-local,
+// and splitting a closure from the code that flushes or closes what it
+// began would manufacture false positives).
+type funcUnit struct {
+	decl *ast.FuncDecl
+	name string
+}
+
+func funcUnits(files []*ast.File) []funcUnit {
+	var out []funcUnit
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, funcUnit{decl: fd, name: fd.Name.Name})
+		}
+	}
+	return out
+}
+
+// recvTypeName returns the name of a declaration's receiver type, or
+// "".
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// hasDirective reports whether the declaration's doc comment carries
+// the given //-directive (e.g. "//repro:hotpath").
+func hasDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// objOf resolves an identifier to its object via Uses or Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// isBlank reports whether an expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

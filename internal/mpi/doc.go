@@ -79,4 +79,14 @@
 // rounds perform no heap allocation. The two variants interoperate —
 // Recv64 and Irecv accept messages from either send — but only the
 // pooled pair recycles.
+//
+// # Hot-path annotation
+//
+// Functions on the steady-state exchange path (the mailbox put/take
+// pair, Isend64Tag, recv64, Recycle64, the tally framing) carry a
+// //repro:hotpath directive as the last line of their doc comment. The
+// directive is a machine-checked promise: cmd/reprolint's hotpathalloc
+// analyzer rejects any heap allocation in an annotated function except
+// the sanctioned arena-growth idioms (growth under a cap/len guard,
+// self-append, panic arguments). See docs/INVARIANTS.md.
 package mpi

@@ -60,6 +60,8 @@ func (w *world) getBuf64(n int) []int64 {
 
 // putBuf64 returns a buffer to its capacity-class bucket;
 // zero-capacity buffers (the canonical empty message) are dropped.
+//
+//repro:hotpath
 func (w *world) putBuf64(buf []int64) {
 	if cap(buf) == 0 {
 		return

@@ -58,6 +58,8 @@ func newMailbox() *mailbox {
 
 // put enqueues a message; put never blocks (the simulator models an
 // eager/buffered transport, so Isend completes immediately).
+//
+//repro:hotpath
 func (m *mailbox) put(msg message) {
 	m.mu.Lock()
 	m.msgs = append(m.msgs, msg)
@@ -68,6 +70,8 @@ func (m *mailbox) put(msg message) {
 // take dequeues the oldest message, blocking until one arrives. It
 // panics with barrierPoisoned after a sibling rank's panic so blocked
 // receivers unwind instead of hanging.
+//
+//repro:hotpath
 func (m *mailbox) take() message {
 	m.mu.Lock()
 	for m.head >= len(m.msgs) && !m.poisoned {
@@ -257,6 +261,8 @@ func Isend64(c *Comm, dst int, data []int64) {
 // protocol skew (one rank a round ahead on a pipelined exchange)
 // surfaces as an immediate panic naming both rounds instead of as
 // silently mis-decoded payloads.
+//
+//repro:hotpath
 func Isend64Tag(c *Comm, dst int, tag uint32, data []int64) {
 	if dst < 0 || dst >= c.w.size {
 		panic(fmt.Sprintf("mpi: Isend64 to rank %d outside [0,%d)", dst, c.w.size))
@@ -294,6 +300,7 @@ func Recv64Tag(c *Comm, src int, want uint32) []int64 {
 	return data
 }
 
+//repro:hotpath
 func recv64(c *Comm, src int) ([]int64, uint32) {
 	if src < 0 || src >= c.w.size {
 		panic(fmt.Sprintf("mpi: Recv64 from rank %d outside [0,%d)", src, c.w.size))
@@ -316,6 +323,8 @@ func recv64(c *Comm, src int) ([]int64, uint32) {
 // The caller must not touch buf afterwards. Recycling is optional —
 // skipping it only costs allocations — and must happen at most once
 // per received buffer.
+//
+//repro:hotpath
 func (c *Comm) Recycle64(buf []int64) {
 	c.w.putBuf64(buf)
 }

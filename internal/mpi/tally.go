@@ -55,6 +55,8 @@ func unpackTallyEntry(packed int64) (idx int, v int64) {
 // is accounted in Stats.TallyElems. The frame is sized in a counting
 // pass and encoded straight into buf, so callers reusing their send
 // buffers across rounds pay no per-round allocation here.
+//
+//repro:hotpath
 func AppendTally(c *Comm, buf []int64, tally []int64) []int64 {
 	if len(tally) == 0 {
 		return buf
@@ -93,6 +95,8 @@ func AppendTally(c *Comm, buf []int64, tally []int64) []int64 {
 // element-wise into dst (len(dst) must be the sender's tallyLen), and
 // returns the primary payload prefix. It panics on a malformed frame —
 // with agreed tally lengths on both sides this cannot happen.
+//
+//repro:hotpath
 func SplitTally(msg []int64, dst []int64) []int64 {
 	if len(dst) == 0 {
 		return msg

@@ -434,6 +434,8 @@ func (m *matrix) multiply() int64 {
 // localMultiply computes the partial row sums from the filled x
 // buffer — the compute kernel both engines share, so the cross-engine
 // bit-identical-checksum guarantee cannot drift.
+//
+//repro:hotpath
 func (m *matrix) localMultiply() {
 	for ri := range m.rowGIDs {
 		var sum float64
@@ -451,6 +453,8 @@ func (m *matrix) localMultiply() {
 // run in ascending source rank with the self share at its rank
 // position), so the iterated vector — and Result.Checksum — is
 // bit-identical across engines.
+//
+//repro:hotpath
 func (m *matrix) multiplyAsync() int64 {
 	var volume int64
 	me := m.c.Rank()
@@ -523,6 +527,8 @@ func (m *matrix) multiplyAsync() int64 {
 // owner-side before shipping, so the numerics cannot drift. Received
 // segments are parked in normSegs until every contribution has
 // arrived, because no entry may be divided before the fold is total.
+//
+//repro:hotpath
 func (m *matrix) expandPiggyback(me int) int64 {
 	var volume int64
 	for _, d := range m.expandOut {

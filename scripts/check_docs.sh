@@ -11,6 +11,10 @@ for d in internal/*/; do
     pkg=$(basename "$d")
     files=$(find "$d" -maxdepth 1 -name '*.go' ! -name '*_test.go')
     if [ -z "$files" ]; then
+        # A package directory with no non-test Go files is a broken
+        # tree, not something to skip silently.
+        echo "docs gate: internal/${pkg} has no non-test Go files" >&2
+        fail=1
         continue
     fi
     # shellcheck disable=SC2086

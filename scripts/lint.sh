@@ -1,0 +1,14 @@
+#!/bin/sh
+# reprolint: the project's static-analysis suite (internal/lint).
+# Enforces the exchange engine's contracts — collective symmetry,
+# arena-view lifetimes, Begin*/Flush* pairing and pipeline bounds,
+# exchanger lifecycle, //repro:hotpath allocation freedom, and checked
+# artifact errors. See docs/INVARIANTS.md for the rule catalogue.
+#
+# Mirrors the CI reprolint job: findings are errors, and the tests do
+# not run until the tree is clean.
+set -eu
+cd "$(dirname "$0")/.."
+
+go run ./cmd/reprolint ./...
+echo "reprolint: tree is clean"
