@@ -94,33 +94,56 @@ func RunAnalyticsReport(g *Generator, parts []int32, cfg AnalyticsConfig) (Analy
 		return AnalyticsReport{}, err
 	}
 	var out AnalyticsReport
+	var runErr error
 	mpi.Run(cfg.Ranks, func(c *mpi.Comm) {
-		dg, err := dgraph.FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()),
-			dgraph.PartsDist{Parts: parts})
-		if err != nil {
-			panic(err) // parts validated above; construction is total
-		}
-		dg.SetPipeDepth(cfg.PipeDepth) // before the exchanger exists
-		dg.SetAsyncExchange(cfg.AsyncExchange)
-		dg.SetTermEpoch(cfg.TermEpoch)
-		c.ResetStats()
-		res := analytics.RunAll(dg, cfg.HCSources)
-		vol := mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
-		// Normal-path teardown: stop the exchanger's drainer goroutine.
-		// Deliberately not deferred — on a panic mpi.Run poisons the
-		// world and the finalizer backstops, whereas a blocking Close
-		// during unwinding could wait on messages that never come.
-		dg.Close()
+		rep, err := RunAnalyticsComm(c, g, parts, cfg)
 		if c.Rank() == 0 {
-			out = AnalyticsReport{
-				Results: res,
-				// The volume Allreduce above is not part of the run.
-				ReductionOps:   c.Stats().ReductionOps - 1,
-				ExchangeVolume: vol,
-			}
+			out, runErr = rep, err
 		}
 	})
-	return out, nil
+	return out, runErr
+}
+
+// RunAnalyticsComm is the per-rank body of RunAnalyticsReport: it runs
+// this rank's share of the analytics on an existing communicator — the
+// entry point for externally formed worlds (one OS process per rank
+// over a socket transport). AnalyticsConfig.Ranks is ignored; the
+// communicator defines the world. Parts must map every vertex into
+// [0, c.Size()). Every rank returns the same report.
+func RunAnalyticsComm(c *mpi.Comm, g *Generator, parts []int32, cfg AnalyticsConfig) (AnalyticsReport, error) {
+	if int64(len(parts)) != g.N {
+		return AnalyticsReport{}, fmt.Errorf("repro: %d part assignments for %d vertices", len(parts), g.N)
+	}
+	for v, pt := range parts {
+		if pt < 0 || int(pt) >= c.Size() {
+			return AnalyticsReport{}, fmt.Errorf("repro: vertex %d assigned node %d outside [0,%d)", v, pt, c.Size())
+		}
+	}
+	if err := validatePipeDepth(cfg.PipeDepth); err != nil {
+		return AnalyticsReport{}, err
+	}
+	dg, err := dgraph.FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()),
+		dgraph.PartsDist{Parts: parts})
+	if err != nil {
+		panic(err) // parts validated above; construction is total
+	}
+	dg.SetPipeDepth(cfg.PipeDepth) // before the exchanger exists
+	dg.SetAsyncExchange(cfg.AsyncExchange)
+	dg.SetTermEpoch(cfg.TermEpoch)
+	c.ResetStats()
+	res := analytics.RunAll(dg, cfg.HCSources)
+	vol := mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
+	// Normal-path teardown: stop the exchanger's drainer goroutine.
+	// Deliberately not deferred — on a panic the world is poisoned and
+	// the finalizer backstops, whereas a blocking Close during
+	// unwinding could wait on messages that never come.
+	dg.Close()
+	return AnalyticsReport{
+		Results: res,
+		// The volume Allreduce above is not part of the run.
+		ReductionOps:   c.Stats().ReductionOps - 1,
+		ExchangeVolume: vol,
+	}, nil
 }
 
 // validatePipeDepth rejects pipeline depths dgraph.SetPipeDepth would

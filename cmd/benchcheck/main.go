@@ -1,6 +1,8 @@
 // Command benchcheck validates a BENCH_exchange.json benchmark
 // artifact: it must parse and carry every measurement the trajectory
-// tracking depends on (Allreduce counts on all paths, steady-state
+// tracking depends on (the rank substrate the run was measured over —
+// proc or socket — so points from different transports are never
+// mixed, Allreduce counts on all paths, steady-state
 // allocations and the observed pipeline depth on the analytics path,
 // the configured pipe depth with the HC-wave measurements — wave
 // count, HC Allreduces strictly below the sequential loop's, wall time

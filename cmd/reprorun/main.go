@@ -1,0 +1,153 @@
+// Command reprorun launches a multi-process rank world: it spawns one
+// worker process per rank with the REPRO_* environment the socket
+// transport's rendezvous reads (mpi.SocketConfigFromEnv + DialSocket),
+// relays each worker's output with a [rank N] prefix, and exits with
+// the first failing worker's status.
+//
+// Usage:
+//
+//	reprorun -n 4 -- xtrapulp -transport env -gen rmat -scale 12 -parts 8
+//	reprorun -n 2 -net tcp -- mytool ...
+//
+// By default ranks rendezvous over Unix sockets in a fresh temporary
+// directory. With -net tcp the launcher reserves loopback ports by
+// binding and releasing them, so a concurrently starting process can
+// steal one in rare cases; pass -addrs to pin explicit addresses.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func main() {
+	n := flag.Int("n", 2, "number of rank processes")
+	network := flag.String("net", "unix", "rendezvous network: unix|tcp")
+	addrs := flag.String("addrs", "", "comma-separated per-rank listen addresses (default: auto)")
+	timeout := flag.Duration("timeout", 60*time.Second, "rendezvous timeout passed to workers")
+	flag.Parse()
+	argv := flag.Args()
+	if *n < 1 || len(argv) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: reprorun -n N [-net unix|tcp] [-addrs a0,a1,...] -- command args...")
+		os.Exit(2)
+	}
+
+	addrList, cleanup, err := rankAddrs(*network, *addrs, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprorun:", err)
+		os.Exit(1)
+	}
+	defer cleanup()
+
+	var wg sync.WaitGroup
+	status := make([]error, *n)
+	cmds := make([]*exec.Cmd, *n)
+	for r := 0; r < *n; r++ {
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Env = append(os.Environ(),
+			mpi.EnvRank+"="+strconv.Itoa(r),
+			mpi.EnvSize+"="+strconv.Itoa(*n),
+			mpi.EnvNet+"="+*network,
+			mpi.EnvAddrs+"="+strings.Join(addrList, ","),
+			mpi.EnvTimeout+"="+timeout.String(),
+		)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reprorun:", err)
+			os.Exit(1)
+		}
+		cmd.Stderr = cmd.Stdout // interleave per rank, prefix once
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "reprorun: rank %d: %v\n", r, err)
+			os.Exit(1)
+		}
+		cmds[r] = cmd
+		wg.Add(1)
+		go func(r int, out io.Reader) {
+			defer wg.Done()
+			relay(r, out)
+		}(r, stdout)
+	}
+	// Drain the output relays before Wait: Wait tears down the pipes,
+	// and a worker's exit already closes the write end, so the relays
+	// finish on their own.
+	wg.Wait()
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			status[r] = err
+		}
+	}
+	for r, err := range status {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reprorun: rank %d: %v\n", r, err)
+			if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() > 0 {
+				os.Exit(ee.ExitCode())
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+// rankAddrs resolves the per-rank listen addresses: explicit -addrs,
+// fresh Unix socket paths in a temporary directory, or reserved
+// loopback TCP ports.
+func rankAddrs(network, explicit string, n int) ([]string, func(), error) {
+	if explicit != "" {
+		list := strings.Split(explicit, ",")
+		if len(list) != n {
+			return nil, nil, fmt.Errorf("%d addresses for %d ranks", len(list), n)
+		}
+		return list, func() {}, nil
+	}
+	switch network {
+	case "unix":
+		dir, err := os.MkdirTemp("", "reprorun-")
+		if err != nil {
+			return nil, nil, err
+		}
+		list := make([]string, n)
+		for r := range list {
+			list[r] = filepath.Join(dir, fmt.Sprintf("rank%d.sock", r))
+		}
+		cleanup := func() {
+			//lint:ignore errcheck best-effort removal of a session-scoped temp dir at exit
+			os.RemoveAll(dir)
+		}
+		return list, cleanup, nil
+	case "tcp":
+		list := make([]string, n)
+		for r := range list {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, nil, err
+			}
+			list[r] = ln.Addr().String()
+			ln.Close()
+		}
+		return list, func() {}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown network %q (unix|tcp)", network)
+	}
+}
+
+// relay copies one worker's combined output line by line with a rank
+// prefix.
+func relay(rank int, out io.Reader) {
+	sc := bufio.NewScanner(out)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fmt.Printf("[rank %d] %s\n", rank, sc.Text())
+	}
+}

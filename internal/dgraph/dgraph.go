@@ -585,19 +585,17 @@ func (g *Graph) classifyBoundary() {
 // receives the full array indexed by gid. Intended for tests, examples,
 // and quality evaluation at modest scales.
 func (g *Graph) GatherGlobal(vals []int32) []int32 {
-	type kv struct {
-		gid int64
-		val int32
-	}
-	mine := make([]kv, g.NLocal)
+	// (gid, val) pairs packed as int64 words rather than a struct
+	// payload, so the gather works on wire transports too.
+	mine := make([]int64, 0, 2*g.NLocal)
 	for v := 0; v < g.NLocal; v++ {
-		mine[v] = kv{gid: g.L2G[v], val: vals[v]}
+		mine = append(mine, g.L2G[v], int64(vals[v]))
 	}
 	all := mpi.Allgatherv(g.Comm, mine)
 	out := make([]int32, g.NGlobal)
-	for _, ranks := range all {
-		for _, e := range ranks {
-			out[e.gid] = e.val
+	for _, pairs := range all {
+		for i := 0; i+1 < len(pairs); i += 2 {
+			out[pairs[i]] = int32(pairs[i+1])
 		}
 	}
 	return out

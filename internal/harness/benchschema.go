@@ -10,11 +10,17 @@ import (
 // writeExchangeJSON and parsed back by ValidateExchangeJSON, one type
 // so the two sides cannot drift apart.
 type exchangeDoc struct {
-	Experiment string        `json:"experiment"`
-	Scale      string        `json:"scale"`
-	Seed       uint64        `json:"seed"`
-	PipeDepth  int           `json:"pipeDepth"`
-	Rows       []ExchangeRow `json:"rows"`
+	Experiment string `json:"experiment"`
+	// Transport names the rank substrate the measurements ran over:
+	// "proc" (the in-process goroutine world) or "socket" (OS processes
+	// over the wire transport). Trajectory points from different
+	// substrates are not comparable, so the artifact must say which one
+	// it is.
+	Transport string        `json:"transport"`
+	Scale     string        `json:"scale"`
+	Seed      uint64        `json:"seed"`
+	PipeDepth int           `json:"pipeDepth"`
+	Rows      []ExchangeRow `json:"rows"`
 }
 
 // ValidateExchangeJSON parses a BENCH_exchange.json artifact and
@@ -23,6 +29,8 @@ type exchangeDoc struct {
 // truncated or schema-drifted file must fail the build, not upload.
 // Beyond well-formedness it requires, per path:
 //
+//   - a Transport naming a known rank substrate (proc or socket), so
+//     trajectory points from different substrates are never mixed;
 //   - a PipeDepth of at least 2 (the configured exchange-pipeline
 //     depth the run was measured at);
 //   - partition rows: a Reductions count and an EdgeCut;
@@ -47,6 +55,11 @@ func ValidateExchangeJSON(path string) error {
 	}
 	if doc.Experiment != "exchange" {
 		return fmt.Errorf("benchcheck: %s: experiment %q, want \"exchange\"", path, doc.Experiment)
+	}
+	switch doc.Transport {
+	case "proc", "socket":
+	default:
+		return fmt.Errorf("benchcheck: %s: transport %q, want \"proc\" or \"socket\"", path, doc.Transport)
 	}
 	if len(doc.Rows) == 0 {
 		return fmt.Errorf("benchcheck: %s: no measurement rows", path)

@@ -41,19 +41,22 @@ func TestExchangeJSONSchemaRejects(t *testing.T) {
 	}{
 		{"truncated.json", `{"experiment":"exchange","rows":[{"path":"partition"`, "unexpected end"},
 		{"wrongexp.json", `{"experiment":"table2","rows":[{"path":"spmv"}]}`, `want "exchange"`},
-		{"norows.json", `{"experiment":"exchange","rows":[]}`, "no measurement rows"},
-		{"nodepth.json", `{"experiment":"exchange","rows":[{"path":"spmv","mode":"sync"}]}`, "pipeDepth 0"},
-		{"spmvnored.json", `{"experiment":"exchange","pipeDepth":2,"rows":[{"path":"spmv","mode":"sync"}]}`, "missing reductions"},
-		{"shallowpipe.json", `{"experiment":"exchange","pipeDepth":2,"rows":[{"path":"analytics","mode":"async-delta",` +
+		{"notransport.json", `{"experiment":"exchange","rows":[{"path":"spmv"}]}`, `transport ""`},
+		{"badtransport.json", `{"experiment":"exchange","transport":"carrier-pigeon","rows":[{"path":"spmv"}]}`,
+			`transport "carrier-pigeon"`},
+		{"norows.json", `{"experiment":"exchange","transport":"proc","rows":[]}`, "no measurement rows"},
+		{"nodepth.json", `{"experiment":"exchange","transport":"proc","rows":[{"path":"spmv","mode":"sync"}]}`, "pipeDepth 0"},
+		{"spmvnored.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[{"path":"spmv","mode":"sync"}]}`, "missing reductions"},
+		{"shallowpipe.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[{"path":"analytics","mode":"async-delta",` +
 			`"reductions":1,"allocsPerRound":0,"pipelineDepth":1,"hcWaves":1,"hcReductions":0,"hcSecPerSource":0.1}]}`, "pipelineDepth 1"},
-		{"nohc.json", `{"experiment":"exchange","pipeDepth":2,"rows":[{"path":"analytics","mode":"sync",` +
+		{"nohc.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[{"path":"analytics","mode":"sync",` +
 			`"reductions":1,"allocsPerRound":0}]}`, "missing hcWaves"},
-		{"wrongwaves.json", `{"experiment":"exchange","pipeDepth":8,"rows":[{"path":"analytics","mode":"async-delta",` +
+		{"wrongwaves.json", `{"experiment":"exchange","transport":"proc","pipeDepth":8,"rows":[{"path":"analytics","mode":"async-delta",` +
 			`"reductions":1,"allocsPerRound":0,"pipelineDepth":8,"hcWaves":2,"hcReductions":0,"hcSecPerSource":0.1}]}`, "hcWaves 2, want 4"},
-		{"nosyncbaseline.json", `{"experiment":"exchange","pipeDepth":4,"rows":[{"path":"analytics","graph":"g","mode":"async-delta",` +
+		{"nosyncbaseline.json", `{"experiment":"exchange","transport":"proc","pipeDepth":4,"rows":[{"path":"analytics","graph":"g","mode":"async-delta",` +
 			`"reductions":1,"allocsPerRound":0,"pipelineDepth":4,"hcWaves":2,"hcReductions":0,"hcSecPerSource":0.1}]}`,
 			"no preceding sync analytics row"},
-		{"hcnotfewer.json", `{"experiment":"exchange","pipeDepth":4,"rows":[` +
+		{"hcnotfewer.json", `{"experiment":"exchange","transport":"proc","pipeDepth":4,"rows":[` +
 			`{"path":"analytics","graph":"g","mode":"sync","reductions":1,"allocsPerRound":0,"hcWaves":1,"hcReductions":5,"hcSecPerSource":0.1},` +
 			`{"path":"analytics","graph":"g","mode":"async-delta","reductions":1,"allocsPerRound":0,"pipelineDepth":4,"hcWaves":2,"hcReductions":5,"hcSecPerSource":0.1}]}`,
 			"hcReductions 5 not below sync row's 5"},

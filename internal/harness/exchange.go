@@ -118,9 +118,11 @@ func writeExchangeJSON(cfg Config, rows []ExchangeRow) error {
 		return nil
 	}
 	// exchangeDoc is shared with the schema validator, so the written
-	// and validated shapes cannot drift apart.
-	doc := exchangeDoc{Experiment: "exchange", Scale: cfg.Scale.String(), Seed: cfg.seed(),
-		PipeDepth: cfg.pipeDepth(), Rows: rows}
+	// and validated shapes cannot drift apart. The harness drives
+	// in-process worlds (mpi.Run), so the substrate is always proc; a
+	// future socket-world harness must stamp its own name here.
+	doc := exchangeDoc{Experiment: "exchange", Transport: "proc", Scale: cfg.Scale.String(),
+		Seed: cfg.seed(), PipeDepth: cfg.pipeDepth(), Rows: rows}
 	f, err := os.Create(cfg.JSONPath)
 	if err != nil {
 		return fmt.Errorf("exchange: %w", err)

@@ -27,6 +27,11 @@ var arenaSources = map[callee][]int{
 	{mpiPath, "", "Recv64"}:    {0},
 	{mpiPath, "", "Recv64Tag"}: {0},
 
+	// The Transport surface: Recv64 hands out a pooled buffer whether
+	// called through the interface or on a concrete transport.
+	{mpiPath, "Transport", "Recv64"}:       {0},
+	{mpiPath, "SocketTransport", "Recv64"}: {0},
+
 	{dgraphPath, "DeltaExchanger", "Flush"}:          {0},
 	{dgraphPath, "DeltaExchanger", "FlushTally"}:     {0, 1},
 	{dgraphPath, "DeltaExchanger", "FlushValues"}:    {0, 1},
@@ -36,9 +41,9 @@ var arenaSources = map[callee][]int{
 }
 
 func runArenaEscape(pass *Pass) {
-	// The engine's own plumbing constructs and returns arena views by
-	// design; the contract binds its callers.
-	if strings.TrimSuffix(pass.Pkg.Path(), "-test") == dgraphPath {
+	// The engine's and the transports' own plumbing constructs and
+	// returns arena views by design; the contract binds their callers.
+	if p := strings.TrimSuffix(pass.Pkg.Path(), "-test"); p == dgraphPath || p == mpiPath {
 		return
 	}
 	for _, unit := range funcUnits(pass.Files) {
@@ -238,7 +243,7 @@ func checkArenaEscapes(pass *Pass, fd *ast.FuncDecl) {
 				}
 			case *ast.CallExpr:
 				c, ok := calleeOf(info, x)
-				if ok && c.pkg == mpiPath && c.recv == "Comm" && c.name == "Recycle64" && len(x.Args) > 0 {
+				if ok && c.pkg == mpiPath && recyclerRecv(c.recv) && c.name == "Recycle64" && len(x.Args) > 0 {
 					if o, ok := taintedObjOf(x.Args[0]); ok {
 						if _, done := recycled[o]; !done {
 							recycled[o] = x.End()
@@ -281,6 +286,17 @@ func checkArenaEscapes(pass *Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// recyclerRecv reports whether a receiver type owns a pool that
+// Recycle64 returns buffers to: the Comm handle, the Transport
+// interface, or a concrete wire transport.
+func recyclerRecv(recv string) bool {
+	switch recv {
+	case "Comm", "Transport", "SocketTransport":
+		return true
+	}
+	return false
 }
 
 // capturedBy reports whether a function literal references obj without

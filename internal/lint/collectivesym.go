@@ -32,6 +32,25 @@ var collectiveFuncs = map[callee]bool{
 	{mpiPath, "", "NeighborhoodComplete"}: true,
 	{mpiPath, "Comm", "Barrier"}:          true,
 
+	// The Transport surface: a collective invoked through the interface
+	// or directly on a concrete transport binds every rank the same way
+	// the Comm-level wrappers do.
+	{mpiPath, "Transport", "Barrier"}:       true,
+	{mpiPath, "Transport", "AllreduceI64"}:  true,
+	{mpiPath, "Transport", "AllreduceF64"}:  true,
+	{mpiPath, "Transport", "BcastI64"}:      true,
+	{mpiPath, "Transport", "AllgathervI64"}: true,
+	{mpiPath, "Transport", "AlltoallvI64"}:  true,
+	{mpiPath, "Transport", "AlltoallvF64"}:  true,
+
+	{mpiPath, "SocketTransport", "Barrier"}:       true,
+	{mpiPath, "SocketTransport", "AllreduceI64"}:  true,
+	{mpiPath, "SocketTransport", "AllreduceF64"}:  true,
+	{mpiPath, "SocketTransport", "BcastI64"}:      true,
+	{mpiPath, "SocketTransport", "AllgathervI64"}: true,
+	{mpiPath, "SocketTransport", "AlltoallvI64"}:  true,
+	{mpiPath, "SocketTransport", "AlltoallvF64"}:  true,
+
 	{dgraphPath, "DeltaExchanger", "Begin"}:          true,
 	{dgraphPath, "DeltaExchanger", "BeginTally"}:     true,
 	{dgraphPath, "DeltaExchanger", "BeginValues"}:    true,

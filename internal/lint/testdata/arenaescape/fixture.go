@@ -69,6 +69,23 @@ func splitAlias(c *mpi.Comm, s *sink) {
 	c.Recycle64(msg)
 }
 
+// transportRecv: Recv64 through the Transport interface hands out the
+// same pooled buffer as the Comm-level helpers.
+func transportRecv(tr mpi.Transport, s *sink) {
+	msg, _ := tr.Recv64(1)
+	s.kept = msg // want "stored into field"
+	tr.Recycle64(msg)
+}
+
+// transportUseAfterRecycle: the interface's Recycle64 closes the
+// aliasing window just like Comm's.
+func transportUseAfterRecycle(tr mpi.Transport) int64 {
+	msg, _ := tr.Recv64(1)
+	v := msg[0]
+	tr.Recycle64(msg)
+	return v + msg[1] // want "used after Recycle64"
+}
+
 // the shapes below copy before retaining and must produce no findings.
 
 func copied(c *mpi.Comm, s *sink) {

@@ -62,6 +62,24 @@ func condClose(c *mpi.Comm, g *dgraph.Graph) {
 	}
 }
 
+// condTransportBarrier: the Transport surface is collective too — a
+// barrier called through the interface under a rank guard is the same
+// deadlock as the Comm-level shape.
+func condTransportBarrier(tr mpi.Transport) {
+	if tr.Rank() == 0 {
+		tr.Barrier() // want "Transport.Barrier"
+	}
+	tr.Barrier()
+}
+
+// condSocketAllreduce: direct calls on a concrete wire transport are
+// covered as well.
+func condSocketAllreduce(st *mpi.SocketTransport, v []int64) {
+	if st.Rank() == 0 {
+		st.AllreduceI64(v, mpi.Sum) // want "SocketTransport.AllreduceI64"
+	}
+}
+
 // symmetric shapes below must produce no findings.
 
 func symmetricRounds(ex *dgraph.DeltaExchanger, q []dgraph.Update) []dgraph.Update {

@@ -1,10 +1,32 @@
-// Package mpi provides an in-process communicator that stands in for
-// MPI in the XtraPuLP reproduction. Each simulated rank is a goroutine;
-// ranks interact only through collective operations (Barrier, Bcast,
-// Allgather, Allgatherv, Alltoall, Alltoallv, Allreduce) and
-// nonblocking point-to-point messages (Isend, Irecv, Waitall) — exactly
-// the operation set the distributed partitioner and its downstream
-// applications use.
+// Package mpi provides the communicator that stands in for MPI in the
+// XtraPuLP reproduction. Ranks interact only through collective
+// operations (Barrier, Bcast, Allgather, Allgatherv, Alltoall,
+// Alltoallv, Allreduce) and nonblocking point-to-point messages
+// (Isend, Irecv, Waitall) — exactly the operation set the distributed
+// partitioner and its downstream applications use.
+//
+// # Pluggable transport
+//
+// The rank substrate is the Transport interface: rank identity, the
+// pooled int64 point-to-point triple (Send64/Recv64/Recycle64), the
+// typed collectives, and Abort/Close. Two implementations exist:
+//
+//   - The in-process world (Run/RunThreads/RunWorld): each rank is a
+//     goroutine, messages move through shared-memory mailboxes, and
+//     generic element types transfer without serialization. This is
+//     the default and the fast path — its steady-state exchange rounds
+//     keep the AllocsPerRun == 0 guarantee.
+//   - The socket transport (DialSocket/NewSocketWorld): each rank is
+//     its own OS process, connected pairwise over Unix or TCP sockets
+//     carrying internal/wire frames. Rendezvous comes from explicit
+//     SocketConfig or the REPRO_RANK/REPRO_SIZE/REPRO_NET/REPRO_ADDRS
+//     environment a launcher (cmd/reprorun) sets.
+//
+// Both transports fold reductions in ascending rank order, so
+// floating-point collective results — and therefore partitions and
+// analytics values — are bit-identical across substrates at fixed
+// seeds. internal/mpitest's RunTransportConformance holds every
+// implementation to the same contract.
 //
 // # Semantics
 //

@@ -2,79 +2,34 @@ package mpi
 
 import (
 	"fmt"
-	"math/bits"
-	"sync"
 	"sync/atomic"
 )
 
-// World is the shared state of one communicator group. It is created by
-// Run and never escapes to user code except through Comm handles.
+// world is the shared state of one in-process communicator group: the
+// publication slots behind the collectives, the reusable barrier, the
+// point-to-point mailboxes, and the pooled transfer buffers. It is
+// created by Run (via NewProcWorld) and never escapes to user code
+// except through Comm handles.
 type world struct {
 	size  int
 	slots []any // one publication slot per rank, reused per collective
 	bar   *barrier
 	boxes []*mailbox // point-to-point FIFOs, indexed [src*size+dst]
-
-	// buf64 is the free list backing the pooled int64 point-to-point
-	// path (Isend64/Recv64/Recycle64), segregated into power-of-two
-	// capacity classes: bucket b holds buffers of capacity exactly
-	// 1<<b, so get and put are O(1) under the lock. Size classes
-	// matter: exchange rounds mix tiny tally-only messages with large
-	// dense payloads, and a single first-fit list would burn large
-	// buffers on small messages, re-allocating large ones forever.
-	// Pool residency is bounded by the number of in-flight messages,
-	// so after a warmup round the buckets reach their steady sizes and
-	// exchange rounds stop allocating.
-	buf64Mu sync.Mutex
-	buf64   [64][][]int64
+	pool  pool64     // transfer-copy pool shared by sender and receiver
 }
 
-// buf64Class returns the capacity class of a request for n > 0
-// elements: the smallest b with 1<<b >= n.
-func buf64Class(n int) int {
-	return bits.Len64(uint64(n) - 1)
-}
-
-// getBuf64 pops a pooled buffer from the request's capacity class, or
-// allocates one of exactly that class when the bucket is empty (so the
-// buffer returns to the same bucket on recycle). n == 0 returns a
-// canonical non-nil empty slice so message.i64 stays a valid
-// discriminator.
-func (w *world) getBuf64(n int) []int64 {
-	if n == 0 {
-		return empty64
+func newWorld(n int) *world {
+	w := &world{
+		size:  n,
+		slots: make([]any, n),
+		bar:   newBarrier(n),
+		boxes: make([]*mailbox, n*n),
 	}
-	c := buf64Class(n)
-	w.buf64Mu.Lock()
-	if bucket := w.buf64[c]; len(bucket) > 0 {
-		last := len(bucket) - 1
-		b := bucket[last]
-		bucket[last] = nil
-		w.buf64[c] = bucket[:last]
-		w.buf64Mu.Unlock()
-		return b[:n]
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
 	}
-	w.buf64Mu.Unlock()
-	return make([]int64, n, 1<<c)
+	return w
 }
-
-// putBuf64 returns a buffer to its capacity-class bucket;
-// zero-capacity buffers (the canonical empty message) are dropped.
-//
-//repro:hotpath
-func (w *world) putBuf64(buf []int64) {
-	if cap(buf) == 0 {
-		return
-	}
-	c := buf64Class(cap(buf))
-	w.buf64Mu.Lock()
-	w.buf64[c] = append(w.buf64[c], buf)
-	w.buf64Mu.Unlock()
-}
-
-// empty64 is the shared zero-length payload of empty pooled messages;
-// it is never written through.
-var empty64 = make([]int64, 0)
 
 // poisonAll releases every rank parked in a collective or a
 // point-to-point wait after a sibling panic.
@@ -85,18 +40,21 @@ func (w *world) poisonAll() {
 	}
 }
 
-// Comm is one rank's handle on the communicator. A Comm is confined to
-// the goroutine that received it from Run: collectives must be called
-// from that goroutine only. The nonblocking point-to-point operations
-// (Isend, Irecv, Waitall) may additionally be completed from one helper
-// goroutine concurrently with point-to-point traffic — or a
-// collective — on the main goroutine: traffic counters are atomic, and
-// the mailbox and barrier/slot synchronization states are disjoint.
-// The pipelined exchange engine relies on this (its drainer receives a
+// Comm is one rank's handle on the communicator: a Transport plus the
+// per-rank traffic statistics and the generic convenience API. A Comm
+// is confined to the goroutine that received it from Run (or built it
+// with NewComm): collectives must be called from that goroutine only.
+// The nonblocking point-to-point operations (Isend, Irecv, Waitall) may
+// additionally be completed from one helper goroutine concurrently with
+// point-to-point traffic — or a collective — on the main goroutine:
+// traffic counters are atomic, and the transports keep their
+// point-to-point and collective synchronization states disjoint. The
+// pipelined exchange engine relies on this (its drainer receives a
 // posted round while the main goroutine enters an epoch Allreduce).
 type Comm struct {
-	w       *world
-	rank    int
+	t       Transport
+	rank    int // cached Transport.Rank(), hot on every guard
+	size    int // cached Transport.Size()
 	threads int
 	stats   Stats
 }
@@ -120,12 +78,17 @@ type Stats struct {
 func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the number of ranks in the world.
-func (c *Comm) Size() int { return c.w.size }
+func (c *Comm) Size() int { return c.size }
 
 // Threads returns the intra-rank worker thread budget configured at Run
 // time. Rank-local parallel loops (package par) use this value, playing
 // the role of OMP_NUM_THREADS.
 func (c *Comm) Threads() int { return c.threads }
+
+// Transport returns the communicator's underlying transport, for code
+// that manages transport lifecycles (worker mains, the conformance
+// suite). Engine code should stay on the Comm API.
+func (c *Comm) Transport() Transport { return c.t }
 
 // fields enumerates every counter once; Stats and ResetStats both
 // iterate it so a future field cannot be snapshot but not reset (or
@@ -170,64 +133,24 @@ func RunThreads(nprocs, threadsPerRank int, fn func(c *Comm)) {
 	if nprocs <= 0 {
 		panic(fmt.Sprintf("mpi: Run with nprocs=%d", nprocs))
 	}
-	if threadsPerRank <= 0 {
-		threadsPerRank = 1
-	}
-	w := &world{
-		size:  nprocs,
-		slots: make([]any, nprocs),
-		bar:   newBarrier(nprocs),
-		boxes: make([]*mailbox, nprocs*nprocs),
-	}
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
-	}
-	var wg sync.WaitGroup
-	panics := make([]any, nprocs)
-	for r := 0; r < nprocs; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panics[rank] = p
-					// Poison the barrier and mailboxes so sibling ranks
-					// blocked in a collective or a point-to-point wait
-					// wake up and unwind instead of hanging.
-					w.poisonAll()
-				}
-			}()
-			fn(&Comm{w: w, rank: rank, threads: threadsPerRank})
-		}(r)
-	}
-	wg.Wait()
-	for _, p := range panics {
-		if p != nil {
-			if bp, ok := p.(barrierPoisoned); ok {
-				_ = bp
-				continue // secondary victim of another rank's panic
-			}
-			panic(p)
-		}
-	}
+	RunWorld(NewProcWorld(nprocs), threadsPerRank, fn)
 }
 
 // Barrier blocks until every rank in the world has entered it.
 func (c *Comm) Barrier() {
 	atomic.AddInt64(&c.stats.Collectives, 1)
-	c.w.bar.wait()
+	c.t.Barrier()
 }
 
-// publish writes v into this rank's slot and synchronizes so all slots
-// are visible; the returned release function must be called after the
-// caller has finished reading other ranks' slots.
-func (c *Comm) publish(v any) (release func()) {
-	c.w.slots[c.rank] = v
-	c.w.bar.wait()
-	return func() {
-		c.w.bar.wait()
-		c.w.slots[c.rank] = nil
+// slotsOf returns the in-process generic extension or panics: wire
+// transports cannot ship arbitrary element types, only the numeric
+// encodings the typed Transport surface covers.
+func (c *Comm) slotsOf(op string) genericTransport {
+	gt, ok := c.t.(genericTransport)
+	if !ok {
+		panic(fmt.Sprintf("mpi: %s with a non-numeric element type requires the in-process transport (have %T)", op, c.t))
 	}
+	return gt
 }
 
 // Bcast distributes root's data to every rank. The root passes the
@@ -235,17 +158,16 @@ func (c *Comm) publish(v any) (release func()) {
 // copy. Non-root callers may pass nil.
 func Bcast[T any](c *Comm, root int, data []T) []T {
 	atomic.AddInt64(&c.stats.Collectives, 1)
-	var pub any
 	if c.rank == root {
-		pub = data
 		atomic.AddInt64(&c.stats.ElemsSent, int64(len(data)))
 	}
-	release := c.publish(pub)
-	src := c.w.slots[root].([]T)
-	out := make([]T, len(src))
-	copy(out, src)
+	var out []T
+	if v, ok := any(data).([]int64); ok {
+		out = any(c.t.BcastI64(root, v)).([]T)
+	} else {
+		out = bcastSlots(c.slotsOf("Bcast"), root, data)
+	}
 	atomic.AddInt64(&c.stats.ElemsRecv, int64(len(out)))
-	release()
 	return out
 }
 
@@ -253,13 +175,24 @@ func Bcast[T any](c *Comm, root int, data []T) []T {
 func Allgather[T any](c *Comm, v T) []T {
 	atomic.AddInt64(&c.stats.Collectives, 1)
 	atomic.AddInt64(&c.stats.ElemsSent, 1)
-	release := c.publish(v)
-	out := make([]T, c.w.size)
-	for r := 0; r < c.w.size; r++ {
-		out[r] = c.w.slots[r].(T)
+	var out []T
+	if s, ok := any(v).(int64); ok {
+		parts := c.t.AllgathervI64([]int64{s})
+		o := make([]int64, len(parts))
+		for r, p := range parts {
+			o[r] = p[0]
+		}
+		out = any(o).([]T)
+	} else {
+		gt := c.slotsOf("Allgather")
+		release := gt.publish(v)
+		out = make([]T, c.size)
+		for r := 0; r < c.size; r++ {
+			out[r] = gt.slot(r).(T)
+		}
+		release()
 	}
-	atomic.AddInt64(&c.stats.ElemsRecv, int64(c.w.size))
-	release()
+	atomic.AddInt64(&c.stats.ElemsRecv, int64(c.size))
 	return out
 }
 
@@ -268,43 +201,47 @@ func Allgather[T any](c *Comm, v T) []T {
 func Allgatherv[T any](c *Comm, data []T) [][]T {
 	atomic.AddInt64(&c.stats.Collectives, 1)
 	atomic.AddInt64(&c.stats.ElemsSent, int64(len(data)))
-	release := c.publish(data)
-	out := make([][]T, c.w.size)
-	for r := 0; r < c.w.size; r++ {
-		src := c.w.slots[r].([]T)
-		cp := make([]T, len(src))
-		copy(cp, src)
-		out[r] = cp
-		atomic.AddInt64(&c.stats.ElemsRecv, int64(len(cp)))
+	var out [][]T
+	if v, ok := any(data).([]int64); ok {
+		out = any(c.t.AllgathervI64(v)).([][]T)
+	} else {
+		out = allgathervSlots(c.slotsOf("Allgatherv"), data)
 	}
-	release()
+	total := 0
+	for _, p := range out {
+		total += len(p)
+	}
+	atomic.AddInt64(&c.stats.ElemsRecv, int64(total))
 	return out
 }
 
 // Alltoall exchanges one element per rank pair: send[r] goes to rank r,
 // and out[r] is what rank r sent to this rank. len(send) must be Size().
 func Alltoall[T any](c *Comm, send []T) []T {
-	if len(send) != c.w.size {
-		panic(fmt.Sprintf("mpi: Alltoall send length %d != world size %d", len(send), c.w.size))
+	if len(send) != c.size {
+		panic(fmt.Sprintf("mpi: Alltoall send length %d != world size %d", len(send), c.size))
 	}
 	atomic.AddInt64(&c.stats.Collectives, 1)
 	atomic.AddInt64(&c.stats.ElemsSent, int64(len(send)))
-	release := c.publish(send)
-	out := make([]T, c.w.size)
-	for r := 0; r < c.w.size; r++ {
-		out[r] = c.w.slots[r].([]T)[c.rank]
+	var out []T
+	if v, ok := any(send).([]int64); ok {
+		counts := make([]int, c.size)
+		for i := range counts {
+			counts[i] = 1
+		}
+		recv, _ := c.t.AlltoallvI64(v, counts)
+		out = any(recv).([]T)
+	} else {
+		gt := c.slotsOf("Alltoall")
+		release := gt.publish(send)
+		out = make([]T, c.size)
+		for r := 0; r < c.size; r++ {
+			out[r] = gt.slot(r).([]T)[c.rank]
+		}
+		release()
 	}
-	atomic.AddInt64(&c.stats.ElemsRecv, int64(c.w.size))
-	release()
+	atomic.AddInt64(&c.stats.ElemsRecv, int64(c.size))
 	return out
-}
-
-// vPayload is what each rank publishes during Alltoallv: its packed send
-// buffer plus the per-destination counts and exclusive offsets.
-type vPayload[T any] struct {
-	buf     []T
-	counts  []int
-	offsets []int
 }
 
 // Alltoallv performs a variable-size personalized exchange. sendBuf
@@ -312,42 +249,22 @@ type vPayload[T any] struct {
 // sendCounts[r] elements go to rank r. It returns the received data
 // packed in source-rank order along with per-source counts.
 func Alltoallv[T any](c *Comm, sendBuf []T, sendCounts []int) (recv []T, recvCounts []int) {
-	if len(sendCounts) != c.w.size {
-		panic(fmt.Sprintf("mpi: Alltoallv counts length %d != world size %d", len(sendCounts), c.w.size))
-	}
-	total := 0
-	offsets := make([]int, c.w.size+1)
-	for r, n := range sendCounts {
-		if n < 0 {
-			panic("mpi: Alltoallv negative send count")
-		}
-		offsets[r+1] = offsets[r] + n
-		total += n
-	}
-	if total != len(sendBuf) {
-		panic(fmt.Sprintf("mpi: Alltoallv counts sum %d != buffer length %d", total, len(sendBuf)))
-	}
+	alltoallvOffsets(len(sendBuf), sendCounts, c.size) // validate on every transport
 	atomic.AddInt64(&c.stats.Collectives, 1)
 	atomic.AddInt64(&c.stats.ExchangeOps, 1)
-	atomic.AddInt64(&c.stats.ElemsSent, int64(total))
+	atomic.AddInt64(&c.stats.ElemsSent, int64(len(sendBuf)))
 
-	release := c.publish(vPayload[T]{buf: sendBuf, counts: sendCounts, offsets: offsets})
-
-	recvCounts = make([]int, c.w.size)
-	rtotal := 0
-	for r := 0; r < c.w.size; r++ {
-		p := c.w.slots[r].(vPayload[T])
-		recvCounts[r] = p.counts[c.rank]
-		rtotal += recvCounts[r]
+	switch v := any(sendBuf).(type) {
+	case []int64:
+		r, rc := c.t.AlltoallvI64(v, sendCounts)
+		recv, recvCounts = any(r).([]T), rc
+	case []float64:
+		r, rc := c.t.AlltoallvF64(v, sendCounts)
+		recv, recvCounts = any(r).([]T), rc
+	default:
+		recv, recvCounts = alltoallvSlots(c.slotsOf("Alltoallv"), sendBuf, sendCounts)
 	}
-	recv = make([]T, 0, rtotal)
-	for r := 0; r < c.w.size; r++ {
-		p := c.w.slots[r].(vPayload[T])
-		seg := p.buf[p.offsets[c.rank]:p.offsets[c.rank+1]]
-		recv = append(recv, seg...)
-	}
-	atomic.AddInt64(&c.stats.ElemsRecv, int64(rtotal))
-	release()
+	atomic.AddInt64(&c.stats.ElemsRecv, int64(len(recv)))
 	return recv, recvCounts
 }
 
@@ -368,46 +285,50 @@ type Number interface {
 
 // Allreduce reduces vals element-wise across all ranks with the given
 // operator and returns the result (identical on every rank). All ranks
-// must pass slices of the same length.
+// must pass slices of the same length. Contributions fold in ascending
+// rank order on every transport, so floating-point results are
+// bit-identical between in-process and socket worlds.
 func Allreduce[T Number](c *Comm, vals []T, op Op) []T {
 	atomic.AddInt64(&c.stats.Collectives, 1)
 	atomic.AddInt64(&c.stats.ReductionOps, 1)
 	atomic.AddInt64(&c.stats.ElemsSent, int64(len(vals)))
-	release := c.publish(vals)
-	out := make([]T, len(vals))
-	first := c.w.slots[0].([]T)
-	if len(first) != len(vals) {
-		release()
-		panic("mpi: Allreduce length mismatch across ranks")
-	}
-	copy(out, first)
-	for r := 1; r < c.w.size; r++ {
-		contrib := c.w.slots[r].([]T)
-		if len(contrib) != len(vals) {
-			release()
-			panic("mpi: Allreduce length mismatch across ranks")
-		}
-		switch op {
-		case Sum:
-			for i, v := range contrib {
-				out[i] += v
-			}
-		case Max:
-			for i, v := range contrib {
-				if v > out[i] {
-					out[i] = v
+	var out []T
+	switch v := any(vals).(type) {
+	case []int64:
+		out = any(c.t.AllreduceI64(v, op)).([]T)
+	case []float64:
+		out = any(c.t.AllreduceF64(v, op)).([]T)
+	default:
+		if gt, ok := c.t.(genericTransport); ok {
+			out = allreduceSlots(gt, vals, op)
+		} else {
+			// Wire transport with a derived numeric type: reduce through
+			// the int64 word encoding (exact for every integer type the
+			// engine uses; T(1)/T(2) != 0 detects a floating T).
+			if T(1)/T(2) != T(0) {
+				tmp := make([]float64, len(vals))
+				for i, x := range vals {
+					tmp[i] = float64(x)
 				}
-			}
-		case Min:
-			for i, v := range contrib {
-				if v < out[i] {
-					out[i] = v
+				red := c.t.AllreduceF64(tmp, op)
+				out = make([]T, len(red))
+				for i, x := range red {
+					out[i] = T(x)
+				}
+			} else {
+				tmp := make([]int64, len(vals))
+				for i, x := range vals {
+					tmp[i] = int64(x)
+				}
+				red := c.t.AllreduceI64(tmp, op)
+				out = make([]T, len(red))
+				for i, x := range red {
+					out[i] = T(x)
 				}
 			}
 		}
 	}
 	atomic.AddInt64(&c.stats.ElemsRecv, int64(len(out)))
-	release()
 	return out
 }
 

@@ -2,12 +2,14 @@ package mpi
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 )
 
 // Nonblocking point-to-point messaging. Each ordered rank pair
-// (src, dst) owns one FIFO mailbox, so messages between a pair are
+// (src, dst) owns one FIFO channel — an in-process mailbox or a socket
+// stream, depending on the transport — so messages between a pair are
 // delivered in send order (MPI's non-overtaking guarantee) while
 // messages from different sources are independent. Isend copies its
 // buffer at call time — the sender may reuse it immediately, and the
@@ -15,12 +17,12 @@ import (
 //
 // Unlike the collectives, the point-to-point operations are safe to
 // complete from a goroutine other than the rank's main goroutine: all
-// traffic counters are updated atomically and mailboxes are locked.
+// traffic counters are updated atomically and the transports keep
+// their point-to-point and collective synchronization states disjoint.
 // This is what lets a rank drain incoming boundary updates on a
 // background goroutine while its main goroutine is still computing
 // (communication/computation overlap) — or, on the pipelined exchange
-// engine, while the main goroutine is inside a collective (the barrier
-// and mailbox synchronization states are disjoint).
+// engine, while the main goroutine is inside a collective.
 //
 // Messages may carry a round tag (Isend64Tag/Recv64Tag). Tags never
 // affect matching — delivery stays strict FIFO per pair — they only
@@ -132,7 +134,6 @@ func (sendRequest) Wait() {}
 // goroutine.
 type RecvRequest[T any] struct {
 	c    *Comm
-	box  *mailbox
 	src  int
 	done bool
 	data []T
@@ -143,26 +144,48 @@ func (r *RecvRequest[T]) Wait() {
 	if r.done {
 		return
 	}
-	msg := r.box.take()
 	var data []T
-	if msg.i64 != nil {
-		// Fast-path message (Isend64) received through the generic API.
-		d, ok := any(msg.i64).([]T)
-		if !ok {
-			panic(fmt.Sprintf("mpi: Irecv from rank %d: element type mismatch, message holds []int64", r.src))
+	count := 0
+	if gt, ok := r.c.t.(genericTransport); ok {
+		msg := gt.recvAny(r.src)
+		if msg.i64 != nil {
+			// Fast-path message (Isend64) received through the generic API.
+			d, ok := any(msg.i64).([]T)
+			if !ok {
+				panic(fmt.Sprintf("mpi: Irecv from rank %d: element type mismatch, message holds []int64", r.src))
+			}
+			data = d
+		} else {
+			d, ok := msg.data.([]T)
+			if !ok {
+				panic(fmt.Sprintf("mpi: Irecv from rank %d: element type mismatch, message holds %T", r.src, msg.data))
+			}
+			data = d
 		}
-		data = d
+		count = msg.count
 	} else {
-		d, ok := msg.data.([]T)
-		if !ok {
-			panic(fmt.Sprintf("mpi: Irecv from rank %d: element type mismatch, message holds %T", r.src, msg.data))
+		// Wire transport: the frame carries int64 words; float64
+		// payloads travel bit-converted (see Isend).
+		words, _ := r.c.t.Recv64(r.src)
+		count = len(words)
+		switch any(data).(type) {
+		case []int64:
+			data = any(words).([]T)
+		case []float64:
+			vals := make([]float64, len(words))
+			for i, wd := range words {
+				vals[i] = math.Float64frombits(uint64(wd))
+			}
+			r.c.t.Recycle64(words)
+			data = any(vals).([]T)
+		default:
+			panic(fmt.Sprintf("mpi: Irecv of %T requires the in-process transport (have %T)", data, r.c.t))
 		}
-		data = d
 	}
 	r.data = data
 	r.done = true
 	atomic.AddInt64(&r.c.stats.RecvOps, 1)
-	atomic.AddInt64(&r.c.stats.ElemsRecv, int64(msg.count))
+	atomic.AddInt64(&r.c.stats.ElemsRecv, int64(count))
 }
 
 // Await is Wait followed by Data, for single-request call sites.
@@ -183,26 +206,40 @@ func (r *RecvRequest[T]) Data() []T {
 // Isend starts a nonblocking send of data to rank dst. The buffer is
 // copied before Isend returns, so the caller may modify data
 // immediately. Messages to the same destination are received in send
-// order.
+// order. On a wire transport, []int64 payloads take the framed fast
+// path and []float64 payloads travel bit-converted to words; other
+// element types require the in-process transport.
 func Isend[T any](c *Comm, dst int, data []T) Request {
-	if dst < 0 || dst >= c.w.size {
-		panic(fmt.Sprintf("mpi: Isend to rank %d outside [0,%d)", dst, c.w.size))
-	}
-	cp := make([]T, len(data))
-	copy(cp, data)
 	atomic.AddInt64(&c.stats.SendOps, 1)
-	atomic.AddInt64(&c.stats.ElemsSent, int64(len(cp)))
-	c.w.box(c.rank, dst).put(message{data: cp, count: len(cp)})
+	atomic.AddInt64(&c.stats.ElemsSent, int64(len(data)))
+	if gt, ok := c.t.(genericTransport); ok {
+		cp := make([]T, len(data))
+		copy(cp, data)
+		gt.sendAny(dst, cp, len(cp))
+		return sendRequest{}
+	}
+	switch v := any(data).(type) {
+	case []int64:
+		c.t.Send64(dst, 0, v)
+	case []float64:
+		words := make([]int64, len(v))
+		for i, f := range v {
+			words[i] = int64(math.Float64bits(f))
+		}
+		c.t.Send64(dst, 0, words)
+	default:
+		panic(fmt.Sprintf("mpi: Isend of %T requires the in-process transport (have %T)", data, c.t))
+	}
 	return sendRequest{}
 }
 
 // Irecv starts a nonblocking receive of the next []T message from rank
 // src. The transfer completes when Wait (or Await) is called.
 func Irecv[T any](c *Comm, src int) *RecvRequest[T] {
-	if src < 0 || src >= c.w.size {
-		panic(fmt.Sprintf("mpi: Irecv from rank %d outside [0,%d)", src, c.w.size))
+	if src < 0 || src >= c.size {
+		panic(fmt.Sprintf("mpi: Irecv from rank %d outside [0,%d)", src, c.size))
 	}
-	return &RecvRequest[T]{c: c, box: c.w.box(src, c.rank), src: src}
+	return &RecvRequest[T]{c: c, src: src}
 }
 
 // Waitall completes every request; the MPI_Waitall of this simulator.
@@ -245,7 +282,7 @@ func SplitRoundTag(tag uint32) (wave int, seq uint32) {
 }
 
 // Isend64 is Isend for int64 payloads with the transfer copy drawn
-// from the world's buffer pool instead of the heap: together with
+// from the transport's buffer pool instead of the heap: together with
 // Recv64/Recycle64 on the receive side, a steady-state exchange round
 // allocates nothing. Like Isend, the buffer is copied before return
 // and may be reused immediately; completion is eager, so no Request is
@@ -255,7 +292,7 @@ func Isend64(c *Comm, dst int, data []int64) {
 }
 
 // Isend64Tag is Isend64 with an explicit round tag stamped on the
-// message frame. Tags do not affect matching — mailboxes stay strict
+// message frame. Tags do not affect matching — delivery stays strict
 // FIFO per ordered pair, like MPI_ANY_TAG — but a receiver that knows
 // which round it is draining can assert the frame with Recv64Tag, so a
 // protocol skew (one rank a round ahead on a pipelined exchange)
@@ -264,14 +301,9 @@ func Isend64(c *Comm, dst int, data []int64) {
 //
 //repro:hotpath
 func Isend64Tag(c *Comm, dst int, tag uint32, data []int64) {
-	if dst < 0 || dst >= c.w.size {
-		panic(fmt.Sprintf("mpi: Isend64 to rank %d outside [0,%d)", dst, c.w.size))
-	}
-	cp := c.w.getBuf64(len(data))
-	copy(cp, data)
 	atomic.AddInt64(&c.stats.SendOps, 1)
-	atomic.AddInt64(&c.stats.ElemsSent, int64(len(cp)))
-	c.w.box(c.rank, dst).put(message{i64: cp, count: len(cp), tag: tag})
+	atomic.AddInt64(&c.stats.ElemsSent, int64(len(data)))
+	c.t.Send64(dst, tag, data)
 }
 
 // Recv64 blocks until the next int64 message from rank src arrives and
@@ -302,29 +334,18 @@ func Recv64Tag(c *Comm, src int, want uint32) []int64 {
 
 //repro:hotpath
 func recv64(c *Comm, src int) ([]int64, uint32) {
-	if src < 0 || src >= c.w.size {
-		panic(fmt.Sprintf("mpi: Recv64 from rank %d outside [0,%d)", src, c.w.size))
-	}
-	msg := c.w.box(src, c.rank).take()
-	data := msg.i64
-	if data == nil {
-		d, ok := msg.data.([]int64)
-		if !ok {
-			panic(fmt.Sprintf("mpi: Recv64 from rank %d: element type mismatch, message holds %T", src, msg.data))
-		}
-		data = d
-	}
+	data, tag := c.t.Recv64(src)
 	atomic.AddInt64(&c.stats.RecvOps, 1)
-	atomic.AddInt64(&c.stats.ElemsRecv, int64(msg.count))
-	return data, msg.tag
+	atomic.AddInt64(&c.stats.ElemsRecv, int64(len(data)))
+	return data, tag
 }
 
-// Recycle64 returns a buffer obtained from Recv64 to the world's pool.
-// The caller must not touch buf afterwards. Recycling is optional —
-// skipping it only costs allocations — and must happen at most once
-// per received buffer.
+// Recycle64 returns a buffer obtained from Recv64 to the transport's
+// pool. The caller must not touch buf afterwards. Recycling is
+// optional — skipping it only costs allocations — and must happen at
+// most once per received buffer.
 //
 //repro:hotpath
 func (c *Comm) Recycle64(buf []int64) {
-	c.w.putBuf64(buf)
+	c.t.Recycle64(buf)
 }

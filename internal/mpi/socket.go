@@ -1,0 +1,811 @@
+package mpi
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// SocketConfig describes one rank's place in a multi-process world
+// connected over stream sockets. Every rank must be started with the
+// same Size and Addrs; Addrs[r] is the address rank r listens on
+// ("host:port" for tcp, a filesystem path for unix).
+type SocketConfig struct {
+	// Network is the stream network to use: "tcp" or "unix".
+	Network string
+	// Rank is this process's rank in [0, Size).
+	Rank int
+	// Size is the number of ranks in the world.
+	Size int
+	// Addrs holds each rank's listen address, indexed by rank.
+	Addrs []string
+	// Timeout bounds the rendezvous (listen + dial + handshake);
+	// zero means 30 seconds.
+	Timeout time.Duration
+}
+
+// Environment variables understood by SocketConfigFromEnv; cmd/reprorun
+// sets them when launching worker processes.
+const (
+	EnvRank    = "REPRO_RANK"
+	EnvSize    = "REPRO_SIZE"
+	EnvNet     = "REPRO_NET"
+	EnvAddrs   = "REPRO_ADDRS"
+	EnvTimeout = "REPRO_TIMEOUT"
+)
+
+// SocketConfigFromEnv builds a SocketConfig from the REPRO_* variables
+// a launcher passes to worker processes: REPRO_RANK, REPRO_SIZE,
+// REPRO_ADDRS (comma-separated, indexed by rank), REPRO_NET (default
+// "unix") and optionally REPRO_TIMEOUT (a time.ParseDuration string).
+func SocketConfigFromEnv() (SocketConfig, error) {
+	var cfg SocketConfig
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return cfg, fmt.Errorf("mpi: bad or missing %s: %v", EnvRank, err)
+	}
+	size, err := strconv.Atoi(os.Getenv(EnvSize))
+	if err != nil {
+		return cfg, fmt.Errorf("mpi: bad or missing %s: %v", EnvSize, err)
+	}
+	addrs := strings.Split(os.Getenv(EnvAddrs), ",")
+	network := os.Getenv(EnvNet)
+	if network == "" {
+		network = "unix"
+	}
+	cfg = SocketConfig{Network: network, Rank: rank, Size: size, Addrs: addrs}
+	if s := os.Getenv(EnvTimeout); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return cfg, fmt.Errorf("mpi: bad %s: %v", EnvTimeout, err)
+		}
+		cfg.Timeout = d
+	}
+	return cfg, nil
+}
+
+// helloMagic is the first payload word of a KindHello frame; it guards
+// against a connection from something that is not a peer rank speaking
+// this protocol.
+const helloMagic = 0x5245_5052_4f31 // "REPRO1"
+
+// writerQueueDepth bounds each connection's writer channel: a sender
+// that outruns the wire by this many frames blocks until the writer
+// drains (backpressure). Receivers are never the bottleneck — readers
+// drain frames into unbounded queues — so this cannot deadlock.
+const writerQueueDepth = 256
+
+// sockFrame is a decoded frame parked in a receive queue.
+type sockFrame struct {
+	payload []int64
+	tag     uint32
+}
+
+// frameQueue is an unbounded FIFO of decoded frames with error
+// poisoning: fail wakes all blocked takers, and every take after a
+// failure panics with TransportFailure so a dead peer surfaces as a
+// clean error instead of a hang.
+type frameQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames []sockFrame
+	head   int
+	err    error
+}
+
+func newFrameQueue() *frameQueue {
+	q := &frameQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *frameQueue) put(payload []int64, tag uint32) {
+	q.mu.Lock()
+	q.frames = append(q.frames, sockFrame{payload: payload, tag: tag})
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *frameQueue) take() ([]int64, uint32) {
+	q.mu.Lock()
+	for q.head == len(q.frames) && q.err == nil {
+		q.cond.Wait()
+	}
+	if q.head == len(q.frames) {
+		err := q.err
+		q.mu.Unlock()
+		panic(TransportFailure{Err: err})
+	}
+	f := q.frames[q.head]
+	q.frames[q.head] = sockFrame{}
+	q.head++
+	if q.head == len(q.frames) {
+		q.frames = q.frames[:0]
+		q.head = 0
+	}
+	q.mu.Unlock()
+	return f.payload, f.tag
+}
+
+func (q *frameQueue) fail(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// sockConn is one neighbor connection: the net.Conn, the buffered
+// reader its reader goroutine decodes from (created at handshake so no
+// buffered bytes are lost), and the bounded writer channel. dead marks
+// a connection whose peer failed or disappeared; operations involving
+// that peer panic, operations between the surviving ranks proceed —
+// a rank that finished and closed in an orderly way must not take its
+// still-working neighbors down with it.
+type sockConn struct {
+	peer int
+	nc   net.Conn
+	br   *bufio.Reader
+	wch  chan []byte
+	dead atomic.Bool
+}
+
+// SocketTransport is the multi-process Transport: one OS process per
+// rank, a stream connection per neighbor (rank i accepts from every
+// j > i and dials every j < i), and the internal/wire frame codec on
+// each connection. Data and collective frames demultiplex on arrival
+// into disjoint per-source queues, mirroring the in-process transport's
+// disjoint mailbox and barrier states, so the exchange engine's drainer
+// goroutine and a main-goroutine collective can make progress
+// concurrently. Collectives gather at rank 0 and fold in ascending
+// rank order, so reduction results are bit-identical to the in-process
+// transport.
+type SocketTransport struct {
+	rank, size int
+	pool       pool64
+	conns      []*sockConn // indexed by peer rank; nil at self
+	dataQ      []*frameQueue
+	collQ      []*frameQueue
+	seq        uint32 // collective sequence; main goroutine only
+
+	closing   atomic.Bool
+	failed    atomic.Bool
+	failMu    sync.Mutex
+	failErr   error
+	done      chan struct{}
+	closeOnce sync.Once
+	rwg, wwg  sync.WaitGroup
+}
+
+// DialSocket performs the rendezvous for one rank of a socket world:
+// listen on Addrs[Rank], accept a connection from every higher rank,
+// dial every lower rank, and exchange hello frames validating protocol
+// magic, world size, and peer identity. It blocks until the full
+// neighbor set is connected or the timeout expires.
+func DialSocket(cfg SocketConfig) (*SocketTransport, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("mpi: socket world size %d", cfg.Size)
+	}
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("mpi: socket rank %d outside [0,%d)", cfg.Rank, cfg.Size)
+	}
+	if len(cfg.Addrs) != cfg.Size {
+		return nil, fmt.Errorf("mpi: %d addresses for %d ranks", len(cfg.Addrs), cfg.Size)
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+
+	t := &SocketTransport{
+		rank:  cfg.Rank,
+		size:  cfg.Size,
+		conns: make([]*sockConn, cfg.Size),
+		dataQ: make([]*frameQueue, cfg.Size),
+		collQ: make([]*frameQueue, cfg.Size),
+		done:  make(chan struct{}),
+	}
+	for r := range t.dataQ {
+		t.dataQ[r] = newFrameQueue()
+		t.collQ[r] = newFrameQueue()
+	}
+
+	// Accept from higher ranks concurrently with dialing lower ranks:
+	// with both directions in flight no ordering of peer startups can
+	// deadlock the rendezvous.
+	acceptErr := make(chan error, 1)
+	if cfg.Rank < cfg.Size-1 {
+		ln, err := net.Listen(cfg.Network, cfg.Addrs[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("mpi: rank %d listen: %w", cfg.Rank, err)
+		}
+		timer := time.AfterFunc(time.Until(deadline), func() { ln.Close() })
+		go func() {
+			defer ln.Close()
+			defer timer.Stop()
+			for need := cfg.Size - 1 - cfg.Rank; need > 0; need-- {
+				nc, err := ln.Accept()
+				if err != nil {
+					acceptErr <- fmt.Errorf("mpi: rank %d accept (rendezvous timeout?): %w", cfg.Rank, err)
+					return
+				}
+				peer, err := t.handshakeAccept(nc, cfg, deadline)
+				if err != nil {
+					nc.Close()
+					acceptErr <- err
+					return
+				}
+				_ = peer
+			}
+			acceptErr <- nil
+		}()
+	} else {
+		acceptErr <- nil
+	}
+
+	var dialErr error
+	for j := 0; j < cfg.Rank; j++ {
+		nc, err := dialRetry(cfg.Network, cfg.Addrs[j], deadline)
+		if err != nil {
+			dialErr = fmt.Errorf("mpi: rank %d dial rank %d: %w", cfg.Rank, j, err)
+			break
+		}
+		if err := t.handshakeDial(nc, j, cfg, deadline); err != nil {
+			nc.Close()
+			dialErr = err
+			break
+		}
+	}
+	if err := <-acceptErr; dialErr == nil {
+		dialErr = err
+	}
+	if dialErr != nil {
+		for _, sc := range t.conns {
+			if sc != nil {
+				sc.nc.Close()
+			}
+		}
+		return nil, dialErr
+	}
+
+	for _, sc := range t.conns {
+		if sc == nil {
+			continue
+		}
+		sc.nc.SetDeadline(time.Time{})
+		t.rwg.Add(1)
+		go t.readLoop(sc)
+		t.wwg.Add(1)
+		go t.writeLoop(sc)
+	}
+	return t, nil
+}
+
+// NewSocketWorld builds an n-rank socket world inside one process by
+// running every rank's DialSocket concurrently; tests use it to
+// exercise the wire path without spawning processes. Addrs[r] is rank
+// r's listen address.
+func NewSocketWorld(network string, addrs []string, timeout time.Duration) ([]Transport, error) {
+	n := len(addrs)
+	ts := make([]Transport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			t, err := DialSocket(SocketConfig{Network: network, Rank: r, Size: n, Addrs: addrs, Timeout: timeout})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			ts[r] = t
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			for _, t := range ts {
+				if t != nil {
+					t.Close()
+				}
+			}
+			return nil, fmt.Errorf("mpi: socket world rank %d: %w", r, err)
+		}
+	}
+	return ts, nil
+}
+
+// dialRetry dials until the peer's listener is up or the deadline
+// passes; peers of a rendezvous start in arbitrary order.
+func dialRetry(network, addr string, deadline time.Time) (net.Conn, error) {
+	for {
+		nc, err := net.DialTimeout(network, addr, time.Until(deadline))
+		if err == nil {
+			return nc, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// helloFrame encodes this rank's hello: tag carries the sender rank,
+// payload the protocol magic and the expected world size.
+func helloFrame(rank, size int) []byte {
+	return wire.AppendFrame(nil, wire.KindHello, uint32(rank), []int64{helloMagic, int64(size)})
+}
+
+// readHello reads and validates one hello frame, returning the peer
+// rank it announces.
+func readHello(br *bufio.Reader, cfg SocketConfig) (int, error) {
+	kind, tag, payload, err := wire.ReadFrame(br, func(n int) []int64 { return make([]int64, n) })
+	if err != nil {
+		return -1, fmt.Errorf("mpi: rank %d handshake read: %w", cfg.Rank, err)
+	}
+	if kind != wire.KindHello || len(payload) != 2 || payload[0] != helloMagic {
+		return -1, fmt.Errorf("mpi: rank %d handshake: peer is not speaking the repro wire protocol", cfg.Rank)
+	}
+	if int(payload[1]) != cfg.Size {
+		return -1, fmt.Errorf("mpi: rank %d handshake: peer world size %d != %d", cfg.Rank, payload[1], cfg.Size)
+	}
+	return int(tag), nil
+}
+
+// handshakeAccept validates an inbound connection (which must announce
+// a higher rank than ours) and replies with our own hello.
+func (t *SocketTransport) handshakeAccept(nc net.Conn, cfg SocketConfig, deadline time.Time) (int, error) {
+	nc.SetDeadline(deadline)
+	br := bufio.NewReader(nc)
+	peer, err := readHello(br, cfg)
+	if err != nil {
+		return -1, err
+	}
+	if peer <= cfg.Rank || peer >= cfg.Size {
+		return -1, fmt.Errorf("mpi: rank %d handshake: unexpected dial from rank %d", cfg.Rank, peer)
+	}
+	if t.conns[peer] != nil {
+		return -1, fmt.Errorf("mpi: rank %d handshake: duplicate connection from rank %d", cfg.Rank, peer)
+	}
+	if _, err := nc.Write(helloFrame(cfg.Rank, cfg.Size)); err != nil {
+		return -1, fmt.Errorf("mpi: rank %d handshake reply to rank %d: %w", cfg.Rank, peer, err)
+	}
+	t.conns[peer] = &sockConn{peer: peer, nc: nc, br: br, wch: make(chan []byte, writerQueueDepth)}
+	return peer, nil
+}
+
+// handshakeDial sends our hello on an outbound connection to rank j and
+// validates the reply.
+func (t *SocketTransport) handshakeDial(nc net.Conn, j int, cfg SocketConfig, deadline time.Time) error {
+	nc.SetDeadline(deadline)
+	if _, err := nc.Write(helloFrame(cfg.Rank, cfg.Size)); err != nil {
+		return fmt.Errorf("mpi: rank %d hello to rank %d: %w", cfg.Rank, j, err)
+	}
+	br := bufio.NewReader(nc)
+	peer, err := readHello(br, cfg)
+	if err != nil {
+		return err
+	}
+	if peer != j {
+		return fmt.Errorf("mpi: rank %d dialed %s for rank %d but rank %d answered", cfg.Rank, cfg.Addrs[j], j, peer)
+	}
+	t.conns[j] = &sockConn{peer: j, nc: nc, br: br, wch: make(chan []byte, writerQueueDepth)}
+	return nil
+}
+
+func (t *SocketTransport) Rank() int { return t.rank }
+func (t *SocketTransport) Size() int { return t.size }
+
+// fail poisons the whole transport: every blocked or future operation
+// panics with TransportFailure carrying the first error. Used by Abort
+// (explicit local failure) — a single peer's disappearance uses
+// failPeer instead.
+func (t *SocketTransport) fail(err error) {
+	t.failMu.Lock()
+	if t.failErr == nil {
+		t.failErr = err
+	}
+	err = t.failErr
+	t.failMu.Unlock()
+	t.failed.Store(true)
+	for r := range t.dataQ {
+		t.dataQ[r].fail(err)
+		t.collQ[r].fail(err)
+	}
+}
+
+// failPeer poisons only one peer's queues and connection: receives
+// from and sends to that rank panic with TransportFailure, while
+// traffic among the surviving ranks continues. An orderly world
+// teardown is not rank-synchronous — a finished rank may close its
+// connections while slower ranks still talk to each other.
+func (t *SocketTransport) failPeer(peer int, err error) {
+	t.conns[peer].dead.Store(true)
+	t.dataQ[peer].fail(err)
+	t.collQ[peer].fail(err)
+}
+
+func (t *SocketTransport) failure() TransportFailure {
+	t.failMu.Lock()
+	err := t.failErr
+	t.failMu.Unlock()
+	if err == nil {
+		err = errors.New("transport failed")
+	}
+	return TransportFailure{Err: err}
+}
+
+// readLoop decodes frames off one connection and demultiplexes them
+// into the peer's data or collective queue. Any decode error or peer
+// disappearance poisons the transport (unless we are closing).
+func (t *SocketTransport) readLoop(sc *sockConn) {
+	defer t.rwg.Done()
+	for {
+		kind, tag, payload, err := wire.ReadFrame(sc.br, t.pool.get)
+		if err != nil {
+			if t.closing.Load() {
+				return
+			}
+			if err == io.EOF {
+				err = fmt.Errorf("peer rank %d closed the connection", sc.peer)
+			} else {
+				err = fmt.Errorf("read from rank %d: %w", sc.peer, err)
+			}
+			t.failPeer(sc.peer, err)
+			return
+		}
+		switch kind {
+		case wire.KindData:
+			t.dataQ[sc.peer].put(payload, tag)
+		case wire.KindColl:
+			t.collQ[sc.peer].put(payload, tag)
+		default:
+			t.failPeer(sc.peer, fmt.Errorf("read from rank %d: unexpected frame kind %d after handshake", sc.peer, kind))
+			return
+		}
+	}
+}
+
+// writeLoop writes queued frames to one connection, flushing whenever
+// the queue goes idle. After a write error it keeps draining the
+// channel (senders must never block on a dead connection) until Close.
+func (t *SocketTransport) writeLoop(sc *sockConn) {
+	defer t.wwg.Done()
+	bw := bufio.NewWriter(sc.nc)
+	dead := false
+	write := func(buf []byte) {
+		if dead {
+			return
+		}
+		if _, err := bw.Write(buf); err != nil {
+			if !t.closing.Load() {
+				t.failPeer(sc.peer, fmt.Errorf("write to rank %d: %w", sc.peer, err))
+			}
+			dead = true
+		}
+	}
+	for {
+		select {
+		case buf := <-sc.wch:
+			write(buf)
+			if !dead && len(sc.wch) == 0 {
+				if err := bw.Flush(); err != nil {
+					if !t.closing.Load() {
+						t.failPeer(sc.peer, fmt.Errorf("write to rank %d: %w", sc.peer, err))
+					}
+					dead = true
+				}
+			}
+		case <-t.done:
+			for {
+				select {
+				case buf := <-sc.wch:
+					write(buf)
+				default:
+					if !dead {
+						bw.Flush() //lint:ignore errcheck closing teardown: the peer may already be gone, and there is nobody left to hand the error to
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// enqueueFrame serializes one frame and hands it to dst's writer;
+// blocks for backpressure when the writer queue is full.
+func (t *SocketTransport) enqueueFrame(dst int, kind byte, tag uint32, payload []int64) {
+	if t.failed.Load() {
+		panic(t.failure())
+	}
+	if t.conns[dst].dead.Load() {
+		panic(TransportFailure{Err: fmt.Errorf("send to failed rank %d", dst)})
+	}
+	buf := wire.AppendFrame(make([]byte, 0, wire.FrameSize(len(payload))), kind, tag, payload)
+	select {
+	case t.conns[dst].wch <- buf:
+	case <-t.done:
+		panic(t.failure())
+	}
+}
+
+// Send64 serializes data into a frame for dst's connection; the
+// payload is copied at encode time, so completion is eager. A self
+// send short-circuits through the local queue and the buffer pool.
+func (t *SocketTransport) Send64(dst int, tag uint32, data []int64) {
+	if dst < 0 || dst >= t.size {
+		panic(fmt.Sprintf("mpi: Isend64 to rank %d outside [0,%d)", dst, t.size))
+	}
+	if dst == t.rank {
+		cp := t.pool.get(len(data))
+		copy(cp, data)
+		t.dataQ[dst].put(cp, tag)
+		return
+	}
+	t.enqueueFrame(dst, wire.KindData, tag, data)
+}
+
+// Recv64 blocks until the next data frame from src and returns its
+// pool-backed payload and tag; it panics with TransportFailure if the
+// transport was poisoned by a peer failure.
+func (t *SocketTransport) Recv64(src int) ([]int64, uint32) {
+	if src < 0 || src >= t.size {
+		panic(fmt.Sprintf("mpi: Recv64 from rank %d outside [0,%d)", src, t.size))
+	}
+	return t.dataQ[src].take()
+}
+
+func (t *SocketTransport) Recycle64(buf []int64) {
+	t.pool.put(buf)
+}
+
+// nextSeq advances the collective sequence; all ranks call collectives
+// in the same order, so matching sequence numbers on KindColl frames
+// assert that peers are inside the same collective.
+func (t *SocketTransport) nextSeq() uint32 {
+	t.seq++
+	return t.seq
+}
+
+func (t *SocketTransport) collSend(dst int, seq uint32, payload []int64) {
+	t.enqueueFrame(dst, wire.KindColl, seq, payload)
+}
+
+func (t *SocketTransport) collRecv(src int, seq uint32) []int64 {
+	payload, tag := t.collQ[src].take()
+	if tag != seq {
+		panic(fmt.Sprintf("mpi: collective sequence skew with rank %d: frame %d arrived inside collective %d", src, tag, seq))
+	}
+	return payload
+}
+
+// Barrier gathers an empty frame from every rank at rank 0 and fans an
+// empty release frame back out.
+func (t *SocketTransport) Barrier() {
+	seq := t.nextSeq()
+	if t.rank == 0 {
+		for r := 1; r < t.size; r++ {
+			t.pool.put(t.collRecv(r, seq))
+		}
+		for r := 1; r < t.size; r++ {
+			t.collSend(r, seq, nil)
+		}
+	} else {
+		t.collSend(0, seq, nil)
+		t.pool.put(t.collRecv(0, seq))
+	}
+}
+
+// AllreduceI64 gathers contributions at rank 0, folds them in
+// ascending rank order, and broadcasts the result.
+func (t *SocketTransport) AllreduceI64(vals []int64, op Op) []int64 {
+	seq := t.nextSeq()
+	if t.rank != 0 {
+		t.collSend(0, seq, vals)
+		out := t.collRecv(0, seq)
+		if len(out) != len(vals) {
+			panic("mpi: Allreduce length mismatch across ranks")
+		}
+		return out
+	}
+	acc := append([]int64(nil), vals...)
+	for r := 1; r < t.size; r++ {
+		contrib := t.collRecv(r, seq)
+		if len(contrib) != len(vals) {
+			panic("mpi: Allreduce length mismatch across ranks")
+		}
+		foldVec(acc, contrib, op)
+		t.pool.put(contrib)
+	}
+	for r := 1; r < t.size; r++ {
+		t.collSend(r, seq, acc)
+	}
+	return acc
+}
+
+// AllreduceF64 is AllreduceI64 with payloads bit-converted through
+// math.Float64bits; the fold itself runs in float64 at rank 0 in
+// ascending rank order, so results are bit-identical to the in-process
+// transport's slot fold.
+func (t *SocketTransport) AllreduceF64(vals []float64, op Op) []float64 {
+	seq := t.nextSeq()
+	if t.rank != 0 {
+		t.collSend(0, seq, f64ToWords(vals))
+		words := t.collRecv(0, seq)
+		if len(words) != len(vals) {
+			panic("mpi: Allreduce length mismatch across ranks")
+		}
+		out := wordsToF64(words)
+		t.pool.put(words)
+		return out
+	}
+	acc := append([]float64(nil), vals...)
+	for r := 1; r < t.size; r++ {
+		words := t.collRecv(r, seq)
+		if len(words) != len(vals) {
+			panic("mpi: Allreduce length mismatch across ranks")
+		}
+		foldVec(acc, wordsToF64(words), op)
+		t.pool.put(words)
+	}
+	for r := 1; r < t.size; r++ {
+		t.collSend(r, seq, f64ToWords(acc))
+	}
+	return acc
+}
+
+// BcastI64 sends root's data directly to every other rank.
+func (t *SocketTransport) BcastI64(root int, data []int64) []int64 {
+	seq := t.nextSeq()
+	if t.rank == root {
+		for r := 0; r < t.size; r++ {
+			if r != root {
+				t.collSend(r, seq, data)
+			}
+		}
+		return append([]int64(nil), data...)
+	}
+	return t.collRecv(root, seq)
+}
+
+// AllgathervI64 gathers every rank's vector at rank 0, then broadcasts
+// the concatenation with a per-rank length header.
+func (t *SocketTransport) AllgathervI64(data []int64) [][]int64 {
+	seq := t.nextSeq()
+	out := make([][]int64, t.size)
+	if t.rank == 0 {
+		out[0] = append([]int64(nil), data...)
+		total := len(data)
+		for r := 1; r < t.size; r++ {
+			out[r] = t.collRecv(r, seq)
+			total += len(out[r])
+		}
+		flat := make([]int64, 0, t.size+total)
+		for r := 0; r < t.size; r++ {
+			flat = append(flat, int64(len(out[r])))
+		}
+		for r := 0; r < t.size; r++ {
+			flat = append(flat, out[r]...)
+		}
+		for r := 1; r < t.size; r++ {
+			t.collSend(r, seq, flat)
+		}
+		return out
+	}
+	t.collSend(0, seq, data)
+	flat := t.collRecv(0, seq)
+	if len(flat) < t.size {
+		panic(fmt.Sprintf("mpi: Allgatherv result frame too short: %d words for %d ranks", len(flat), t.size))
+	}
+	off := t.size
+	for r := 0; r < t.size; r++ {
+		n := int(flat[r])
+		if n < 0 || off+n > len(flat) {
+			panic("mpi: Allgatherv result frame corrupt length header")
+		}
+		out[r] = append([]int64(nil), flat[off:off+n]...)
+		off += n
+	}
+	t.pool.put(flat)
+	return out
+}
+
+// AlltoallvI64 sends each destination its chunk directly and receives
+// chunks packed in ascending source-rank order; a chunk's length is
+// its own count, so no count exchange is needed.
+func (t *SocketTransport) AlltoallvI64(send []int64, counts []int) ([]int64, []int) {
+	seq := t.nextSeq()
+	offsets := alltoallvOffsets(len(send), counts, t.size)
+	for dst := 0; dst < t.size; dst++ {
+		if dst != t.rank {
+			t.collSend(dst, seq, send[offsets[dst]:offsets[dst+1]])
+		}
+	}
+	recvCounts := make([]int, t.size)
+	parts := make([][]int64, t.size)
+	total := 0
+	for src := 0; src < t.size; src++ {
+		if src == t.rank {
+			parts[src] = send[offsets[src]:offsets[src+1]]
+		} else {
+			parts[src] = t.collRecv(src, seq)
+		}
+		recvCounts[src] = len(parts[src])
+		total += len(parts[src])
+	}
+	recv := make([]int64, 0, total)
+	for src := 0; src < t.size; src++ {
+		recv = append(recv, parts[src]...)
+		if src != t.rank {
+			t.pool.put(parts[src])
+		}
+	}
+	return recv, recvCounts
+}
+
+// AlltoallvF64 is AlltoallvI64 with payloads bit-converted through
+// math.Float64bits.
+func (t *SocketTransport) AlltoallvF64(send []float64, counts []int) ([]float64, []int) {
+	recvWords, recvCounts := t.AlltoallvI64(f64ToWords(send), counts)
+	return wordsToF64(recvWords), recvCounts
+}
+
+// Abort poisons the transport and tears down its connections so peers
+// blocked on this rank unwind with TransportFailure instead of
+// hanging; RunWorld calls it when a rank function panics.
+func (t *SocketTransport) Abort() {
+	t.fail(errors.New("transport aborted"))
+	for _, sc := range t.conns {
+		if sc != nil {
+			sc.nc.Close()
+		}
+	}
+}
+
+// Close shuts the transport down in order: writers flush everything
+// already queued and exit, then connections close and readers exit. It
+// is safe to call once per transport after the rank function returns.
+func (t *SocketTransport) Close() error {
+	t.closing.Store(true)
+	t.closeOnce.Do(func() { close(t.done) })
+	t.wwg.Wait()
+	for _, sc := range t.conns {
+		if sc != nil {
+			sc.nc.Close()
+		}
+	}
+	t.rwg.Wait()
+	return nil
+}
+
+// f64ToWords bit-converts a float64 vector for the wire.
+func f64ToWords(vals []float64) []int64 {
+	words := make([]int64, len(vals))
+	for i, v := range vals {
+		words[i] = int64(math.Float64bits(v))
+	}
+	return words
+}
+
+// wordsToF64 is the inverse of f64ToWords.
+func wordsToF64(words []int64) []float64 {
+	vals := make([]float64, len(words))
+	for i, w := range words {
+		vals[i] = math.Float64frombits(uint64(w))
+	}
+	return vals
+}

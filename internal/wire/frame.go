@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame kinds. A decoder rejects anything else, so a corrupted kind
+// byte surfaces as an error at the frame boundary instead of a payload
+// routed to the wrong queue.
+const (
+	// KindData is a point-to-point message frame (the Isend64Tag path).
+	KindData byte = 1
+	// KindColl is a collective contribution or result frame.
+	KindColl byte = 2
+	// KindHello is the connection handshake: tag carries the dialing
+	// rank, payload the protocol magic and world size.
+	KindHello byte = 3
+)
+
+// MaxFrameWords bounds a frame's payload length (words). It exists so
+// a decoder can reject a corrupt or hostile length before allocating
+// or reading: 1<<28 words is 2 GiB of payload, far above any exchange
+// round this engine produces and far below what a flipped length byte
+// can claim.
+const MaxFrameWords = 1 << 28
+
+// headerMax is the worst-case encoded header size: 5 varint bytes
+// (MaxFrameWords fits 32 bits), 1 kind byte, 4 tag bytes.
+const headerMax = 5 + 1 + 4
+
+// Codec errors. Decode wraps them with position detail; errors.Is sees
+// through.
+var (
+	// ErrTruncated reports input ending inside a frame.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrFrameTooBig reports a length prefix above MaxFrameWords.
+	ErrFrameTooBig = errors.New("wire: frame length exceeds MaxFrameWords")
+	// ErrBadKind reports an unknown frame kind byte.
+	ErrBadKind = errors.New("wire: unknown frame kind")
+	// ErrBadLength reports a malformed (overlong or overflowing)
+	// varint length prefix.
+	ErrBadLength = errors.New("wire: malformed frame length")
+)
+
+// AppendFrame appends the encoding of one frame to dst and returns the
+// extended buffer. It validates kind and the payload bound so an
+// encoder bug cannot produce a frame its own decoder rejects.
+func AppendFrame(dst []byte, kind byte, tag uint32, payload []int64) []byte {
+	if kind != KindData && kind != KindColl && kind != KindHello {
+		panic(fmt.Sprintf("wire: AppendFrame with unknown kind %d", kind))
+	}
+	if len(payload) > MaxFrameWords {
+		panic(fmt.Sprintf("wire: AppendFrame payload of %d words exceeds MaxFrameWords", len(payload)))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint32(dst, tag)
+	for _, w := range payload {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(w))
+	}
+	return dst
+}
+
+// FrameSize returns the encoded size of a frame with the given payload
+// word count, for sizing write buffers.
+func FrameSize(nWords int) int {
+	n := 1
+	for v := uint64(nWords); v >= 0x80; v >>= 7 {
+		n++
+	}
+	return n + 1 + 4 + 8*nWords
+}
+
+// Decode decodes the first frame of b. It returns the frame fields,
+// the number of bytes consumed, and an error for malformed input:
+// truncation, an oversized or overlong length, an unknown kind. The
+// payload is freshly allocated (decoders on the hot receive path use
+// ReadFrame, which draws from the transport's pool instead). Decode
+// never panics and never reads past the frame it returns.
+func Decode(b []byte) (kind byte, tag uint32, payload []int64, n int, err error) {
+	nWords, vn := binary.Uvarint(b)
+	if vn == 0 {
+		return 0, 0, nil, 0, fmt.Errorf("%w: input ends inside length prefix", ErrTruncated)
+	}
+	if vn < 0 {
+		return 0, 0, nil, 0, fmt.Errorf("%w: varint overflows 64 bits", ErrBadLength)
+	}
+	if nWords > MaxFrameWords {
+		return 0, 0, nil, 0, fmt.Errorf("%w: %d words", ErrFrameTooBig, nWords)
+	}
+	rest := b[vn:]
+	if len(rest) < 1+4 {
+		return 0, 0, nil, 0, fmt.Errorf("%w: input ends inside header", ErrTruncated)
+	}
+	kind = rest[0]
+	if kind != KindData && kind != KindColl && kind != KindHello {
+		return 0, 0, nil, 0, fmt.Errorf("%w: %d", ErrBadKind, kind)
+	}
+	tag = binary.LittleEndian.Uint32(rest[1:5])
+	body := rest[5:]
+	if uint64(len(body)) < 8*nWords {
+		return 0, 0, nil, 0, fmt.Errorf("%w: payload has %d of %d bytes", ErrTruncated, len(body), 8*nWords)
+	}
+	payload = make([]int64, nWords)
+	for i := range payload {
+		payload[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return kind, tag, payload, vn + 5 + 8*int(nWords), nil
+}
+
+// Reader is the input a streaming frame decoder needs: byte-at-a-time
+// access for the varint prefix plus bulk reads for the body.
+// *bufio.Reader satisfies it.
+type Reader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// ReadFrame reads one frame from r, drawing the payload buffer from
+// alloc (the socket transport passes its pool's get so steady-state
+// receives reuse recycled buffers). io.EOF is returned verbatim when
+// the stream ends cleanly at a frame boundary; an EOF inside a frame
+// becomes ErrTruncated. Any other malformed input (oversized length,
+// unknown kind) is an error, never a panic, and never reads past the
+// rejected header.
+func ReadFrame(r Reader, alloc func(n int) []int64) (kind byte, tag uint32, payload []int64, err error) {
+	nWords, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			return 0, 0, nil, io.EOF // clean boundary
+		}
+		return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadLength, err)
+	}
+	if nWords > MaxFrameWords {
+		return 0, 0, nil, fmt.Errorf("%w: %d words", ErrFrameTooBig, nWords)
+	}
+	var head [5]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: input ends inside header", ErrTruncated)
+	}
+	kind = head[0]
+	if kind != KindData && kind != KindColl && kind != KindHello {
+		return 0, 0, nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
+	}
+	tag = binary.LittleEndian.Uint32(head[1:5])
+	payload = alloc(int(nWords))
+	var raw [8]byte
+	for i := range payload {
+		if _, err := io.ReadFull(r, raw[:]); err != nil {
+			return 0, 0, nil, fmt.Errorf("%w: payload has %d of %d words", ErrTruncated, i, nWords)
+		}
+		payload[i] = int64(binary.LittleEndian.Uint64(raw[:]))
+	}
+	return kind, tag, payload, nil
+}

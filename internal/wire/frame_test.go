@@ -1,0 +1,186 @@
+package wire_test
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/wire"
+)
+
+// exchangeSeeds builds representative payloads the way real exchange
+// rounds do: packed (gid, payload) update pairs with a piggybacked
+// tally frame appended by mpi.AppendTally, plus the degenerate shapes
+// (empty round, tally-only, dense tally).
+func exchangeSeeds(tb testing.TB) [][]int64 {
+	tb.Helper()
+	var seeds [][]int64
+	mpi.Run(1, func(c *mpi.Comm) {
+		update := []int64{42, 3, 97, 1, 1023, 2} // (gid, part) pairs
+		sparse := make([]int64, 16)
+		sparse[3], sparse[9] = 7, -2
+		dense := []int64{5, -5, 8, -8, 1, -1, 2, -2, 3, -3, 4, -4, 6, -6, 7, -7}
+		seeds = append(seeds,
+			nil,
+			mpi.AppendTally(c, append([]int64(nil), update...), sparse),
+			mpi.AppendTally(c, nil, dense),
+			mpi.AppendTally(c, append([]int64(nil), update...), make([]int64, 4)),
+		)
+	})
+	return seeds
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range exchangeSeeds(t) {
+		for _, kind := range []byte{wire.KindData, wire.KindColl, wire.KindHello} {
+			enc := wire.AppendFrame(nil, kind, 0xdeadbeef, payload)
+			if len(enc) != wire.FrameSize(len(payload)) {
+				t.Fatalf("FrameSize(%d) = %d, encoded %d bytes", len(payload), wire.FrameSize(len(payload)), len(enc))
+			}
+			k, tag, dec, n, err := wire.Decode(enc)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if k != kind || tag != 0xdeadbeef || n != len(enc) {
+				t.Fatalf("Decode = (%d, %#x, n=%d), want (%d, %#x, n=%d)", k, tag, n, kind, 0xdeadbeef, len(enc))
+			}
+			if !equal64(dec, payload) {
+				t.Fatalf("payload round-trip mismatch: %v != %v", dec, payload)
+			}
+		}
+	}
+}
+
+func TestReadFrameStream(t *testing.T) {
+	seeds := exchangeSeeds(t)
+	var stream []byte
+	for i, p := range seeds {
+		stream = wire.AppendFrame(stream, wire.KindData, uint32(i), p)
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	alloc := func(n int) []int64 { return make([]int64, n) }
+	for i, p := range seeds {
+		kind, tag, payload, err := wire.ReadFrame(br, alloc)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if kind != wire.KindData || tag != uint32(i) || !equal64(payload, p) {
+			t.Fatalf("frame %d decoded (%d, %d, %v), want (%d, %d, %v)", i, kind, tag, payload, wire.KindData, i, p)
+		}
+	}
+	if _, _, _, err := wire.ReadFrame(br, alloc); err != io.EOF {
+		t.Fatalf("clean stream end: got %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	good := wire.AppendFrame(nil, wire.KindData, 7, []int64{1, 2, 3})
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, wire.ErrTruncated},
+		{"header cut", good[:1], wire.ErrTruncated},
+		{"payload cut", good[:len(good)-1], wire.ErrTruncated},
+		{"bad kind", append([]byte{3, 99}, good[2:]...), wire.ErrBadKind},
+		{"oversized length", []byte{0xff, 0xff, 0xff, 0xff, 0x7f, wire.KindData, 0, 0, 0, 0}, wire.ErrFrameTooBig},
+		{"varint overflow", []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, wire.ErrBadLength},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, _, _, err := wire.Decode(tc.b); !errors.Is(err, tc.want) {
+				t.Fatalf("Decode(%x) err = %v, want %v", tc.b, err, tc.want)
+			}
+		})
+	}
+	// The same malformed inputs must error (not hang or panic) on the
+	// streaming reader.
+	for _, tc := range cases {
+		br := bufio.NewReader(bytes.NewReader(tc.b))
+		if _, _, _, err := wire.ReadFrame(br, func(n int) []int64 { return make([]int64, n) }); err == nil {
+			t.Fatalf("ReadFrame(%s) unexpectedly succeeded", tc.name)
+		}
+	}
+}
+
+// FuzzFrameRoundTrip checks that every encodable frame decodes to
+// itself, both from a byte slice and from a stream.
+func FuzzFrameRoundTrip(f *testing.F) {
+	for _, p := range exchangeSeeds(f) {
+		var raw []byte
+		for _, w := range p {
+			raw = append(raw, byte(w), byte(w>>8), byte(w>>16), byte(w>>24), byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+		}
+		f.Add(wire.KindData, uint32(len(p)), raw)
+	}
+	f.Fuzz(func(t *testing.T, kind byte, tag uint32, raw []byte) {
+		kind = 1 + kind%3 // all valid kinds
+		payload := make([]int64, len(raw)/8)
+		for i := range payload {
+			for b := 7; b >= 0; b-- {
+				payload[i] = payload[i]<<8 | int64(raw[8*i+b])
+			}
+		}
+		enc := wire.AppendFrame(nil, kind, tag, payload)
+		k, tg, dec, n, err := wire.Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode of encoder output: %v", err)
+		}
+		if k != kind || tg != tag || n != len(enc) || !equal64(dec, payload) {
+			t.Fatalf("round trip mismatch: (%d,%d,%v,%d) != (%d,%d,%v,%d)", k, tg, dec, n, kind, tag, payload, len(enc))
+		}
+		br := bufio.NewReader(bytes.NewReader(enc))
+		k2, tg2, dec2, err := wire.ReadFrame(br, func(n int) []int64 { return make([]int64, n) })
+		if err != nil || k2 != kind || tg2 != tag || !equal64(dec2, payload) {
+			t.Fatalf("stream round trip mismatch: (%d,%d,%v,%v)", k2, tg2, dec2, err)
+		}
+	})
+}
+
+// FuzzFrameDecode feeds arbitrary bytes to both decoders: they must
+// return an error or a well-formed frame — never panic, never over-read
+// (enforced by the consumed count), and a decoded frame must re-encode
+// to something that decodes identically.
+func FuzzFrameDecode(f *testing.F) {
+	for _, p := range exchangeSeeds(f) {
+		f.Add(wire.AppendFrame(nil, wire.KindData, 3, p))
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add([]byte{2, wire.KindColl, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		kind, tag, payload, n, err := wire.Decode(b)
+		if err != nil {
+			// Malformed input must also error on the stream decoder, and
+			// a clean EOF only on empty input.
+			br := bufio.NewReader(bytes.NewReader(b))
+			if _, _, _, serr := wire.ReadFrame(br, func(n int) []int64 { return make([]int64, n) }); serr == nil {
+				t.Fatalf("Decode rejected (%v) but ReadFrame accepted: %x", err, b)
+			}
+			return
+		}
+		if n < 0 || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		reenc := wire.AppendFrame(nil, kind, tag, payload)
+		k2, tg2, p2, _, err2 := wire.Decode(reenc)
+		if err2 != nil || k2 != kind || tg2 != tag || !equal64(p2, payload) {
+			t.Fatalf("re-encode of decoded frame does not round-trip: %v", err2)
+		}
+	})
+}
+
+func equal64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

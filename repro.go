@@ -159,9 +159,6 @@ func XtraPuLP(g *Graph, cfg Config) ([]int32, Report, error) {
 // only its chunk of the edge list, so no rank ever materializes the
 // whole graph — the paper's actual usage mode at scale.
 func XtraPuLPGen(g *Generator, cfg Config) ([]int32, Report, error) {
-	if cfg.Parts < 1 {
-		return nil, Report{}, fmt.Errorf("repro: Config.Parts = %d", cfg.Parts)
-	}
 	ranks := cfg.Ranks
 	if ranks < 1 {
 		ranks = 1
@@ -169,6 +166,34 @@ func XtraPuLPGen(g *Generator, cfg Config) ([]int32, Report, error) {
 	threads := cfg.ThreadsPerRank
 	if threads < 1 {
 		threads = 1
+	}
+	var parts []int32
+	var rep Report
+	var runErr error
+	mpi.RunThreads(ranks, threads, func(c *mpi.Comm) {
+		p, r, err := XtraPuLPComm(c, g, cfg)
+		if c.Rank() == 0 {
+			parts, rep, runErr = p, r, err
+		}
+	})
+	if runErr != nil {
+		return nil, Report{}, runErr
+	}
+	return parts, rep, nil
+}
+
+// XtraPuLPComm is the per-rank body of XtraPuLPGen: it runs this
+// rank's share of the distributed partitioner on an existing
+// communicator — the entry point for externally formed worlds, where
+// each OS process builds its Comm over a socket transport
+// (mpi.DialSocket + mpi.NewComm) and calls this directly. Config.Ranks
+// and Config.ThreadsPerRank are ignored; the communicator defines
+// both. Every rank returns the full gathered partition and its own
+// Report (timings are the local rank's; quality and volumes are
+// collective and identical everywhere).
+func XtraPuLPComm(c *mpi.Comm, g *Generator, cfg Config) ([]int32, Report, error) {
+	if cfg.Parts < 1 {
+		return nil, Report{}, fmt.Errorf("repro: Config.Parts = %d", cfg.Parts)
 	}
 	if err := validatePipeDepth(cfg.PipeDepth); err != nil {
 		return nil, Report{}, err
@@ -190,56 +215,39 @@ func XtraPuLPGen(g *Generator, cfg Config) ([]int32, Report, error) {
 		opt.X, opt.Y = cfg.X, cfg.Y
 	}
 
-	var parts []int32
-	var rep Report
-	var runErr error
-	mpi.RunThreads(ranks, threads, func(c *mpi.Comm) {
-		var dist dgraph.Distribution = dgraph.BlockDist{N: g.N, P: c.Size()}
-		if cfg.RandomDist {
-			dist = dgraph.HashDist{P: c.Size(), Seed: seed}
-		}
-		dg, err := dgraph.FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()), dist)
-		if err != nil {
-			// Construction errors are deterministic and local-input
-			// driven: every rank fails identically, so no collective is
-			// left half-entered.
-			if c.Rank() == 0 {
-				runErr = err
-			}
-			return
-		}
-		dg.SetPipeDepth(cfg.PipeDepth) // before the exchanger exists
-		local, r, err := core.Partition(dg, opt)
-		if err != nil {
-			// Partition errors are symmetric across ranks and happen
-			// between rounds, so the drainer teardown is safe here.
-			dg.Close()
-			if c.Rank() == 0 {
-				runErr = err
-			}
-			return
-		}
-		full := dg.GatherGlobal(local[:dg.NLocal])
-		vol := mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
-		// Normal-path teardown of the async exchanger's drainer (not
-		// deferred: after a panic the poison + finalizer backstop
-		// handle it — see Graph.Close).
-		dg.Close()
-		if c.Rank() == 0 {
-			parts = full
-			rep = Report{
-				InitTime: r.InitTime, VertTime: r.VertTime,
-				EdgeTime: r.EdgeTime, TotalTime: r.TotalTime,
-				InitIters: r.InitIters, Quality: r.Quality,
-				CommVolume: vol, ExchangeVolume: r.ExchangeVolume,
-				ReductionOps: r.ReductionOps,
-			}
-		}
-	})
-	if runErr != nil {
-		return nil, Report{}, runErr
+	var dist dgraph.Distribution = dgraph.BlockDist{N: g.N, P: c.Size()}
+	if cfg.RandomDist {
+		dist = dgraph.HashDist{P: c.Size(), Seed: seed}
 	}
-	return parts, rep, nil
+	dg, err := dgraph.FromEdgeChunks(c, g.N, g.EdgesChunk(c.Rank(), c.Size()), dist)
+	if err != nil {
+		// Construction errors are deterministic and local-input
+		// driven: every rank fails identically, so no collective is
+		// left half-entered.
+		return nil, Report{}, err
+	}
+	dg.SetPipeDepth(cfg.PipeDepth) // before the exchanger exists
+	local, r, err := core.Partition(dg, opt)
+	if err != nil {
+		// Partition errors are symmetric across ranks and happen
+		// between rounds, so the drainer teardown is safe here.
+		dg.Close()
+		return nil, Report{}, err
+	}
+	full := dg.GatherGlobal(local[:dg.NLocal])
+	vol := mpi.AllreduceScalar(c, c.Stats().ElemsSent, mpi.Sum)
+	// Normal-path teardown of the async exchanger's drainer (not
+	// deferred: after a panic the poison + finalizer backstop
+	// handle it — see Graph.Close).
+	dg.Close()
+	rep := Report{
+		InitTime: r.InitTime, VertTime: r.VertTime,
+		EdgeTime: r.EdgeTime, TotalTime: r.TotalTime,
+		InitIters: r.InitIters, Quality: r.Quality,
+		CommVolume: vol, ExchangeVolume: r.ExchangeVolume,
+		ReductionOps: r.ReductionOps,
+	}
+	return full, rep, nil
 }
 
 // staticGenerator wraps an in-memory graph as a Generator so the
