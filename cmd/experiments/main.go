@@ -9,14 +9,26 @@
 // Each experiment prints the rows or series of the corresponding table
 // or figure in the paper's evaluation (§V); see DESIGN.md for the
 // experiment index and EXPERIMENTS.md for recorded results.
+//
+// -transport selects the rank substrate. The default "proc" runs each
+// experiment's simulated in-process worlds. "env" makes this process
+// one rank of an externally launched socket world (it reads the
+// REPRO_* rendezvous environment; launch with cmd/reprorun) and runs
+// the exchange experiment's partitioning path collectively over it,
+// writing a partition-only BENCH_exchange_socket.json from rank 0 with
+// -json — the socket-substrate benchmark datapoint:
+//
+//	reprorun -n 4 -- experiments -transport env -json exchange
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"repro"
 	"repro/internal/harness"
 )
 
@@ -27,6 +39,7 @@ func main() {
 	jsonFlag := flag.Bool("json", false, "also write machine-readable results to BENCH_<experiment>.json (experiments that support it)")
 	termEpochFlag := flag.Int("term-epoch", 0, "async analytics termination epoch on incomplete rank neighborhoods: exact Allreduce every k rounds (0 = every round)")
 	pipeDepthFlag := flag.Int("pipe-depth", 0, "async exchange pipeline depth: rounds in flight per exchanger (0 = default 2; depth/2 concurrent HC waves)")
+	transportFlag := flag.String("transport", "proc", "rank substrate: proc (in-process) | env (one rank of a socket world, REPRO_* env; exchange only)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [-scale small|full] [-seed N] [-json] [-term-epoch K] [-pipe-depth D] <experiment>...|all\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names)
@@ -54,6 +67,15 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		names = harness.Names
 	}
+	switch *transportFlag {
+	case "proc":
+	case "env":
+		runEnvWorld(names, scale, *seedFlag, *jsonFlag, *pipeDepthFlag)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown transport %q (proc|env)\n", *transportFlag)
+		os.Exit(2)
+	}
 	for _, name := range names {
 		fmt.Printf("=== %s (scale=%s seed=%d) ===\n", name, *scaleFlag, *seedFlag)
 		start := time.Now()
@@ -67,4 +89,43 @@ func main() {
 		}
 		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
 	}
+}
+
+// runEnvWorld runs this process as one rank of an externally launched
+// socket world (cmd/reprorun sets the rendezvous environment). Only
+// the exchange experiment has a socket form — its partitioning path
+// is collective over an external communicator (harness.ExchangeSocket)
+// — so any other name is rejected before the rendezvous, while every
+// rank can still agree on the verdict. Rank 0 prints the table and,
+// with -json, writes the partition-only socket artifact.
+func runEnvWorld(names []string, scale harness.Scale, seed uint64, jsonOut bool, pipeDepth int) {
+	for _, name := range names {
+		if name != "exchange" {
+			fmt.Fprintf(os.Stderr, "experiments: -transport env supports only the exchange experiment (got %q)\n", name)
+			os.Exit(2)
+		}
+	}
+	c, closeComm, err := repro.SocketComm(1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	cfg := harness.Config{W: io.Discard, Scale: scale, Seed: seed, PipeDepth: pipeDepth}
+	if c.Rank() == 0 {
+		cfg.W = os.Stdout
+		fmt.Printf("=== exchange (scale=%s seed=%d transport=socket ranks=%d) ===\n", scale, seed, c.Size())
+		if jsonOut {
+			cfg.JSONPath = "BENCH_exchange_socket.json"
+		}
+	}
+	start := time.Now()
+	if err := harness.ExchangeSocket(c, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "exchange: %v\n", err)
+		os.Exit(1)
+	}
+	if c.Rank() == 0 {
+		fmt.Printf("(exchange took %.1fs)\n\n", time.Since(start).Seconds())
+	}
+	//lint:ignore errcheck the run is complete; a teardown error cannot change the result
+	closeComm()
 }

@@ -1,18 +1,28 @@
 // Command reprorun launches a multi-process rank world: it spawns one
 // worker process per rank with the REPRO_* environment the socket
 // transport's rendezvous reads (mpi.SocketConfigFromEnv + DialSocket),
-// relays each worker's output with a [rank N] prefix, and exits with
-// the first failing worker's status.
+// relays each worker's output with a [rank N] prefix, and supervises
+// the world as a unit. When any worker exits non-zero the launcher
+// tears the whole world down — ranks are stateful mid-run, so restart
+// is world-granular — and, with -restarts N, relaunches it up to N
+// times with the same command line and therefore the same seeds:
+// a successful retry produces bit-identical results. The final exit
+// status is 0 on success (a stderr note distinguishes "succeeded after
+// retry"), or the first failing worker's exit code once the restart
+// budget is exhausted, with the culprit rank named on stderr.
 //
 // Usage:
 //
 //	reprorun -n 4 -- xtrapulp -transport env -gen rmat -scale 12 -parts 8
+//	reprorun -n 4 -restarts 2 -- xtrapulp -transport env ...
 //	reprorun -n 2 -net tcp -- mytool ...
 //
 // By default ranks rendezvous over Unix sockets in a fresh temporary
-// directory. With -net tcp the launcher reserves loopback ports by
-// binding and releasing them, so a concurrently starting process can
-// steal one in rare cases; pass -addrs to pin explicit addresses.
+// directory (fresh per attempt, so a crashed world's stale socket
+// files cannot shadow the relaunch). With -net tcp the launcher
+// reserves loopback ports by binding and releasing them, so a
+// concurrently starting process can steal one in rare cases; pass
+// -addrs to pin explicit addresses.
 package main
 
 import (
@@ -27,77 +37,176 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/mpi"
 )
+
+// launchSpec is everything supervise needs to run one world; tests
+// build it directly.
+type launchSpec struct {
+	n        int
+	network  string
+	explicit string   // -addrs override; empty means auto-allocate per attempt
+	restarts int      // world relaunch budget after a failure
+	env      []string // extra environment appended to every worker
+	argv     []string
+	stdout   io.Writer // destination of the [rank N]-prefixed relay
+	stderr   io.Writer // supervisor diagnostics
+}
 
 func main() {
 	n := flag.Int("n", 2, "number of rank processes")
 	network := flag.String("net", "unix", "rendezvous network: unix|tcp")
 	addrs := flag.String("addrs", "", "comma-separated per-rank listen addresses (default: auto)")
 	timeout := flag.Duration("timeout", 60*time.Second, "rendezvous timeout passed to workers")
+	restarts := flag.Int("restarts", 0, "relaunch the whole world up to this many times after a worker failure")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "liveness heartbeat threshold passed to workers (0 disables the watchdog)")
+	collTimeout := flag.Duration("coll-timeout", 0, "collective watchdog bound passed to workers (0 disables)")
+	retryMax := flag.Int("retry-max", 0, "rendezvous connection attempts per peer (0 = bounded only by the timeout)")
+	retryBase := flag.Duration("retry-base", 0, "initial rendezvous backoff delay (0 = transport default)")
 	flag.Parse()
 	argv := flag.Args()
 	if *n < 1 || len(argv) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: reprorun -n N [-net unix|tcp] [-addrs a0,a1,...] -- command args...")
+		fmt.Fprintln(os.Stderr, "usage: reprorun -n N [-restarts R] [-net unix|tcp] [-addrs a0,a1,...] -- command args...")
+		os.Exit(2)
+	}
+	if *timeout <= 0 || *restarts < 0 || *heartbeat < 0 || *collTimeout < 0 || *retryMax < 0 || *retryBase < 0 {
+		fmt.Fprintln(os.Stderr, "reprorun: -timeout must be positive; -restarts, -heartbeat, -coll-timeout, -retry-max, -retry-base must be non-negative")
 		os.Exit(2)
 	}
 
-	addrList, cleanup, err := rankAddrs(*network, *addrs, *n)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "reprorun:", err)
-		os.Exit(1)
+	spec := launchSpec{
+		n:        *n,
+		network:  *network,
+		explicit: *addrs,
+		restarts: *restarts,
+		env: []string{
+			mpi.EnvTimeout + "=" + timeout.String(),
+			mpi.EnvHeartbeat + "=" + heartbeat.String(),
+			mpi.EnvCollTimeout + "=" + collTimeout.String(),
+			mpi.EnvRetryMax + "=" + strconv.Itoa(*retryMax),
+			mpi.EnvRetryBase + "=" + retryBase.String(),
+		},
+		argv:   argv,
+		stdout: os.Stdout,
+		stderr: os.Stderr,
 	}
-	defer cleanup()
+	os.Exit(supervise(spec))
+}
 
-	var wg sync.WaitGroup
-	status := make([]error, *n)
-	cmds := make([]*exec.Cmd, *n)
-	for r := 0; r < *n; r++ {
-		cmd := exec.Command(argv[0], argv[1:]...)
+// supervise runs the world until it succeeds or the restart budget is
+// exhausted, and returns the launcher's exit code: 0 on success, the
+// first failing worker's code otherwise. Every attempt gets fresh
+// auto-allocated addresses so a crashed attempt's stale sockets cannot
+// interfere; the command line (and so every seed) is identical across
+// attempts, which is what makes a successful retry bit-identical.
+func supervise(spec launchSpec) int {
+	for attempt := 1; ; attempt++ {
+		addrList, cleanup, err := rankAddrs(spec.network, spec.explicit, spec.n)
+		if err != nil {
+			fmt.Fprintln(spec.stderr, "reprorun:", err)
+			return 1
+		}
+		rank, code, werr := runWorld(spec, addrList)
+		cleanup()
+		if rank < 0 {
+			if attempt > 1 {
+				fmt.Fprintf(spec.stderr, "reprorun: world succeeded on attempt %d (%d restart(s) used)\n", attempt, attempt-1)
+			}
+			return 0
+		}
+		fmt.Fprintf(spec.stderr, "reprorun: attempt %d/%d: rank %d failed: %v (exit code %d)\n",
+			attempt, spec.restarts+1, rank, werr, code)
+		if attempt > spec.restarts {
+			fmt.Fprintf(spec.stderr, "reprorun: restart budget exhausted; exiting with rank %d's code %d\n", rank, code)
+			return code
+		}
+		fmt.Fprintf(spec.stderr, "reprorun: world torn down; relaunching with the same seeds\n")
+	}
+}
+
+// runWorld spawns and waits one attempt of the world. On the first
+// non-zero worker exit it kills every other worker (world-granular
+// teardown) and keeps draining until all have exited. It returns the
+// first failing rank with its exit code and error, or failedRank == -1
+// on success.
+func runWorld(spec launchSpec, addrList []string) (failedRank, exitCode int, firstErr error) {
+	type exit struct {
+		rank int
+		err  error
+	}
+	exits := make(chan exit, spec.n)
+	cmds := make([]*exec.Cmd, spec.n)
+	// Workers' relays run concurrently; one mutex keeps their
+	// line-at-a-time writes from interleaving mid-line.
+	var outMu sync.Mutex
+	for r := 0; r < spec.n; r++ {
+		cmd := exec.Command(spec.argv[0], spec.argv[1:]...)
 		cmd.Env = append(os.Environ(),
 			mpi.EnvRank+"="+strconv.Itoa(r),
-			mpi.EnvSize+"="+strconv.Itoa(*n),
-			mpi.EnvNet+"="+*network,
+			mpi.EnvSize+"="+strconv.Itoa(spec.n),
+			mpi.EnvNet+"="+spec.network,
 			mpi.EnvAddrs+"="+strings.Join(addrList, ","),
-			mpi.EnvTimeout+"="+timeout.String(),
 		)
+		cmd.Env = append(cmd.Env, spec.env...)
+		// Each worker leads its own process group so teardown can kill
+		// the whole group: a worker that forked children (a shell, a
+		// wrapper script) would otherwise leave grandchildren holding
+		// the output pipe — and the supervisor blocked on the relay —
+		// for as long as they please.
+		cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
 		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "reprorun:", err)
-			os.Exit(1)
+		if err == nil {
+			cmd.Stderr = cmd.Stdout // interleave per rank, prefix once
+			err = cmd.Start()
 		}
-		cmd.Stderr = cmd.Stdout // interleave per rank, prefix once
-		if err := cmd.Start(); err != nil {
-			fmt.Fprintf(os.Stderr, "reprorun: rank %d: %v\n", r, err)
-			os.Exit(1)
+		if err != nil {
+			for _, c := range cmds[:r] {
+				killGroup(c)
+			}
+			for i := 0; i < r; i++ {
+				<-exits
+			}
+			return r, 1, err
 		}
 		cmds[r] = cmd
-		wg.Add(1)
-		go func(r int, out io.Reader) {
-			defer wg.Done()
-			relay(r, out)
-		}(r, stdout)
+		go func(r int, cmd *exec.Cmd, out io.Reader) {
+			// Drain the relay before Wait: Wait tears down the pipe, and
+			// the worker's exit (or kill) closes the write end, so the
+			// relay finishes on its own.
+			relay(&outMu, spec.stdout, r, out)
+			exits <- exit{rank: r, err: cmd.Wait()}
+		}(r, cmd, stdout)
 	}
-	// Drain the output relays before Wait: Wait tears down the pipes,
-	// and a worker's exit already closes the write end, so the relays
-	// finish on their own.
-	wg.Wait()
-	for r, cmd := range cmds {
-		if err := cmd.Wait(); err != nil {
-			status[r] = err
+	failedRank = -1
+	for received := 0; received < spec.n; received++ {
+		e := <-exits
+		if e.err == nil || failedRank >= 0 {
+			continue
 		}
-	}
-	for r, err := range status {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "reprorun: rank %d: %v\n", r, err)
-			if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() > 0 {
-				os.Exit(ee.ExitCode())
+		failedRank, firstErr, exitCode = e.rank, e.err, 1
+		if ee, ok := e.err.(*exec.ExitError); ok && ee.ExitCode() > 0 {
+			exitCode = ee.ExitCode()
+		}
+		for i, c := range cmds {
+			if i != e.rank {
+				killGroup(c)
 			}
-			os.Exit(1)
 		}
 	}
+	return failedRank, exitCode, firstErr
+}
+
+// killGroup SIGKILLs a worker's whole process group (see the Setpgid
+// note in runWorld).
+func killGroup(cmd *exec.Cmd) {
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	//lint:ignore errcheck world-granular teardown: the group may already be gone
+	syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
 }
 
 // rankAddrs resolves the per-rank listen addresses: explicit -addrs,
@@ -143,11 +252,13 @@ func rankAddrs(network, explicit string, n int) ([]string, func(), error) {
 }
 
 // relay copies one worker's combined output line by line with a rank
-// prefix.
-func relay(rank int, out io.Reader) {
+// prefix, serialized by mu across the world's relays.
+func relay(mu *sync.Mutex, w io.Writer, rank int, out io.Reader) {
 	sc := bufio.NewScanner(out)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
-		fmt.Printf("[rank %d] %s\n", rank, sc.Text())
+		mu.Lock()
+		fmt.Fprintf(w, "[rank %d] %s\n", rank, sc.Text())
+		mu.Unlock()
 	}
 }

@@ -27,7 +27,6 @@ import (
 
 	"repro"
 	"repro/internal/gen"
-	"repro/internal/mpi"
 	"repro/internal/partition"
 )
 
@@ -119,22 +118,16 @@ func main() {
 // with XtraPuLPComm, report from rank 0.
 func runEnvRank(graphPath, genName string, scale int, deg int64, parts, threads int, seed uint64,
 	single, async bool, sizeEpoch int, blockDist bool, out string) {
-	cfg, err := mpi.SocketConfigFromEnv()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 	gn, err := generatorFor(graphPath, genName, scale, deg, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	tr, err := mpi.DialSocket(cfg)
+	c, closeComm, err := repro.SocketComm(threads)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xtrapulp: rendezvous:", err)
+		fmt.Fprintln(os.Stderr, "xtrapulp:", err)
 		os.Exit(1)
 	}
-	c := mpi.NewComm(tr, threads)
 	start := time.Now()
 	assignment, rep, err := repro.XtraPuLPComm(c, gn, repro.Config{
 		Parts: parts, RandomDist: !blockDist, SingleConstraint: single,
@@ -163,7 +156,8 @@ func runEnvRank(graphPath, genName string, scale int, deg int64, parts, threads 
 			fmt.Printf("wrote %s\n", out)
 		}
 	}
-	tr.Close()
+	//lint:ignore errcheck the run is complete; a teardown error cannot change the result
+	closeComm()
 }
 
 // generatorFor builds the distributed run's edge-chunk generator: a

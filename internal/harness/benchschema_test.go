@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/mpi"
 )
 
 // The exchange experiment's JSON artifact must round-trip through the
@@ -22,6 +24,41 @@ func TestExchangeJSONSchema(t *testing.T) {
 	}
 	if err := ValidateExchangeJSON(path); err != nil {
 		t.Fatalf("generated artifact fails its own schema: %v", err)
+	}
+}
+
+// ExchangeSocket's artifact must validate as a partition-only socket
+// document. The function is collective over any communicator, so the
+// in-process world drives it here; the real socket world is exercised
+// by cmd/reprorun's tests and CI's reprorun-launched bench run.
+func TestExchangeSocketJSONSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full partition-path comparison; skipped in -short")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_exchange_socket.json")
+	var buf bytes.Buffer
+	var runErr error
+	mpi.Run(4, func(c *mpi.Comm) {
+		err := ExchangeSocket(c, Config{W: &buf, Scale: Small, Seed: 1, JSONPath: path})
+		if c.Rank() == 0 {
+			runErr = err
+		}
+	})
+	if runErr != nil {
+		t.Fatalf("exchange socket: %v", runErr)
+	}
+	if err := ValidateExchangeJSON(path); err != nil {
+		t.Fatalf("generated socket artifact fails its own schema: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"transport": "socket"`) {
+		t.Fatalf("artifact not stamped with the socket substrate:\n%s", raw)
+	}
+	if strings.Contains(string(raw), `"path": "analytics"`) || strings.Contains(string(raw), `"path": "spmv"`) {
+		t.Fatalf("socket artifact carries paths the socket harness cannot measure:\n%s", raw)
 	}
 }
 
@@ -45,6 +82,12 @@ func TestExchangeJSONSchemaRejects(t *testing.T) {
 		{"badtransport.json", `{"experiment":"exchange","transport":"carrier-pigeon","rows":[{"path":"spmv"}]}`,
 			`transport "carrier-pigeon"`},
 		{"norows.json", `{"experiment":"exchange","transport":"proc","rows":[]}`, "no measurement rows"},
+		{"procpartonly.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[` +
+			`{"path":"partition","graph":"g","mode":"sync","reductions":1,"edgeCut":0.5}]}`, "no analytics rows"},
+		{"socketnopart.json", `{"experiment":"exchange","transport":"socket","pipeDepth":2,"rows":[` +
+			`{"path":"spmv","mode":"sync","reductions":1}]}`, "no partition rows"},
+		{"socketbadpart.json", `{"experiment":"exchange","transport":"socket","pipeDepth":2,"rows":[` +
+			`{"path":"partition","graph":"g","mode":"sync"}]}`, "missing reductions or edgeCut"},
 		{"nodepth.json", `{"experiment":"exchange","transport":"proc","rows":[{"path":"spmv","mode":"sync"}]}`, "pipeDepth 0"},
 		{"spmvnored.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[{"path":"spmv","mode":"sync"}]}`, "missing reductions"},
 		{"shallowpipe.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[{"path":"analytics","mode":"async-delta",` +
@@ -70,6 +113,15 @@ func TestExchangeJSONSchemaRejects(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+	// The socket harness's partition-only shape is the one relaxation:
+	// the same rows that fail a proc artifact above must validate when
+	// stamped with the socket substrate.
+	socketOK := write("socketpartonly.json", `{"experiment":"exchange","transport":"socket","pipeDepth":2,"rows":[`+
+		`{"path":"partition","graph":"g","mode":"sync","reductions":1,"edgeCut":0.5},`+
+		`{"path":"partition","graph":"g","mode":"async-delta","reductions":1,"edgeCut":0.5}]}`)
+	if err := ValidateExchangeJSON(socketOK); err != nil {
+		t.Errorf("partition-only socket artifact rejected: %v", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -59,6 +60,57 @@ func Exchange(cfg Config) error {
 	return writeExchangeJSON(cfg, rows)
 }
 
+// ExchangeSocket is the exchange comparison's partitioning path
+// measured over an externally formed socket world: every rank of the
+// world calls it with the same Config on its own communicator (see
+// repro.SocketComm), the runs are collective, and rank 0 prints the
+// table and writes cfg.JSONPath. Only the partitioning path runs —
+// the analytics and SpMV comparisons spin up one in-process world per
+// measurement (mpi.Run) and have no external-comm form — so the
+// artifact is partition-only and stamped Transport "socket";
+// ValidateExchangeJSON accepts exactly that shape for the socket
+// substrate. Edge cuts are bit-identical to the proc substrate at the
+// same seed and world size: the transport is below the engine's
+// determinism line.
+func ExchangeSocket(c *mpi.Comm, cfg Config) error {
+	w := cfg.W
+	if c.Rank() != 0 || w == nil {
+		w = io.Discard
+	}
+	seed := cfg.seed()
+	const parts = 16
+	var rows []ExchangeRow
+	fmt.Fprintf(w, "Partitioning path over the socket transport (%d ranks):\n", c.Size())
+	t := newTable(w, "Graph", "Ranks", "Mode", "Time(s)", "ExchElems", "Reduction", "Allreduces", "EdgeCut")
+	for _, tg := range representatives(cfg.Scale, seed) {
+		var syncVol int64
+		for _, async := range []bool{false, true} {
+			_, rep, err := repro.XtraPuLPComm(c, tg.gen, repro.Config{
+				Parts: parts, RandomDist: true, Seed: seed,
+				AsyncExchange: async, PipeDepth: cfg.PipeDepth,
+			})
+			if err != nil {
+				return fmt.Errorf("exchange: %s async=%v: %w", tg.name, async, err)
+			}
+			mode, reduction := modeCells(async, &syncVol, rep.ExchangeVolume)
+			t.add(tg.name, fmt.Sprintf("%d", c.Size()), mode, secs(rep.TotalTime),
+				fmt.Sprintf("%d", rep.ExchangeVolume), reduction,
+				fmt.Sprintf("%d", rep.ReductionOps),
+				fmt.Sprintf("%.3f", rep.Quality.EdgeCutRatio))
+			rows = append(rows, ExchangeRow{
+				Path: "partition", Graph: tg.name, Ranks: c.Size(), Mode: mode,
+				WallSeconds: rep.TotalTime.Seconds(), ExchElems: rep.ExchangeVolume,
+				Reductions: ptr(rep.ReductionOps), EdgeCut: ptr(rep.Quality.EdgeCutRatio),
+			})
+		}
+	}
+	t.flush()
+	if c.Rank() != 0 {
+		return nil
+	}
+	return writeExchangeJSONAs(cfg, "socket", rows)
+}
+
 // ExchangeRow is one machine-readable measurement of the exchange
 // comparison. Fields a path does not measure are pointers left nil and
 // omitted from the JSON, so a consumer can tell "measured zero" (the
@@ -112,16 +164,22 @@ type ExchangeRow struct {
 func ptr[T any](v T) *T { return &v }
 
 // writeExchangeJSON writes the collected rows to cfg.JSONPath (no-op
-// when unset).
+// when unset). The harness drives in-process worlds (mpi.Run), so the
+// substrate is stamped proc; the socket-world harness
+// (ExchangeSocket) stamps its own name through writeExchangeJSONAs.
 func writeExchangeJSON(cfg Config, rows []ExchangeRow) error {
+	return writeExchangeJSONAs(cfg, "proc", rows)
+}
+
+// writeExchangeJSONAs writes the collected rows to cfg.JSONPath (no-op
+// when unset) stamped with the named rank substrate.
+func writeExchangeJSONAs(cfg Config, transport string, rows []ExchangeRow) error {
 	if cfg.JSONPath == "" {
 		return nil
 	}
 	// exchangeDoc is shared with the schema validator, so the written
-	// and validated shapes cannot drift apart. The harness drives
-	// in-process worlds (mpi.Run), so the substrate is always proc; a
-	// future socket-world harness must stamp its own name here.
-	doc := exchangeDoc{Experiment: "exchange", Transport: "proc", Scale: cfg.Scale.String(),
+	// and validated shapes cannot drift apart.
+	doc := exchangeDoc{Experiment: "exchange", Transport: transport, Scale: cfg.Scale.String(),
 		Seed: cfg.seed(), PipeDepth: cfg.pipeDepth(), Rows: rows}
 	f, err := os.Create(cfg.JSONPath)
 	if err != nil {

@@ -86,6 +86,17 @@ func transportUseAfterRecycle(tr mpi.Transport) int64 {
 	return v + msg[1] // want "used after Recycle64"
 }
 
+// watchdogCapture: a liveness-monitor-style helper goroutine holding a
+// pooled socket receive buffer past its round window. The transport's
+// own heartbeat loop recycles ping payloads inline for exactly this
+// reason; user-level watchdogs must copy what they keep.
+func watchdogCapture(st *mpi.SocketTransport, alarm chan []int64) {
+	msg, _ := st.Recv64(1)
+	go func() { // want "goroutine captures"
+		alarm <- msg // want "sent on a channel"
+	}()
+}
+
 // the shapes below copy before retaining and must produce no findings.
 
 func copied(c *mpi.Comm, s *sink) {

@@ -80,6 +80,17 @@ func condSocketAllreduce(st *mpi.SocketTransport, v []int64) {
 	}
 }
 
+// condSocketBarrier: the shape the socket transport's collective
+// watchdog (SocketConfig.CollTimeout) turns from a silent hang into a
+// runtime panic on the stragglers — the analyzer rejects it before a
+// world ever runs, watchdog or not.
+func condSocketBarrier(st *mpi.SocketTransport) {
+	if st.Rank() == 0 {
+		st.Barrier() // want "SocketTransport.Barrier"
+	}
+	st.Barrier()
+}
+
 // symmetric shapes below must produce no findings.
 
 func symmetricRounds(ex *dgraph.DeltaExchanger, q []dgraph.Update) []dgraph.Update {

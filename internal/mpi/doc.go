@@ -20,13 +20,25 @@
 //     its own OS process, connected pairwise over Unix or TCP sockets
 //     carrying internal/wire frames. Rendezvous comes from explicit
 //     SocketConfig or the REPRO_RANK/REPRO_SIZE/REPRO_NET/REPRO_ADDRS
-//     environment a launcher (cmd/reprorun) sets.
+//     environment a launcher (cmd/reprorun) sets, and is bounded by
+//     SocketConfig.Timeout — DefaultRendezvousTimeout (30s) when zero;
+//     SocketConfigFromEnv rejects a non-positive REPRO_TIMEOUT rather
+//     than let it disable the deadline. Within the deadline each peer
+//     connection retries transient dial and handshake failures with
+//     jittered exponential backoff (SocketConfig.Retry), and the
+//     optional liveness knobs (SocketConfig.Heartbeat, CollTimeout)
+//     turn a dead peer or a skipped collective into a named per-peer
+//     failure instead of a hang — see the "Failure semantics" section
+//     of docs/ARCHITECTURE.md for the full retry/watchdog state
+//     machine.
 //
 // Both transports fold reductions in ascending rank order, so
 // floating-point collective results — and therefore partitions and
 // analytics values — are bit-identical across substrates at fixed
 // seeds. internal/mpitest's RunTransportConformance holds every
-// implementation to the same contract.
+// implementation to the same contract, including a chaos tier that
+// injects resets, truncation, stalls, and peer kills through
+// mpitest.ChaosProxy.
 //
 // # Semantics
 //

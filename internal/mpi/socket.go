@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"os"
 	"strconv"
@@ -20,7 +21,9 @@ import (
 // SocketConfig describes one rank's place in a multi-process world
 // connected over stream sockets. Every rank must be started with the
 // same Size and Addrs; Addrs[r] is the address rank r listens on
-// ("host:port" for tcp, a filesystem path for unix).
+// ("host:port" for tcp, a filesystem path for unix). The liveness
+// knobs (Heartbeat, CollTimeout) must be identical on every rank — a
+// rank without heartbeats looks dead to a rank expecting them.
 type SocketConfig struct {
 	// Network is the stream network to use: "tcp" or "unix".
 	Network string
@@ -31,24 +34,78 @@ type SocketConfig struct {
 	// Addrs holds each rank's listen address, indexed by rank.
 	Addrs []string
 	// Timeout bounds the rendezvous (listen + dial + handshake);
-	// zero means 30 seconds.
+	// zero means DefaultRendezvousTimeout. Negative is rejected by
+	// SocketConfigFromEnv and treated as the default here.
 	Timeout time.Duration
+	// Retry shapes the per-peer rendezvous retry loop.
+	Retry SocketRetry
+	// Heartbeat enables the liveness watchdog: a connection idle on the
+	// send side past this threshold carries a wire.KindPing frame, and a
+	// peer silent past heartbeatMissFactor times this threshold is
+	// declared dead with a per-peer TransportFailure naming the rank,
+	// direction, and last-progress time. Zero disables the watchdog
+	// (a dead peer then surfaces only when the kernel notices).
+	Heartbeat time.Duration
+	// CollTimeout bounds every single wait inside a collective; a rank
+	// still waiting after it panics with a diagnostic naming the silent
+	// peer — the runtime complement to reprolint's static collectivesym
+	// check for conditional-collective deadlocks. Zero disables.
+	CollTimeout time.Duration
 }
+
+// SocketRetry configures the rendezvous retry loop of DialSocket: a
+// refused dial, a not-yet-listening peer, or a handshake cut mid-frame
+// is retried with jittered exponential backoff until the rendezvous
+// deadline (or Max attempts) is reached.
+type SocketRetry struct {
+	// Max caps connection attempts per peer; <= 0 means unbounded
+	// (the rendezvous deadline is then the only bound).
+	Max int
+	// BaseDelay is the backoff before the second attempt; it doubles
+	// per attempt (capped at retryMaxDelay) with ±50% jitter so peers
+	// hammering one slow listener decorrelate. <= 0 means
+	// defaultRetryBase.
+	BaseDelay time.Duration
+}
+
+// DefaultRendezvousTimeout bounds the rendezvous when
+// SocketConfig.Timeout is zero.
+const DefaultRendezvousTimeout = 30 * time.Second
+
+// Rendezvous retry tuning: the first backoff delay and the cap the
+// exponential doubling saturates at.
+const (
+	defaultRetryBase = 2 * time.Millisecond
+	retryMaxDelay    = 250 * time.Millisecond
+)
+
+// heartbeatMissFactor is the liveness miss window in heartbeat units: a
+// peer that produced no traffic for heartbeatMissFactor*Heartbeat is
+// declared dead. Pings flow after one idle Heartbeat, so a live but
+// quiet peer refreshes the window several times before it closes.
+const heartbeatMissFactor = 4
 
 // Environment variables understood by SocketConfigFromEnv; cmd/reprorun
 // sets them when launching worker processes.
 const (
-	EnvRank    = "REPRO_RANK"
-	EnvSize    = "REPRO_SIZE"
-	EnvNet     = "REPRO_NET"
-	EnvAddrs   = "REPRO_ADDRS"
-	EnvTimeout = "REPRO_TIMEOUT"
+	EnvRank        = "REPRO_RANK"
+	EnvSize        = "REPRO_SIZE"
+	EnvNet         = "REPRO_NET"
+	EnvAddrs       = "REPRO_ADDRS"
+	EnvTimeout     = "REPRO_TIMEOUT"
+	EnvRetryMax    = "REPRO_RETRY_MAX"
+	EnvRetryBase   = "REPRO_RETRY_BASE"
+	EnvHeartbeat   = "REPRO_HEARTBEAT"
+	EnvCollTimeout = "REPRO_COLL_TIMEOUT"
 )
 
 // SocketConfigFromEnv builds a SocketConfig from the REPRO_* variables
 // a launcher passes to worker processes: REPRO_RANK, REPRO_SIZE,
 // REPRO_ADDRS (comma-separated, indexed by rank), REPRO_NET (default
-// "unix") and optionally REPRO_TIMEOUT (a time.ParseDuration string).
+// "unix") and optionally REPRO_TIMEOUT (a time.ParseDuration string,
+// strictly positive — a zero or negative timeout would disable the
+// rendezvous deadline entirely and is rejected), REPRO_RETRY_MAX,
+// REPRO_RETRY_BASE, REPRO_HEARTBEAT, and REPRO_COLL_TIMEOUT.
 func SocketConfigFromEnv() (SocketConfig, error) {
 	var cfg SocketConfig
 	rank, err := strconv.Atoi(os.Getenv(EnvRank))
@@ -70,9 +127,48 @@ func SocketConfigFromEnv() (SocketConfig, error) {
 		if err != nil {
 			return cfg, fmt.Errorf("mpi: bad %s: %v", EnvTimeout, err)
 		}
+		if d <= 0 {
+			return cfg, fmt.Errorf("mpi: %s %q must be positive (it bounds the rendezvous; the default is %v)", EnvTimeout, s, DefaultRendezvousTimeout)
+		}
 		cfg.Timeout = d
 	}
+	if s := os.Getenv(EnvRetryMax); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return cfg, fmt.Errorf("mpi: bad %s %q: want a non-negative attempt count", EnvRetryMax, s)
+		}
+		cfg.Retry.Max = n
+	}
+	if d, err := envDuration(EnvRetryBase); err != nil {
+		return cfg, err
+	} else {
+		cfg.Retry.BaseDelay = d
+	}
+	if d, err := envDuration(EnvHeartbeat); err != nil {
+		return cfg, err
+	} else {
+		cfg.Heartbeat = d
+	}
+	if d, err := envDuration(EnvCollTimeout); err != nil {
+		return cfg, err
+	} else {
+		cfg.CollTimeout = d
+	}
 	return cfg, nil
+}
+
+// envDuration parses an optional non-negative duration variable (empty
+// or "0" disables the corresponding mechanism).
+func envDuration(name string) (time.Duration, error) {
+	s := os.Getenv(name)
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("mpi: bad %s %q: want a non-negative duration", name, s)
+	}
+	return d, nil
 }
 
 // helloMagic is the first payload word of a KindHello frame; it guards
@@ -118,14 +214,40 @@ func (q *frameQueue) put(payload []int64, tag uint32) {
 }
 
 func (q *frameQueue) take() ([]int64, uint32) {
+	payload, tag, _ := q.takeTimeout(0)
+	return payload, tag
+}
+
+// takeTimeout is take with an optional bound: with timeout > 0 a wait
+// that exceeds it returns ok == false instead of blocking forever (the
+// collective watchdog's hook). A queued frame always wins over an
+// expired timer, and a poisoned queue still panics with
+// TransportFailure.
+func (q *frameQueue) takeTimeout(timeout time.Duration) (payload []int64, tag uint32, ok bool) {
 	q.mu.Lock()
-	for q.head == len(q.frames) && q.err == nil {
+	expired := false
+	var timer *time.Timer
+	for q.head == len(q.frames) && q.err == nil && !expired {
+		if timeout > 0 && timer == nil {
+			timer = time.AfterFunc(timeout, func() {
+				q.mu.Lock()
+				expired = true
+				q.mu.Unlock()
+				q.cond.Broadcast()
+			})
+		}
 		q.cond.Wait()
 	}
+	if timer != nil {
+		timer.Stop()
+	}
 	if q.head == len(q.frames) {
-		err := q.err
+		if err := q.err; err != nil {
+			q.mu.Unlock()
+			panic(TransportFailure{Err: err})
+		}
 		q.mu.Unlock()
-		panic(TransportFailure{Err: err})
+		return nil, 0, false
 	}
 	f := q.frames[q.head]
 	q.frames[q.head] = sockFrame{}
@@ -135,7 +257,7 @@ func (q *frameQueue) take() ([]int64, uint32) {
 		q.head = 0
 	}
 	q.mu.Unlock()
-	return f.payload, f.tag
+	return f.payload, f.tag, true
 }
 
 func (q *frameQueue) fail(err error) {
@@ -160,6 +282,22 @@ type sockConn struct {
 	br   *bufio.Reader
 	wch  chan []byte
 	dead atomic.Bool
+	// lastRecv and lastSend hold the UnixNano time of the last inbound
+	// frame and the last flushed outbound byte; the liveness watchdog
+	// reads them to decide when a connection is idle (ping it) or a
+	// peer is silent past the miss window (declare it dead).
+	lastRecv atomic.Int64
+	lastSend atomic.Int64
+}
+
+// newSockConn builds a connection record with both progress clocks
+// started at the handshake.
+func newSockConn(peer int, nc net.Conn, br *bufio.Reader) *sockConn {
+	sc := &sockConn{peer: peer, nc: nc, br: br, wch: make(chan []byte, writerQueueDepth)}
+	now := time.Now().UnixNano()
+	sc.lastRecv.Store(now)
+	sc.lastSend.Store(now)
+	return sc
 }
 
 // SocketTransport is the multi-process Transport: one OS process per
@@ -180,6 +318,9 @@ type SocketTransport struct {
 	collQ      []*frameQueue
 	seq        uint32 // collective sequence; main goroutine only
 
+	heartbeat   time.Duration // liveness watchdog threshold; 0 disables
+	collTimeout time.Duration // collective watchdog bound; 0 disables
+
 	closing   atomic.Bool
 	failed    atomic.Bool
 	failMu    sync.Mutex
@@ -187,13 +328,19 @@ type SocketTransport struct {
 	done      chan struct{}
 	closeOnce sync.Once
 	rwg, wwg  sync.WaitGroup
+	hbwg      sync.WaitGroup
 }
 
 // DialSocket performs the rendezvous for one rank of a socket world:
 // listen on Addrs[Rank], accept a connection from every higher rank,
 // dial every lower rank, and exchange hello frames validating protocol
-// magic, world size, and peer identity. It blocks until the full
-// neighbor set is connected or the timeout expires.
+// magic, world size, and peer identity. Transient failures — a peer
+// whose listener is not up yet, a refused or reset dial, a handshake
+// cut mid-frame — are retried per peer with jittered exponential
+// backoff (SocketConfig.Retry) until the rendezvous deadline; a
+// connection announcing a malformed hello is rejected by itself
+// without aborting the rest of the rendezvous. DialSocket blocks until
+// the full neighbor set is connected or the timeout expires.
 func DialSocket(cfg SocketConfig) (*SocketTransport, error) {
 	if cfg.Size <= 0 {
 		return nil, fmt.Errorf("mpi: socket world size %d", cfg.Size)
@@ -206,17 +353,19 @@ func DialSocket(cfg SocketConfig) (*SocketTransport, error) {
 	}
 	timeout := cfg.Timeout
 	if timeout <= 0 {
-		timeout = 30 * time.Second
+		timeout = DefaultRendezvousTimeout
 	}
 	deadline := time.Now().Add(timeout)
 
 	t := &SocketTransport{
-		rank:  cfg.Rank,
-		size:  cfg.Size,
-		conns: make([]*sockConn, cfg.Size),
-		dataQ: make([]*frameQueue, cfg.Size),
-		collQ: make([]*frameQueue, cfg.Size),
-		done:  make(chan struct{}),
+		rank:        cfg.Rank,
+		size:        cfg.Size,
+		conns:       make([]*sockConn, cfg.Size),
+		dataQ:       make([]*frameQueue, cfg.Size),
+		collQ:       make([]*frameQueue, cfg.Size),
+		heartbeat:   cfg.Heartbeat,
+		collTimeout: cfg.CollTimeout,
+		done:        make(chan struct{}),
 	}
 	for r := range t.dataQ {
 		t.dataQ[r] = newFrameQueue()
@@ -236,21 +385,7 @@ func DialSocket(cfg SocketConfig) (*SocketTransport, error) {
 		go func() {
 			defer ln.Close()
 			defer timer.Stop()
-			for need := cfg.Size - 1 - cfg.Rank; need > 0; need-- {
-				nc, err := ln.Accept()
-				if err != nil {
-					acceptErr <- fmt.Errorf("mpi: rank %d accept (rendezvous timeout?): %w", cfg.Rank, err)
-					return
-				}
-				peer, err := t.handshakeAccept(nc, cfg, deadline)
-				if err != nil {
-					nc.Close()
-					acceptErr <- err
-					return
-				}
-				_ = peer
-			}
-			acceptErr <- nil
+			acceptErr <- t.acceptPeers(ln, cfg, deadline)
 		}()
 	} else {
 		acceptErr <- nil
@@ -258,13 +393,7 @@ func DialSocket(cfg SocketConfig) (*SocketTransport, error) {
 
 	var dialErr error
 	for j := 0; j < cfg.Rank; j++ {
-		nc, err := dialRetry(cfg.Network, cfg.Addrs[j], deadline)
-		if err != nil {
-			dialErr = fmt.Errorf("mpi: rank %d dial rank %d: %w", cfg.Rank, j, err)
-			break
-		}
-		if err := t.handshakeDial(nc, j, cfg, deadline); err != nil {
-			nc.Close()
+		if err := t.dialPeer(j, cfg, deadline); err != nil {
 			dialErr = err
 			break
 		}
@@ -291,7 +420,109 @@ func DialSocket(cfg SocketConfig) (*SocketTransport, error) {
 		t.wwg.Add(1)
 		go t.writeLoop(sc)
 	}
+	if t.heartbeat > 0 {
+		t.hbwg.Add(1)
+		go t.heartbeatLoop()
+	}
 	return t, nil
+}
+
+// acceptPeers accepts and handshakes inbound connections until every
+// higher rank is connected. A connection whose hello is malformed or
+// cut is rejected per-pair — closed and forgotten, while the loop keeps
+// accepting — because the real peer retries on a fresh connection; only
+// a listener failure (usually the rendezvous deadline closing it)
+// aborts, and the abort names the last rejected peer so a
+// misconfigured world does not hide behind a bare timeout.
+func (t *SocketTransport) acceptPeers(ln net.Listener, cfg SocketConfig, deadline time.Time) error {
+	var lastReject error
+	remaining := cfg.Size - 1 - cfg.Rank
+	for remaining > 0 {
+		nc, err := ln.Accept()
+		if err != nil {
+			if lastReject != nil {
+				return fmt.Errorf("mpi: rank %d accept (rendezvous timeout? last rejected peer: %v): %w", cfg.Rank, lastReject, err)
+			}
+			return fmt.Errorf("mpi: rank %d accept (rendezvous timeout?): %w", cfg.Rank, err)
+		}
+		replaced, err := t.handshakeAccept(nc, cfg, deadline)
+		if err != nil {
+			nc.Close()
+			lastReject = err
+			continue
+		}
+		if !replaced {
+			remaining--
+		}
+	}
+	return nil
+}
+
+// dialPeer connects to rank j with jittered exponential backoff:
+// transient rendezvous failures (no listener yet, refused or reset
+// dial, handshake short-read) retry until the deadline or the
+// configured attempt cap, and the final error carries the attempt
+// count. Protocol-fatal handshake errors (wrong world size, wrong rank
+// answering, non-protocol peer) abort immediately.
+func (t *SocketTransport) dialPeer(j int, cfg SocketConfig, deadline time.Time) error {
+	base := cfg.Retry.BaseDelay
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	delay := base
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if cfg.Retry.Max > 0 && attempt > cfg.Retry.Max {
+			return fmt.Errorf("mpi: rank %d dial rank %d: retry budget exhausted after %d attempts: %w", cfg.Rank, j, cfg.Retry.Max, lastErr)
+		}
+		nc, err := net.DialTimeout(cfg.Network, cfg.Addrs[j], time.Until(deadline))
+		if err == nil {
+			err = t.handshakeDial(nc, j, cfg, deadline)
+			if err == nil {
+				return nil
+			}
+			nc.Close()
+			if !rendezvousRetryable(err) {
+				return fmt.Errorf("mpi: rank %d dial rank %d (attempt %d): %w", cfg.Rank, j, attempt, err)
+			}
+		}
+		lastErr = err
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("mpi: rank %d dial rank %d: rendezvous deadline after %d attempts: %w", cfg.Rank, j, attempt, lastErr)
+		}
+		sleepJittered(delay, deadline)
+		if delay *= 2; delay > retryMaxDelay {
+			delay = retryMaxDelay
+		}
+	}
+}
+
+// rendezvousRetryable classifies a handshake error: network-level
+// failures and frames cut mid-read are transient (the peer may be slow,
+// restarting, or behind a flaky link) and worth retrying; a well-formed
+// hello announcing the wrong world or rank is a configuration error and
+// fatal.
+func rendezvousRetryable(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, wire.ErrTruncated) ||
+		errors.Is(err, wire.ErrBadLength)
+}
+
+// sleepJittered sleeps for d with ±50% jitter, never past the
+// rendezvous deadline.
+func sleepJittered(d time.Duration, deadline time.Time) {
+	jittered := d/2 + time.Duration(rand.Int63n(int64(d)+1))
+	if until := time.Until(deadline); jittered > until {
+		jittered = until
+	}
+	if jittered > 0 {
+		time.Sleep(jittered)
+	}
 }
 
 // NewSocketWorld builds an n-rank socket world inside one process by
@@ -329,21 +560,6 @@ func NewSocketWorld(network string, addrs []string, timeout time.Duration) ([]Tr
 	return ts, nil
 }
 
-// dialRetry dials until the peer's listener is up or the deadline
-// passes; peers of a rendezvous start in arbitrary order.
-func dialRetry(network, addr string, deadline time.Time) (net.Conn, error) {
-	for {
-		nc, err := net.DialTimeout(network, addr, time.Until(deadline))
-		if err == nil {
-			return nc, nil
-		}
-		if time.Now().After(deadline) {
-			return nil, err
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-}
-
 // helloFrame encodes this rank's hello: tag carries the sender rank,
 // payload the protocol magic and the expected world size.
 func helloFrame(rank, size int) []byte {
@@ -367,25 +583,30 @@ func readHello(br *bufio.Reader, cfg SocketConfig) (int, error) {
 }
 
 // handshakeAccept validates an inbound connection (which must announce
-// a higher rank than ours) and replies with our own hello.
-func (t *SocketTransport) handshakeAccept(nc net.Conn, cfg SocketConfig, deadline time.Time) (int, error) {
+// a higher rank than ours) and replies with our own hello. A second
+// connection from an already-connected peer replaces the first
+// (replaced == true): it means the dialer's handshake-reply read was
+// cut and it retried on a fresh connection, so the newest connection is
+// the one the peer will actually use.
+func (t *SocketTransport) handshakeAccept(nc net.Conn, cfg SocketConfig, deadline time.Time) (replaced bool, err error) {
 	nc.SetDeadline(deadline)
 	br := bufio.NewReader(nc)
 	peer, err := readHello(br, cfg)
 	if err != nil {
-		return -1, err
+		return false, err
 	}
 	if peer <= cfg.Rank || peer >= cfg.Size {
-		return -1, fmt.Errorf("mpi: rank %d handshake: unexpected dial from rank %d", cfg.Rank, peer)
-	}
-	if t.conns[peer] != nil {
-		return -1, fmt.Errorf("mpi: rank %d handshake: duplicate connection from rank %d", cfg.Rank, peer)
+		return false, fmt.Errorf("mpi: rank %d handshake: unexpected dial from rank %d", cfg.Rank, peer)
 	}
 	if _, err := nc.Write(helloFrame(cfg.Rank, cfg.Size)); err != nil {
-		return -1, fmt.Errorf("mpi: rank %d handshake reply to rank %d: %w", cfg.Rank, peer, err)
+		return false, fmt.Errorf("mpi: rank %d handshake reply to rank %d: %w", cfg.Rank, peer, err)
 	}
-	t.conns[peer] = &sockConn{peer: peer, nc: nc, br: br, wch: make(chan []byte, writerQueueDepth)}
-	return peer, nil
+	if old := t.conns[peer]; old != nil {
+		old.nc.Close()
+		replaced = true
+	}
+	t.conns[peer] = newSockConn(peer, nc, br)
+	return replaced, nil
 }
 
 // handshakeDial sends our hello on an outbound connection to rank j and
@@ -403,7 +624,7 @@ func (t *SocketTransport) handshakeDial(nc net.Conn, j int, cfg SocketConfig, de
 	if peer != j {
 		return fmt.Errorf("mpi: rank %d dialed %s for rank %d but rank %d answered", cfg.Rank, cfg.Addrs[j], j, peer)
 	}
-	t.conns[j] = &sockConn{peer: j, nc: nc, br: br, wch: make(chan []byte, writerQueueDepth)}
+	t.conns[j] = newSockConn(j, nc, br)
 	return nil
 }
 
@@ -451,16 +672,29 @@ func (t *SocketTransport) failure() TransportFailure {
 
 // readLoop decodes frames off one connection and demultiplexes them
 // into the peer's data or collective queue. Any decode error or peer
-// disappearance poisons the transport (unless we are closing).
+// disappearance poisons that peer (unless we are closing). With the
+// liveness watchdog enabled the read carries a rolling deadline of
+// heartbeatMissFactor heartbeats: every arriving frame — data,
+// collective, or ping — refreshes it, so the deadline fires only when
+// the peer produced nothing at all for the whole miss window, and the
+// failure names the rank, direction, and last-progress time.
 func (t *SocketTransport) readLoop(sc *sockConn) {
 	defer t.rwg.Done()
+	missWindow := heartbeatMissFactor * t.heartbeat
 	for {
+		if missWindow > 0 {
+			sc.nc.SetReadDeadline(time.Now().Add(missWindow))
+		}
 		kind, tag, payload, err := wire.ReadFrame(sc.br, t.pool.get)
 		if err != nil {
 			if t.closing.Load() {
 				return
 			}
-			if err == io.EOF {
+			last := time.Unix(0, sc.lastRecv.Load())
+			if missWindow > 0 && time.Since(last) >= missWindow {
+				err = fmt.Errorf("liveness watchdog: rank %d sent nothing for %v (direction recv, last progress %s): peer dead or wedged",
+					sc.peer, time.Since(last).Round(time.Millisecond), last.Format(time.StampMilli))
+			} else if err == io.EOF {
 				err = fmt.Errorf("peer rank %d closed the connection", sc.peer)
 			} else {
 				err = fmt.Errorf("read from rank %d: %w", sc.peer, err)
@@ -468,11 +702,14 @@ func (t *SocketTransport) readLoop(sc *sockConn) {
 			t.failPeer(sc.peer, err)
 			return
 		}
+		sc.lastRecv.Store(time.Now().UnixNano())
 		switch kind {
 		case wire.KindData:
 			t.dataQ[sc.peer].put(payload, tag)
 		case wire.KindColl:
 			t.collQ[sc.peer].put(payload, tag)
+		case wire.KindPing:
+			t.pool.put(payload) // progress marker only; never queued
 		default:
 			t.failPeer(sc.peer, fmt.Errorf("read from rank %d: unexpected frame kind %d after handshake", sc.peer, kind))
 			return
@@ -483,19 +720,37 @@ func (t *SocketTransport) readLoop(sc *sockConn) {
 // writeLoop writes queued frames to one connection, flushing whenever
 // the queue goes idle. After a write error it keeps draining the
 // channel (senders must never block on a dead connection) until Close.
+// With the liveness watchdog enabled each write carries a rolling
+// deadline: a peer that stops reading (wedged, not merely quiet) turns
+// into a per-peer failure naming the rank, direction, and last-progress
+// time once its socket buffers fill and the deadline fires.
 func (t *SocketTransport) writeLoop(sc *sockConn) {
 	defer t.wwg.Done()
 	bw := bufio.NewWriter(sc.nc)
+	missWindow := heartbeatMissFactor * t.heartbeat
 	dead := false
+	fail := func(err error) {
+		if !t.closing.Load() {
+			last := time.Unix(0, sc.lastSend.Load())
+			if missWindow > 0 && time.Since(last) >= missWindow {
+				err = fmt.Errorf("liveness watchdog: rank %d accepted nothing for %v (direction send, last progress %s): peer dead or wedged",
+					sc.peer, time.Since(last).Round(time.Millisecond), last.Format(time.StampMilli))
+			} else {
+				err = fmt.Errorf("write to rank %d: %w", sc.peer, err)
+			}
+			t.failPeer(sc.peer, err)
+		}
+		dead = true
+	}
 	write := func(buf []byte) {
 		if dead {
 			return
 		}
+		if missWindow > 0 {
+			sc.nc.SetWriteDeadline(time.Now().Add(missWindow))
+		}
 		if _, err := bw.Write(buf); err != nil {
-			if !t.closing.Load() {
-				t.failPeer(sc.peer, fmt.Errorf("write to rank %d: %w", sc.peer, err))
-			}
-			dead = true
+			fail(err)
 		}
 	}
 	for {
@@ -504,10 +759,9 @@ func (t *SocketTransport) writeLoop(sc *sockConn) {
 			write(buf)
 			if !dead && len(sc.wch) == 0 {
 				if err := bw.Flush(); err != nil {
-					if !t.closing.Load() {
-						t.failPeer(sc.peer, fmt.Errorf("write to rank %d: %w", sc.peer, err))
-					}
-					dead = true
+					fail(err)
+				} else {
+					sc.lastSend.Store(time.Now().UnixNano())
 				}
 			}
 		case <-t.done:
@@ -520,6 +774,39 @@ func (t *SocketTransport) writeLoop(sc *sockConn) {
 						bw.Flush() //lint:ignore errcheck closing teardown: the peer may already be gone, and there is nobody left to hand the error to
 					}
 					return
+				}
+			}
+		}
+	}
+}
+
+// heartbeatLoop keeps idle connections visibly alive: every half
+// heartbeat it scans the neighbor set and enqueues one wire.KindPing on
+// each connection whose send side has been idle past the heartbeat
+// threshold. The enqueue is non-blocking — a full writer queue means
+// real traffic is in flight, which is better liveness evidence than a
+// ping. Exits at Close (writers drain after it, so no ping is ever
+// written to a closed connection's buffer mid-teardown).
+func (t *SocketTransport) heartbeatLoop() {
+	defer t.hbwg.Done()
+	ping := wire.AppendFrame(nil, wire.KindPing, 0, nil)
+	ticker := time.NewTicker(t.heartbeat / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.done:
+			return
+		case now := <-ticker.C:
+			for _, sc := range t.conns {
+				if sc == nil || sc.dead.Load() {
+					continue
+				}
+				if now.Sub(time.Unix(0, sc.lastSend.Load())) < t.heartbeat {
+					continue
+				}
+				select {
+				case sc.wch <- ping:
+				default:
 				}
 			}
 		}
@@ -585,8 +872,21 @@ func (t *SocketTransport) collSend(dst int, seq uint32, payload []int64) {
 	t.enqueueFrame(dst, wire.KindColl, seq, payload)
 }
 
+// collRecv waits for rank src's contribution to collective seq. With
+// SocketConfig.CollTimeout set, a wait past the bound panics with a
+// diagnostic naming the silent peer — the runtime complement to
+// reprolint's static collectivesym check: a conditional collective
+// (one rank skipped Barrier) or a dead peer becomes a named panic
+// instead of a world-wide hang. The panic is deliberately not a
+// TransportFailure: it is an original failure on this rank, so
+// RunWorld-style supervisors report it rather than suppressing it as
+// secondary poison.
 func (t *SocketTransport) collRecv(src int, seq uint32) []int64 {
-	payload, tag := t.collQ[src].take()
+	payload, tag, ok := t.collQ[src].takeTimeout(t.collTimeout)
+	if !ok {
+		panic(fmt.Sprintf("mpi: collective watchdog: rank %d received nothing from rank %d inside collective %d for %v — peer dead, skewed, or in a conditional collective",
+			t.rank, src, seq, t.collTimeout))
+	}
 	if tag != seq {
 		panic(fmt.Sprintf("mpi: collective sequence skew with rank %d: frame %d arrived inside collective %d", src, tag, seq))
 	}
@@ -776,12 +1076,19 @@ func (t *SocketTransport) Abort() {
 	}
 }
 
-// Close shuts the transport down in order: writers flush everything
-// already queued and exit, then connections close and readers exit. It
-// is safe to call once per transport after the rank function returns.
+// Close shuts the transport down in order: the heartbeat stops, writers
+// flush everything already queued and exit, then connections close and
+// readers exit, and finally every receive queue is poisoned with a
+// "transport closed" failure. The poison makes Close safe concurrent
+// with an in-flight Recv64 — the blocked receiver unwinds with a
+// TransportFailure instead of hanging forever — while frames already
+// queued are still delivered first (poison only surfaces on an empty
+// queue). Close is idempotent: second and later calls redo only
+// already-settled steps.
 func (t *SocketTransport) Close() error {
 	t.closing.Store(true)
 	t.closeOnce.Do(func() { close(t.done) })
+	t.hbwg.Wait()
 	t.wwg.Wait()
 	for _, sc := range t.conns {
 		if sc != nil {
@@ -789,6 +1096,11 @@ func (t *SocketTransport) Close() error {
 		}
 	}
 	t.rwg.Wait()
+	closedErr := errors.New("transport closed")
+	for r := range t.dataQ {
+		t.dataQ[r].fail(closedErr)
+		t.collQ[r].fail(closedErr)
+	}
 	return nil
 }
 

@@ -20,7 +20,7 @@ func TestProcTransportConformance(t *testing.T) {
 }
 
 func TestUnixSocketTransportConformance(t *testing.T) {
-	RunTransportConformance(t, UnixSocketFactory)
+	RunTransportConformance(t, UnixSocketFactory, WithChaos())
 }
 
 // faultFactories are the worlds the fault-injection tests run over.
@@ -205,6 +205,104 @@ func TestSocketMultiProcess(t *testing.T) {
 			}
 			if int32(p) != ref[v] {
 				t.Fatalf("worker %d partition diverges from in-process reference at vertex %d: %d != %d", r, v, p, ref[v])
+			}
+		}
+	}
+}
+
+// TestSocketMultiProcessChaos is the multi-process acceptance run for
+// the chaos tier: four real worker processes rendezvous through
+// ChaosProxy instances that reset the first connection to each of two
+// ranks mid-handshake. The retrying rendezvous must absorb the faults
+// and every worker's partition must stay bit-identical to the
+// in-process reference — the chaos is fully transparent.
+func TestSocketMultiProcessChaos(t *testing.T) {
+	if os.Getenv("REPRO_MPITEST_WORKER") == "1" {
+		multiProcessWorker(t)
+		return
+	}
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("executable: %v", err)
+	}
+	ref := EngineReference(t)
+	dir := t.TempDir()
+	real := make([]string, engineRanks)
+	for r := range real {
+		real[r] = filepath.Join(dir, fmt.Sprintf("rank%d.sock", r))
+	}
+	// Proxy every rank's address; reset the first handshake into ranks
+	// 0 and 1, relay the rest cleanly.
+	proxied := make([]string, engineRanks)
+	for r := range real {
+		plan := ChaosPlan{Kind: ChaosReset, Seed: int64(100 + r), MinBytes: 1, MaxBytes: 20, Once: true}
+		if r >= 2 {
+			plan = ChaosPlan{Kind: ChaosReset, Seed: int64(100 + r), MinBytes: 1 << 30, MaxBytes: 1 << 30} // fault point never reached
+		}
+		proxied[r] = NewChaosProxy(t, "unix", real[r], plan).Addr()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	cmds := make([]*exec.Cmd, engineRanks)
+	outs := make([]string, engineRanks)
+	for r := 0; r < engineRanks; r++ {
+		outs[r] = filepath.Join(dir, fmt.Sprintf("parts%d.txt", r))
+		// Worker r listens on its real address and dials everyone else
+		// through the proxies.
+		addrs := make([]string, engineRanks)
+		for j := range addrs {
+			if j == r {
+				addrs[j] = real[j]
+			} else {
+				addrs[j] = proxied[j]
+			}
+		}
+		cmd := exec.CommandContext(ctx, exe, "-test.run=^TestSocketMultiProcessChaos$", "-test.count=1")
+		cmd.Env = append(os.Environ(),
+			"REPRO_MPITEST_WORKER=1",
+			"REPRO_MPITEST_OUT="+outs[r],
+			mpi.EnvRank+"="+strconv.Itoa(r),
+			mpi.EnvSize+"="+strconv.Itoa(engineRanks),
+			mpi.EnvNet+"=unix",
+			mpi.EnvAddrs+"="+strings.Join(addrs, ","),
+			mpi.EnvTimeout+"=60s",
+			mpi.EnvRetryBase+"=1ms",
+			mpi.EnvHeartbeat+"=500ms",
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start worker %d: %v", r, err)
+		}
+		cmds[r] = cmd
+	}
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("worker %d: %v", r, err)
+		}
+	}
+	if t.Failed() {
+		return
+	}
+	for r := 0; r < engineRanks; r++ {
+		raw, err := os.ReadFile(outs[r])
+		if err != nil {
+			t.Fatalf("worker %d output: %v", r, err)
+		}
+		fields := strings.Fields(string(raw))
+		if len(fields) != len(ref) {
+			t.Fatalf("worker %d: %d parts, want %d", r, len(fields), len(ref))
+		}
+		for v, f := range fields {
+			p, err := strconv.Atoi(f)
+			if err != nil {
+				t.Fatalf("worker %d vertex %d: %v", r, v, err)
+			}
+			if int32(p) != ref[v] {
+				t.Fatalf("worker %d partition diverges from in-process reference at vertex %d under chaos: %d != %d", r, v, p, ref[v])
 			}
 		}
 	}

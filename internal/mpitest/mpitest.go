@@ -56,10 +56,30 @@ func UnixSocketFactory(tb testing.TB, n int) []mpi.Transport {
 	return ts
 }
 
+// Option configures RunTransportConformance.
+type Option func(*confOptions)
+
+type confOptions struct {
+	chaos bool
+}
+
+// WithChaos enables the chaos tier: wire-level fault injection through
+// ChaosProxy (resets, truncation, stalls, kills) plus the watchdog and
+// Close-hardening checks. The tier builds socket worlds directly —
+// the faults live below the Transport interface — so pass it only from
+// the socket transport's conformance test.
+func WithChaos() Option {
+	return func(o *confOptions) { o.chaos = true }
+}
+
 // RunTransportConformance runs the full conformance suite against the
 // transport the factory builds. Every subtest constructs its own
 // world, so a failure in one cannot corrupt another.
-func RunTransportConformance(t *testing.T, factory Factory) {
+func RunTransportConformance(t *testing.T, factory Factory, opts ...Option) {
+	var o confOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	t.Run("P2PFIFO", func(t *testing.T) { testP2PFIFO(t, factory) })
 	t.Run("TagSkewPanics", func(t *testing.T) { testTagSkew(t, factory) })
 	t.Run("PoisonOnPanic", func(t *testing.T) { testPoisonOnPanic(t, factory) })
@@ -69,6 +89,9 @@ func RunTransportConformance(t *testing.T, factory Factory) {
 	t.Run("TallyFold", func(t *testing.T) { testTallyFold(t, factory) })
 	t.Run("RecycleStability", func(t *testing.T) { testRecycleStability(t, factory) })
 	t.Run("EngineDeterminism", func(t *testing.T) { testEngineDeterminism(t, factory) })
+	if o.chaos {
+		t.Run("Chaos", runChaosTier)
+	}
 }
 
 // testP2PFIFO checks strict per-pair FIFO delivery with tags, payload

@@ -20,8 +20,10 @@
 //	    before allocating or over-reading.
 //	  - kind discriminates the frame's stream: KindData frames belong to
 //	    the point-to-point FIFO of their (src, dst) pair, KindColl frames
-//	    to the collective stream, and KindHello is the one-shot
-//	    connection handshake. The split is what keeps a drainer goroutine
+//	    to the collective stream, KindHello is the one-shot connection
+//	    handshake, and KindPing is the liveness heartbeat (empty payload,
+//	    consumed by the reader as progress and never queued). The split
+//	    is what keeps a drainer goroutine
 //	    receiving data frames while the main goroutine completes a
 //	    collective — the two streams demultiplex into disjoint queues on
 //	    arrival, mirroring the in-process transport's disjoint mailbox

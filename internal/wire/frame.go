@@ -18,6 +18,11 @@ const (
 	// KindHello is the connection handshake: tag carries the dialing
 	// rank, payload the protocol magic and world size.
 	KindHello byte = 3
+	// KindPing is a liveness heartbeat: an empty-payload frame the
+	// transport's watchdog sends when a connection has been idle past
+	// the heartbeat threshold. Receivers count it as progress and
+	// discard it; it never enters a data or collective queue.
+	KindPing byte = 4
 )
 
 // MaxFrameWords bounds a frame's payload length (words). It exists so
@@ -49,7 +54,7 @@ var (
 // extended buffer. It validates kind and the payload bound so an
 // encoder bug cannot produce a frame its own decoder rejects.
 func AppendFrame(dst []byte, kind byte, tag uint32, payload []int64) []byte {
-	if kind != KindData && kind != KindColl && kind != KindHello {
+	if kind != KindData && kind != KindColl && kind != KindHello && kind != KindPing {
 		panic(fmt.Sprintf("wire: AppendFrame with unknown kind %d", kind))
 	}
 	if len(payload) > MaxFrameWords {
@@ -96,7 +101,7 @@ func Decode(b []byte) (kind byte, tag uint32, payload []int64, n int, err error)
 		return 0, 0, nil, 0, fmt.Errorf("%w: input ends inside header", ErrTruncated)
 	}
 	kind = rest[0]
-	if kind != KindData && kind != KindColl && kind != KindHello {
+	if kind != KindData && kind != KindColl && kind != KindHello && kind != KindPing {
 		return 0, 0, nil, 0, fmt.Errorf("%w: %d", ErrBadKind, kind)
 	}
 	tag = binary.LittleEndian.Uint32(rest[1:5])
@@ -142,7 +147,7 @@ func ReadFrame(r Reader, alloc func(n int) []int64) (kind byte, tag uint32, payl
 		return 0, 0, nil, fmt.Errorf("%w: input ends inside header", ErrTruncated)
 	}
 	kind = head[0]
-	if kind != KindData && kind != KindColl && kind != KindHello {
+	if kind != KindData && kind != KindColl && kind != KindHello && kind != KindPing {
 		return 0, 0, nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
 	}
 	tag = binary.LittleEndian.Uint32(head[1:5])

@@ -35,7 +35,7 @@ func exchangeSeeds(tb testing.TB) [][]int64 {
 
 func TestFrameRoundTrip(t *testing.T) {
 	for _, payload := range exchangeSeeds(t) {
-		for _, kind := range []byte{wire.KindData, wire.KindColl, wire.KindHello} {
+		for _, kind := range []byte{wire.KindData, wire.KindColl, wire.KindHello, wire.KindPing} {
 			enc := wire.AppendFrame(nil, kind, 0xdeadbeef, payload)
 			if len(enc) != wire.FrameSize(len(payload)) {
 				t.Fatalf("FrameSize(%d) = %d, encoded %d bytes", len(payload), wire.FrameSize(len(payload)), len(enc))
@@ -73,6 +73,37 @@ func TestReadFrameStream(t *testing.T) {
 	}
 	if _, _, _, err := wire.ReadFrame(br, alloc); err != io.EOF {
 		t.Fatalf("clean stream end: got %v, want io.EOF", err)
+	}
+}
+
+// TestPingRoundTrip pins the heartbeat frame's shape: an empty-payload
+// KindPing frame round-trips through both decoders, including when
+// interleaved with data frames on one stream the way the watchdog
+// emits it between exchange rounds.
+func TestPingRoundTrip(t *testing.T) {
+	ping := wire.AppendFrame(nil, wire.KindPing, 0, nil)
+	k, tag, payload, n, err := wire.Decode(ping)
+	if err != nil || k != wire.KindPing || tag != 0 || len(payload) != 0 || n != len(ping) {
+		t.Fatalf("Decode(ping) = (%d, %d, %v, %d, %v)", k, tag, payload, n, err)
+	}
+	var stream []byte
+	stream = wire.AppendFrame(stream, wire.KindData, 1, []int64{7})
+	stream = wire.AppendFrame(stream, wire.KindPing, 0, nil)
+	stream = wire.AppendFrame(stream, wire.KindData, 2, []int64{8})
+	br := bufio.NewReader(bytes.NewReader(stream))
+	alloc := func(n int) []int64 { return make([]int64, n) }
+	wantKinds := []byte{wire.KindData, wire.KindPing, wire.KindData}
+	for i, want := range wantKinds {
+		k, _, payload, err := wire.ReadFrame(br, alloc)
+		if err != nil || k != want {
+			t.Fatalf("frame %d: kind %d err %v, want kind %d", i, k, err, want)
+		}
+		if want == wire.KindPing && len(payload) != 0 {
+			t.Fatalf("ping carried %d payload words", len(payload))
+		}
+	}
+	if _, _, _, err := wire.ReadFrame(br, alloc); err != io.EOF {
+		t.Fatalf("stream end: %v, want io.EOF", err)
 	}
 }
 
@@ -118,7 +149,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		f.Add(wire.KindData, uint32(len(p)), raw)
 	}
 	f.Fuzz(func(t *testing.T, kind byte, tag uint32, raw []byte) {
-		kind = 1 + kind%3 // all valid kinds
+		kind = 1 + kind%4 // all valid kinds
 		payload := make([]int64, len(raw)/8)
 		for i := range payload {
 			for b := 7; b >= 0; b-- {
@@ -151,6 +182,18 @@ func FuzzFrameDecode(f *testing.F) {
 	}
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
 	f.Add([]byte{2, wire.KindColl, 0, 0, 0, 0, 1})
+	// Truncated hello handshakes: the rendezvous short-read shapes the
+	// retry loop must classify as retryable, cut inside the header and
+	// at every payload word boundary.
+	hello := wire.AppendFrame(nil, wire.KindHello, 2, []int64{0x5245_5052_4f31, 4})
+	f.Add(hello[:1])
+	f.Add(hello[:3])
+	f.Add(hello[:len(hello)-9])
+	f.Add(hello[:len(hello)-1])
+	// A bare heartbeat frame and one cut inside its header.
+	ping := wire.AppendFrame(nil, wire.KindPing, 0, nil)
+	f.Add(ping)
+	f.Add(ping[:len(ping)-2])
 	f.Fuzz(func(t *testing.T, b []byte) {
 		kind, tag, payload, n, err := wire.Decode(b)
 		if err != nil {

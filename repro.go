@@ -250,6 +250,31 @@ func XtraPuLPComm(c *mpi.Comm, g *Generator, cfg Config) ([]int32, Report, error
 	return full, rep, nil
 }
 
+// SocketComm joins this process to an externally launched socket
+// world: it reads the REPRO_* rendezvous environment (set by
+// cmd/reprorun or any MPI-style launcher; see mpi.SocketConfigFromEnv
+// for the variables and their defaults), dials every peer with the
+// retrying rendezvous, and returns this rank's communicator plus a
+// closer that tears the transport down. threads is the intra-rank
+// thread budget (values below 1 mean 1). The communicator is ready for
+// XtraPuLPComm and the other external-world entry points; callers that
+// print or write output should do so from rank 0 only
+// (Comm.Rank() == 0).
+func SocketComm(threads int) (*mpi.Comm, func() error, error) {
+	cfg, err := mpi.SocketConfigFromEnv()
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := mpi.DialSocket(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repro: rendezvous: %w", err)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return mpi.NewComm(tr, threads), tr.Close, nil
+}
+
 // staticGenerator wraps an in-memory graph as a Generator so the
 // distributed builders can chunk it.
 func staticGenerator(g *Graph) *Generator {
