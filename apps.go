@@ -6,6 +6,7 @@ import (
 	"repro/internal/analytics"
 	"repro/internal/dgraph"
 	"repro/internal/mpi"
+	"repro/internal/par"
 	"repro/internal/spmv"
 )
 
@@ -44,6 +45,12 @@ type AnalyticsConfig struct {
 	// Values 1 and below (other than 0 = default) are rejected.
 	// Ignored in sync mode.
 	PipeDepth int
+	// ThreadsPerRank fans each rank's relaxation and frontier-expansion
+	// sweeps across worker threads (the paper's OpenMP threads per MPI
+	// task). The repo-wide rule: 0 (or negative) selects one worker per
+	// core (par.DefaultThreads), an explicit 1 runs serial. Analytics
+	// results are bit-identical at every thread count.
+	ThreadsPerRank int
 }
 
 // RunAnalytics distributes the generator's graph over ranks simulated
@@ -95,7 +102,7 @@ func RunAnalyticsReport(g *Generator, parts []int32, cfg AnalyticsConfig) (Analy
 	}
 	var out AnalyticsReport
 	var runErr error
-	mpi.Run(cfg.Ranks, func(c *mpi.Comm) {
+	mpi.RunThreads(cfg.Ranks, par.ResolveThreads(cfg.ThreadsPerRank), func(c *mpi.Comm) {
 		rep, err := RunAnalyticsComm(c, g, parts, cfg)
 		if c.Rank() == 0 {
 			out, runErr = rep, err
@@ -177,6 +184,12 @@ type SpMVConfig struct {
 	// schedules, bypassing self-destined shares entirely. The checksum
 	// is bit-identical; sent-value volume is lower.
 	AsyncExchange bool
+	// ThreadsPerRank fans each rank's row-sum kernel and fold
+	// accumulation across worker threads. The repo-wide rule: 0 (or
+	// negative) selects one worker per core (par.DefaultThreads), an
+	// explicit 1 runs serial. Checksums are bit-identical at every
+	// thread count.
+	ThreadsPerRank int
 }
 
 // RunSpMV executes iters chained sparse matrix-vector products of the
@@ -203,7 +216,7 @@ func RunSpMVCfg(g *Graph, parts []int32, cfg SpMVConfig) (SpMVResult, error) {
 	}
 	var out SpMVResult
 	var runErr error
-	mpi.Run(cfg.Ranks, func(c *mpi.Comm) {
+	mpi.RunThreads(cfg.Ranks, par.ResolveThreads(cfg.ThreadsPerRank), func(c *mpi.Comm) {
 		res, err := spmv.Run(c, g, parts, spmv.Options{Layout: l, Iterations: cfg.Iterations, Async: cfg.AsyncExchange})
 		if c.Rank() == 0 {
 			out, runErr = res, err

@@ -40,8 +40,9 @@ func main() {
 	termEpochFlag := flag.Int("term-epoch", 0, "async analytics termination epoch on incomplete rank neighborhoods: exact Allreduce every k rounds (0 = every round)")
 	pipeDepthFlag := flag.Int("pipe-depth", 0, "async exchange pipeline depth: rounds in flight per exchanger (0 = default 2; depth/2 concurrent HC waves)")
 	transportFlag := flag.String("transport", "proc", "rank substrate: proc (in-process) | env (one rank of a socket world, REPRO_* env; exchange only)")
+	threadsFlag := flag.Int("threads", 1, "intra-rank threads for analytics/SpMV sweeps (0 = one per core); with -transport env, the world's thread budget")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [-scale small|full] [-seed N] [-json] [-term-epoch K] [-pipe-depth D] <experiment>...|all\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [-scale small|full] [-seed N] [-json] [-term-epoch K] [-pipe-depth D] [-threads T] <experiment>...|all\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", harness.Names)
 		flag.PrintDefaults()
 	}
@@ -70,7 +71,7 @@ func main() {
 	switch *transportFlag {
 	case "proc":
 	case "env":
-		runEnvWorld(names, scale, *seedFlag, *jsonFlag, *pipeDepthFlag)
+		runEnvWorld(names, scale, *seedFlag, *jsonFlag, *pipeDepthFlag, *threadsFlag)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "experiments: unknown transport %q (proc|env)\n", *transportFlag)
@@ -79,7 +80,7 @@ func main() {
 	for _, name := range names {
 		fmt.Printf("=== %s (scale=%s seed=%d) ===\n", name, *scaleFlag, *seedFlag)
 		start := time.Now()
-		cfg := harness.Config{W: os.Stdout, Scale: scale, Seed: *seedFlag, TermEpoch: *termEpochFlag, PipeDepth: *pipeDepthFlag}
+		cfg := harness.Config{W: os.Stdout, Scale: scale, Seed: *seedFlag, TermEpoch: *termEpochFlag, PipeDepth: *pipeDepthFlag, Threads: *threadsFlag}
 		if *jsonFlag {
 			cfg.JSONPath = fmt.Sprintf("BENCH_%s.json", name)
 		}
@@ -98,19 +99,21 @@ func main() {
 // — so any other name is rejected before the rendezvous, while every
 // rank can still agree on the verdict. Rank 0 prints the table and,
 // with -json, writes the partition-only socket artifact.
-func runEnvWorld(names []string, scale harness.Scale, seed uint64, jsonOut bool, pipeDepth int) {
+func runEnvWorld(names []string, scale harness.Scale, seed uint64, jsonOut bool, pipeDepth, threads int) {
 	for _, name := range names {
 		if name != "exchange" {
 			fmt.Fprintf(os.Stderr, "experiments: -transport env supports only the exchange experiment (got %q)\n", name)
 			os.Exit(2)
 		}
 	}
-	c, closeComm, err := repro.SocketComm(1)
+	// threads <= 0 lets SocketComm consult REPRO_THREADS, so a launcher
+	// can set one budget for every worker it spawns.
+	c, closeComm, err := repro.SocketComm(threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	cfg := harness.Config{W: io.Discard, Scale: scale, Seed: seed, PipeDepth: pipeDepth}
+	cfg := harness.Config{W: io.Discard, Scale: scale, Seed: seed, PipeDepth: pipeDepth, Threads: threads}
 	if c.Rank() == 0 {
 		cfg.W = os.Stdout
 		fmt.Printf("=== exchange (scale=%s seed=%d transport=socket ranks=%d) ===\n", scale, seed, c.Size())

@@ -37,7 +37,7 @@ func main() {
 	deg := flag.Int64("deg", 16, "average degree for -gen")
 	parts := flag.Int("parts", 16, "number of parts")
 	ranks := flag.Int("ranks", 4, "simulated MPI ranks")
-	threads := flag.Int("threads", 1, "threads per rank")
+	threads := flag.Int("threads", 1, "threads per rank (0 = one per core; partitions are reproducible only at a fixed count)")
 	method := flag.String("method", repro.MethodXtraPuLP, fmt.Sprintf("partitioner: %v", repro.Methods()))
 	seed := flag.Uint64("seed", 1, "random seed")
 	single := flag.Bool("single", false, "single-constraint single-objective mode")

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/dgraph"
 	"repro/internal/mpi"
+	"repro/internal/par"
 )
 
 // Result reports one analytic's execution.
@@ -42,6 +43,10 @@ type Result struct {
 	Iterations int
 	// Time is the wall-clock duration on this rank.
 	Time time.Duration
+	// SweepTime is the wall-clock time this rank spent inside the
+	// intra-rank relaxation/expansion sweeps (the compute the
+	// ThreadsPerRank knob parallelizes), excluding communication.
+	SweepTime time.Duration
 	// Value is an analytic-specific scalar result (for example the
 	// number of components for WCC, or the largest component size).
 	Value float64
@@ -87,6 +92,12 @@ func PageRank(g *dgraph.Graph, iters int, damping float64) ([]float64, Result) {
 	}
 	dangling := mpi.AllreduceScalar(g.Comm, danglingLocal, mpi.Sum)
 
+	// PageRank is already Jacobi (vals → next), so the sweeps
+	// parallelize directly: each worker writes its own next[v] slots
+	// from the round-frozen vals. The local norm uses the ordered float
+	// reduction — a fixed chunk decomposition folded in ascending chunk
+	// order — so both modes at every thread count produce the same
+	// bits.
 	var base float64
 	relax := func(v int32) {
 		var sum float64
@@ -95,15 +106,27 @@ func PageRank(g *dgraph.Graph, iters int, damping float64) ([]float64, Result) {
 		}
 		next[v] = base + damping*sum
 	}
+	sweep := func(list []int32) {
+		t0 := time.Now()
+		par.For(0, len(list), e.threads, func(i int) { relax(list[i]) })
+		e.sweepTime += time.Since(t0)
+	}
+	var normSrc []float64
+	var fpart []float64
+	normBody := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += normSrc[i]
+		}
+		return s
+	}
 
 	norm := 0.0
 	normDone := false
 	if e.overlapped() {
 		for it := 0; it < iters; it++ {
 			base = (1-damping)/n + damping*dangling/n
-			for _, v := range bnd {
-				relax(v)
-			}
+			sweep(bnd)
 			// Next iteration's dangling partial: every dangling vertex
 			// takes exactly base this iteration (summed per vertex to
 			// keep the accumulation order of the sync path).
@@ -121,9 +144,7 @@ func PageRank(g *dgraph.Graph, iters int, damping float64) ([]float64, Result) {
 				tally = e.tally[:1]
 			}
 			e.ex.BeginValues(bnd, e.payload, tally)
-			for _, v := range inr {
-				relax(v)
-			}
+			sweep(inr)
 			copy(vals[:g.NLocal], next)
 			outL, outP, tr := e.ex.FlushValues()
 			for i, lid := range outL {
@@ -138,12 +159,8 @@ func PageRank(g *dgraph.Graph, iters int, damping float64) ([]float64, Result) {
 	} else {
 		for it := 0; it < iters; it++ {
 			base = (1-damping)/n + damping*dangling/n
-			for _, v := range bnd {
-				relax(v)
-			}
-			for _, v := range inr {
-				relax(v)
-			}
+			sweep(bnd)
+			sweep(inr)
 			copy(vals[:g.NLocal], next)
 			g.ExchangeFloat64(bnd, vals)
 			// Fused end-of-iteration reduction: the next iteration's
@@ -153,9 +170,8 @@ func PageRank(g *dgraph.Graph, iters int, damping float64) ([]float64, Result) {
 			for _, v := range deg0 {
 				dL += next[v]
 			}
-			for v := 0; v < g.NLocal; v++ {
-				nL += next[v]
-			}
+			normSrc = next
+			nL, fpart = par.SumFloat64Ordered(0, g.NLocal, e.threads, fpart, normBody)
 			red := mpi.Allreduce(g.Comm, []float64{dL, nL}, mpi.Sum)
 			dangling, norm = red[0], red[1]
 			normDone = true
@@ -163,13 +179,16 @@ func PageRank(g *dgraph.Graph, iters int, damping float64) ([]float64, Result) {
 	}
 	elapsed := time.Since(start)
 	if !normDone {
+		// vals[:NLocal] holds the same bits next held after the last
+		// async iteration (or the uniform start when iters == 0), and
+		// the decomposition is thread-count independent, so this norm
+		// matches the sync path's exactly.
 		var nL float64
-		for v := 0; v < g.NLocal; v++ {
-			nL += vals[v]
-		}
+		normSrc = vals
+		nL, fpart = par.SumFloat64Ordered(0, g.NLocal, e.threads, fpart, normBody)
 		norm = mpi.AllreduceScalar(g.Comm, nL, mpi.Sum)
 	}
-	return vals[:g.NLocal], Result{Name: "PR", Iterations: iters, Time: elapsed, Value: norm}
+	return vals[:g.NLocal], Result{Name: "PR", Iterations: iters, Time: elapsed, SweepTime: e.sweepTime, Value: norm}
 }
 
 // WCC labels every vertex with the minimum global id reachable from it
@@ -182,29 +201,25 @@ func WCC(g *dgraph.Graph) ([]int64, Result) {
 		labels[lid] = gid
 	}
 	e := newEngine(g)
-	relax := func(v int32) bool {
+	relax := func(v int32, _ int) (int64, bool) {
 		best := labels[v]
 		for _, u := range g.Neighbors(v) {
 			if labels[u] < best {
 				best = labels[u]
 			}
 		}
-		if best < labels[v] {
-			labels[v] = best
-			return true
-		}
-		return false
+		return best, best < labels[v]
 	}
 	iters := e.propagate(labels, relax, 0)
 	// Count components: owned vertices whose label equals their gid.
-	var rootsLocal int64
-	for v := 0; v < g.NLocal; v++ {
+	rootsLocal := par.ReduceInt64(0, g.NLocal, e.threads, func(v int) int64 {
 		if labels[v] == g.L2G[v] {
-			rootsLocal++
+			return 1
 		}
-	}
+		return 0
+	})
 	comps := mpi.AllreduceScalar(g.Comm, rootsLocal, mpi.Sum)
-	return labels[:g.NLocal], Result{Name: "WCC", Iterations: iters, Time: time.Since(start), Value: float64(comps)}
+	return labels[:g.NLocal], Result{Name: "WCC", Iterations: iters, Time: time.Since(start), SweepTime: e.sweepTime, Value: float64(comps)}
 }
 
 // LabelProp runs up to iters rounds of plurality label propagation
@@ -219,33 +234,38 @@ func LabelProp(g *dgraph.Graph, iters int) ([]int64, Result) {
 	for lid, gid := range g.L2G {
 		labels[lid] = gid
 	}
-	counts := make(map[int64]int64, 64)
 	e := newEngine(g)
-	relax := func(v int32) bool {
+	// One plurality-count map per worker thread: relax runs with the
+	// sweep's tid and touches only its own scratch. The plurality pick
+	// itself is map-iteration-order independent (max count, ties to the
+	// smallest label), so the result does not depend on Go's randomized
+	// map order.
+	counts := make([]map[int64]int64, e.threads)
+	for i := range counts {
+		counts[i] = make(map[int64]int64, 64)
+	}
+	relax := func(v int32, tid int) (int64, bool) {
+		cur := labels[v]
 		nbrs := g.Neighbors(v)
 		if len(nbrs) == 0 {
-			return false
+			return cur, false
 		}
-		clear(counts)
+		c := counts[tid]
+		clear(c)
 		for _, u := range nbrs {
-			counts[labels[u]]++
+			c[labels[u]]++
 		}
-		cur := labels[v]
-		best, bestN := cur, counts[cur]
-		for l, c := range counts {
-			if c > bestN || (c == bestN && l < best) {
-				best, bestN = l, c
+		best, bestN := cur, c[cur]
+		for l, n := range c {
+			if n > bestN || (n == bestN && l < best) {
+				best, bestN = l, n
 			}
 		}
-		if best != cur {
-			labels[v] = best
-			return true
-		}
-		return false
+		return best, best != cur
 	}
 	ran := e.propagate(labels, relax, iters)
 	comms := globalDistinct(g, labels[:g.NLocal])
-	return labels[:g.NLocal], Result{Name: "LP", Iterations: ran, Time: time.Since(start), Value: float64(comms)}
+	return labels[:g.NLocal], Result{Name: "LP", Iterations: ran, Time: time.Since(start), SweepTime: e.sweepTime, Value: float64(comms)}
 }
 
 // globalDistinct counts the distinct values among every rank's owned
@@ -296,30 +316,28 @@ func KCore(g *dgraph.Graph, maxIters int) ([]int64, Result) {
 	for lid := range core {
 		core[lid] = g.Degrees[lid]
 	}
-	hbuf := make([]int64, 0, 256)
-	bkts := make([]int64, 0, 256)
 	e := newEngine(g)
-	relax := func(v int32) bool {
-		hbuf = hbuf[:0]
+	// Per-thread h-index scratch: each worker owns one (hbuf, bkts)
+	// pair, so the pooled-buffer discipline hIndex relies on survives
+	// the parallel sweep.
+	type hScratch struct{ hbuf, bkts []int64 }
+	scratch := make([]hScratch, e.threads)
+	for i := range scratch {
+		scratch[i].hbuf = make([]int64, 0, 256)
+		scratch[i].bkts = make([]int64, 0, 256)
+	}
+	relax := func(v int32, tid int) (int64, bool) {
+		s := &scratch[tid]
+		s.hbuf = s.hbuf[:0]
 		for _, u := range g.Neighbors(v) {
-			hbuf = append(hbuf, core[u])
+			s.hbuf = append(s.hbuf, core[u])
 		}
 		var h int64
-		h, bkts = hIndex(hbuf, bkts)
-		if h < core[v] {
-			core[v] = h
-			return true
-		}
-		return false
+		h, s.bkts = hIndex(s.hbuf, s.bkts)
+		return h, h < core[v]
 	}
 	localMax := func() int64 {
-		var m int64
-		for v := 0; v < g.NLocal; v++ {
-			if core[v] > m {
-				m = core[v]
-			}
-		}
-		return m
+		return par.MaxInt64(0, g.NLocal, e.threads, 0, func(v int) int64 { return core[v] })
 	}
 	// Piggyback the owned coreness maximum next to the convergence
 	// counter (max-combined via TallyRound.Max): when the overlapped run
@@ -332,7 +350,7 @@ func KCore(g *dgraph.Graph, maxIters int) ([]int64, Result) {
 	if !e.auxOK {
 		maxCore = mpi.AllreduceScalar(g.Comm, localMax(), mpi.Max)
 	}
-	return core[:g.NLocal], Result{Name: "KC", Iterations: iters, Time: time.Since(start), Value: float64(maxCore)}
+	return core[:g.NLocal], Result{Name: "KC", Iterations: iters, Time: time.Since(start), SweepTime: e.sweepTime, Value: float64(maxCore)}
 }
 
 // hIndex returns the largest h such that at least h values in vals are

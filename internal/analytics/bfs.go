@@ -1,10 +1,12 @@
 package analytics
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dgraph"
 	"repro/internal/mpi"
+	"repro/internal/par"
 )
 
 // BFS runs a distributed breadth-first search from the global vertex
@@ -28,6 +30,13 @@ import (
 // owner already leveled — the owner keeps the first (correct) level
 // and drops the redundant push.
 func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
+	return bfsRun(g, newEngine(g), srcGID)
+}
+
+// bfsRun is BFS over a caller-provided engine, so callers that run
+// several sweeps (SCC, the sequential HC loop) share one engine and
+// its accumulated sweep time.
+func bfsRun(g *dgraph.Graph, e *engine, srcGID int64) (levels []int64, ecc int64) {
 	if g.NGlobal == 0 {
 		// Degenerate shard: no vertices anywhere, so no rank enters
 		// the round loop and no collective runs — returning early is
@@ -36,7 +45,6 @@ func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
 		// an empty level array is pure noise.)
 		return make([]int64, 0), 0
 	}
-	e := newEngine(g)
 	all := make([]int64, g.NTotal())
 	for i := range all {
 		all[i] = -1
@@ -54,9 +62,7 @@ func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
 		depth := int64(0)
 		for {
 			rd := bfsRound{next: make([]int32, 0, len(frontier))}
-			for _, v := range frontier {
-				rd.expand(g, all, depth, v)
-			}
+			e.expandFrontier(&rd, all, frontier, depth, bfsAllFrontier)
 			// Tell owners about remotely discovered vertices; merge their
 			// pushes into our frontier (first discovery wins).
 			recvL, recvP := g.PushToOwners(rd.ghostFound, rd.ghostLevels)
@@ -77,41 +83,82 @@ func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
 			frontier = next
 		}
 	}
-	var maxLevel int64
-	for v := 0; v < g.NLocal; v++ {
-		if all[v] > maxLevel {
-			maxLevel = all[v]
-		}
-	}
+	maxLevel := par.MaxInt64(0, g.NLocal, e.threads, 0, func(v int) int64 { return all[v] })
 	return all[:g.NLocal], mpi.AllreduceScalar(g.Comm, maxLevel, mpi.Max)
 }
 
-// bfsRound accumulates one BFS round's discoveries. expand is the
-// frontier-expansion step BOTH engines share — a single definition, so
-// the bit-identical-across-engines invariant cannot drift between the
-// sync loop and the pipelined loop: unvisited neighbors get this
-// round's level, ghosts queue for the owner push, owned vertices join
-// the next frontier.
+// bfsRound accumulates one BFS round's discoveries. expandFrontier is
+// the frontier-expansion step BOTH engines share — a single
+// definition, so the bit-identical-across-engines invariant cannot
+// drift between the sync loop and the pipelined loop: unvisited
+// neighbors get this round's level, ghosts queue for the owner push,
+// owned vertices join the next frontier.
 type bfsRound struct {
 	next        []int32
 	ghostFound  []int32
 	ghostLevels []int64
 }
 
+// Frontier filters for expandFrontier: the pipelined schedules expand
+// the boundary part of the frontier (the only part that can discover
+// ghosts) before the interior part.
+const (
+	bfsAllFrontier int8 = iota
+	bfsBoundaryOnly
+	bfsInteriorOnly
+)
+
+// expandChunk is the per-thread expansion body: scan the chunk's
+// frontier vertices and claim unvisited neighbors with a CAS on the
+// level array. Every same-round claim writes the same value (depth+1),
+// so which thread wins is irrelevant to levels, and the CAS dedupes
+// exactly — each discovery lands in exactly one thread's lane. Lane
+// merge order (thread id, then scan order) can differ run to run at
+// threads > 1, but only the ORDER of the frontier/push lists varies,
+// never their contents; every downstream merge is first-discovery-wins
+// over equal values.
+//
 //repro:hotpath
-func (r *bfsRound) expand(g *dgraph.Graph, all []int64, depth int64, v int32) {
-	for _, u := range g.Neighbors(v) {
-		if all[u] >= 0 {
+func (e *engine) expandChunk(lo, hi, tid int) {
+	g, all, depth := e.g, e.ball, e.bdepth
+	for i := lo; i < hi; i++ {
+		v := e.bfrontier[i]
+		if e.bfilter == bfsBoundaryOnly && !g.IsBoundaryVertex(v) {
 			continue
 		}
-		all[u] = depth + 1
-		if g.IsGhost(u) {
-			r.ghostFound = append(r.ghostFound, u)
-			r.ghostLevels = append(r.ghostLevels, depth+1)
-		} else {
-			r.next = append(r.next, u)
+		if e.bfilter == bfsInteriorOnly && g.IsBoundaryVertex(v) {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if atomic.LoadInt64(&all[u]) >= 0 {
+				continue
+			}
+			if !atomic.CompareAndSwapInt64(&all[u], -1, depth+1) {
+				continue
+			}
+			if g.IsGhost(u) {
+				e.qGhost.Push(tid, u)
+			} else {
+				e.qNext.Push(tid, u)
+			}
 		}
 	}
+}
+
+// expandFrontier runs one parallel frontier-expansion sweep and
+// appends the discoveries to rd: owned vertices to rd.next, ghosts to
+// rd.ghostFound with level depth+1.
+func (e *engine) expandFrontier(rd *bfsRound, all []int64, frontier []int32, depth int64, filter int8) {
+	start := time.Now()
+	e.ball, e.bfrontier, e.bdepth, e.bfilter = all, frontier, depth, filter
+	par.ForChunk(0, len(frontier), e.threads, e.expandBody)
+	rd.next = e.qNext.MergeInto(rd.next)
+	before := len(rd.ghostFound)
+	rd.ghostFound = e.qGhost.MergeInto(rd.ghostFound)
+	for range rd.ghostFound[before:] {
+		rd.ghostLevels = append(rd.ghostLevels, depth+1)
+	}
+	e.sweepTime += time.Since(start)
 }
 
 // bfsPipelined is the overlapped BFS loop: depth d+1's discovery push
@@ -152,17 +199,9 @@ func bfsPipelined(g *dgraph.Graph, e *engine, all []int64, frontier []int32) {
 		// a level no smaller than the owner's (rounds are level-
 		// synchronous), and the owner's first-discovery-wins merge
 		// drops it.
-		for _, v := range frontier {
-			if g.IsBoundaryVertex(v) {
-				rd.expand(g, all, depth, v)
-			}
-		}
+		e.expandFrontier(&rd, all, frontier, depth, bfsBoundaryOnly)
 		ex.BeginPush(rd.ghostFound, rd.ghostLevels, nil)
-		for _, v := range frontier {
-			if !g.IsBoundaryVertex(v) {
-				rd.expand(g, all, depth, v)
-			}
-		}
+		e.expandFrontier(&rd, all, frontier, depth, bfsInteriorOnly)
 		done := false
 		if pendingValues {
 			// Settle the previous round's ghost refresh (posted before
@@ -235,22 +274,17 @@ func HarmonicCentrality(g *dgraph.Graph, sources []int64) ([]float64, Result) {
 		harmonicWaves(g, e, sources, hc)
 	} else {
 		for _, s := range sources {
-			levels, _ := BFS(g, s)
-			for v := 0; v < g.NLocal; v++ {
+			levels, _ := bfsRun(g, e, s)
+			par.For(0, g.NLocal, e.threads, func(v int) {
 				if levels[v] > 0 {
 					hc[v] += 1.0 / float64(levels[v])
 				}
-			}
+			})
 		}
 	}
-	var maxHC float64
-	for _, h := range hc {
-		if h > maxHC {
-			maxHC = h
-		}
-	}
+	maxHC := par.MaxFloat64(0, len(hc), e.threads, 0, func(i int) float64 { return hc[i] })
 	maxHC = mpi.AllreduceScalar(g.Comm, maxHC, mpi.Max)
-	return hc, Result{Name: "HC", Iterations: len(sources), Time: time.Since(start), Value: maxHC}
+	return hc, Result{Name: "HC", Iterations: len(sources), Time: time.Since(start), SweepTime: e.sweepTime, Value: maxHC}
 }
 
 // SCC extracts the pivot's strongly connected component with the FW-BW
@@ -290,19 +324,20 @@ func SCC(g *dgraph.Graph) ([]int64, Result) {
 		return make([]int64, 0), Result{Name: "SCC", Iterations: 0, Time: time.Since(start), Value: 0}
 	}
 
-	fw, _ := BFS(g, pivot) // forward sweep
-	bw, _ := BFS(g, pivot) // backward sweep (transpose == same graph)
+	e := newEngine(g)
+	fw, _ := bfsRun(g, e, pivot) // forward sweep
+	bw, _ := bfsRun(g, e, pivot) // backward sweep (transpose == same graph)
 
 	member := make([]int64, g.NLocal)
-	var sizeLocal int64
-	for v := 0; v < g.NLocal; v++ {
+	sizeLocal := par.ReduceInt64(0, g.NLocal, e.threads, func(v int) int64 {
 		if fw[v] >= 0 && bw[v] >= 0 {
 			member[v] = 1
-			sizeLocal++
+			return 1
 		}
-	}
+		return 0
+	})
 	size := mpi.AllreduceScalar(g.Comm, sizeLocal, mpi.Sum)
-	return member, Result{Name: "SCC", Iterations: 2, Time: time.Since(start), Value: float64(size)}
+	return member, Result{Name: "SCC", Iterations: 2, Time: time.Since(start), SweepTime: e.sweepTime, Value: float64(size)}
 }
 
 // RunAll executes the paper's six analytics in Fig. 8's order (HC, KC,

@@ -3,6 +3,7 @@ package analytics
 import (
 	"repro/internal/dgraph"
 	"repro/internal/mpi"
+	"repro/internal/par"
 )
 
 // Multi-wave Harmonic Centrality. HC runs one full distributed BFS per
@@ -135,17 +136,9 @@ func harmonicWaves(g *dgraph.Graph, e *engine, sources []int64, hc []float64) {
 				w.round++
 				w.rd = bfsRound{next: make([]int32, 0, len(w.frontier))}
 				ex.SetRoundWave(slot)
-				for _, v := range w.frontier {
-					if g.IsBoundaryVertex(v) {
-						w.rd.expand(g, w.all, w.depth, v)
-					}
-				}
+				e.expandFrontier(&w.rd, w.all, w.frontier, w.depth, bfsBoundaryOnly)
 				ex.BeginPush(w.rd.ghostFound, w.rd.ghostLevels, nil)
-				for _, v := range w.frontier {
-					if !g.IsBoundaryVertex(v) {
-						w.rd.expand(g, w.all, w.depth, v)
-					}
-				}
+				e.expandFrontier(&w.rd, w.all, w.frontier, w.depth, bfsInteriorOnly)
 			}
 			// Phase F: settle the refreshes posted last cycle (the
 			// oldest rounds in the pipeline), oldest slot first. Owner
@@ -218,11 +211,14 @@ func harmonicWaves(g *dgraph.Graph, e *engine, sources []int64, hc []float64) {
 		// reproduces the sequential loop's float sums exactly.
 		for slot := range batch {
 			all := waves[slot].all
-			for v := 0; v < g.NLocal; v++ {
+			// Parallel over vertices, sequential over slots: each hc[v]
+			// still accumulates its sources in source order, so the
+			// float sums match the sequential loop bit for bit.
+			par.For(0, g.NLocal, e.threads, func(v int) {
 				if all[v] > 0 {
 					hc[v] += 1.0 / float64(all[v])
 				}
-			}
+			})
 		}
 	}
 	ex.SetRoundWave(0)

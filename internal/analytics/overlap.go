@@ -1,8 +1,11 @@
 package analytics
 
 import (
+	"time"
+
 	"repro/internal/dgraph"
 	"repro/internal/mpi"
+	"repro/internal/par"
 )
 
 // Overlapped analytics engine. In sync mode every iteration of the
@@ -59,13 +62,59 @@ type engine struct {
 	changed []int32
 	payload []int64
 	tally   [2]int64
+
+	// Intra-rank parallel sweep machinery. Each relaxation sweep fans
+	// the vertex list across threads with par.ForChunk; workers queue
+	// (vertex, value) updates into per-thread lanes, which merge in
+	// thread-id order — contiguous ascending chunks, so merged order is
+	// ascending list order at every thread count — and are applied on
+	// the main goroutine. sweepBody is the stored chunk body
+	// (relaxChunk bound once at construction, so steady-state sweeps
+	// allocate no closures); list and relax are the per-sweep inputs it
+	// reads.
+	threads   int
+	q         *par.Queues[relaxUpd]
+	recs      []relaxUpd
+	list      []int32
+	relax     func(v int32, tid int) (int64, bool)
+	sweepBody func(lo, hi, tid int)
+	sweepTime time.Duration
+
+	// BFS parallel-expansion machinery (bfs.go): per-thread discovery
+	// queues — owned vertices and ghosts separately — plus the stored
+	// chunk body and its per-sweep inputs. Discovery uses a CAS on the
+	// level array, so every same-round write carries the same value
+	// (depth+1) and the winner is irrelevant: level arrays and frontier
+	// SETS are bit-identical at every thread count.
+	qNext      *par.Queues[int32]
+	qGhost     *par.Queues[int32]
+	ball       []int64
+	bfrontier  []int32
+	bdepth     int64
+	bfilter    int8
+	expandBody func(lo, hi, tid int)
+}
+
+// relaxUpd is one sweep update: vertex v takes value val when the
+// sweep's records are applied.
+type relaxUpd struct {
+	v   int32
+	val int64
 }
 
 // newEngine derives the engine from the graph's exchange mode. The
 // completeness flag is a cached read — the collective detection ran
 // when the graph's exchanger was constructed.
 func newEngine(g *dgraph.Graph) *engine {
-	e := &engine{g: g, termEpoch: g.TermEpoch()}
+	e := &engine{g: g, termEpoch: g.TermEpoch(), threads: g.Comm.Threads()}
+	if e.threads < 1 {
+		e.threads = 1
+	}
+	e.q = par.NewQueues[relaxUpd](e.threads)
+	e.sweepBody = e.relaxChunk
+	e.qNext = par.NewQueues[int32](e.threads)
+	e.qGhost = par.NewQueues[int32](e.threads)
+	e.expandBody = e.expandChunk
 	if g.AsyncExchange() {
 		e.ex = g.AsyncExchanger()
 		e.complete = e.ex.NeighborhoodComplete()
@@ -73,46 +122,84 @@ func newEngine(g *dgraph.Graph) *engine {
 	return e
 }
 
+// relaxChunk relaxes the [lo, hi) slice of the current sweep list with
+// thread-local scratch tid, queueing each changed vertex's new value.
+// Workers only read round-frozen state and write their own lane, so
+// chunks race on nothing; the merged records are applied on the main
+// goroutine (see sweep/applySweep).
+//
+//repro:hotpath
+func (e *engine) relaxChunk(lo, hi, tid int) {
+	list, relax := e.list, e.relax
+	for i := lo; i < hi; i++ {
+		v := list[i]
+		if nv, changed := relax(v, tid); changed {
+			e.q.Push(tid, relaxUpd{v: v, val: nv})
+		}
+	}
+}
+
+// sweep fans list across the engine's threads and merges the
+// per-thread update queues into e.recs in thread-id order.
+func (e *engine) sweep(list []int32) {
+	start := time.Now()
+	e.list = list
+	par.ForChunk(0, len(list), e.threads, e.sweepBody)
+	e.recs = e.q.MergeInto(e.recs[:0])
+	e.sweepTime += time.Since(start)
+}
+
+// applySweep commits the merged sweep records: each vertex takes its
+// new value and joins the changed list.
+//
+//repro:hotpath
+func (e *engine) applySweep(vals []int64) {
+	for _, r := range e.recs {
+		vals[r.v] = r.val
+		e.changed = append(e.changed, r.v)
+	}
+}
+
 // overlapped reports whether rounds run split-phase on the delta
 // exchanger.
 func (e *engine) overlapped() bool { return e.ex != nil }
 
 // propagate runs label-propagation-style rounds over vals: each round
-// relaxes every owned vertex in boundary-first order (relax reports
-// whether it changed v), ships the changed boundary values owner →
-// ghost, and stops when no vertex changed anywhere or after maxIters
-// rounds (maxIters <= 0: unbounded). It returns the number of rounds
-// executed.
+// relaxes every owned vertex in boundary-first order (relax returns
+// v's candidate value and whether it changed), ships the changed
+// boundary values owner → ghost, and stops when no vertex changed
+// anywhere or after maxIters rounds (maxIters <= 0: unbounded). It
+// returns the number of rounds executed.
 //
-// Both modes relax in the same order — boundary list, then interior
-// list — so the per-round state and the fixed point are bit-identical
-// across modes. The overlapped mode relaxes interior vertices while
-// the boundary messages are in flight; its termination counter is one
-// round stale (the count shipped with round r's messages is round
-// r-1's), so convergence costs one extra no-op round, which by
-// definition changes nothing.
-//
-//repro:hotpath
-func (e *engine) propagate(vals []int64, relax func(v int32) bool, maxIters int) int {
+// Rounds are two phase-Jacobi sweeps: the boundary sweep computes
+// updates from the round-start state and applies them all at once,
+// then the interior sweep computes from round-start + applied-boundary
+// state. relax must therefore be pure — read vals, return the new
+// value — never write it; the engine commits updates between phases.
+// That phase discipline is what makes the parallel sweeps exact: every
+// worker reads the same frozen state regardless of chunk boundaries,
+// so per-round state and the fixed point are bit-identical across
+// thread counts AND across modes (both relax boundary-then-interior
+// with the same two commit points). The overlapped mode relaxes
+// interior vertices while the boundary messages are in flight; its
+// termination counter is one round stale (the count shipped with round
+// r's messages is round r-1's), so convergence costs one extra no-op
+// round, which by definition changes nothing.
+func (e *engine) propagate(vals []int64, relax func(v int32, tid int) (int64, bool), maxIters int) int {
 	g := e.g
 	bnd, inr := g.BoundaryVertices(), g.InteriorVertices()
 	iters := 0
+	e.relax = relax
 
 	if !e.overlapped() {
 		for maxIters <= 0 || iters < maxIters {
 			iters++
 			e.changed = e.changed[:0]
-			for _, v := range bnd {
-				if relax(v) {
-					e.changed = append(e.changed, v)
-				}
-			}
+			e.sweep(bnd)
+			e.applySweep(vals)
 			nb := len(e.changed)
-			for _, v := range inr {
-				if relax(v) {
-					e.changed = append(e.changed, v)
-				}
-			}
+			e.sweep(inr)
+			e.applySweep(vals)
 			// Interior vertices are ghosted nowhere, so only the
 			// boundary prefix has destinations.
 			g.ExchangeInt64(e.changed[:nb], vals)
@@ -127,11 +214,8 @@ func (e *engine) propagate(vals []int64, relax func(v int32) bool, maxIters int)
 	for maxIters <= 0 || iters < maxIters {
 		iters++
 		e.changed = e.changed[:0]
-		for _, v := range bnd {
-			if relax(v) {
-				e.changed = append(e.changed, v)
-			}
-		}
+		e.sweep(bnd)
+		e.applySweep(vals)
 		e.payload = e.payload[:0]
 		for _, v := range e.changed {
 			e.payload = append(e.payload, vals[v])
@@ -150,11 +234,8 @@ func (e *engine) propagate(vals []int64, relax func(v int32) bool, maxIters int)
 		// Overlap: interior relaxations read no ghost values, so they
 		// run while the drainer receives. (BeginValues consumed the
 		// boundary prefix, so appending is safe.)
-		for _, v := range inr {
-			if relax(v) {
-				e.changed = append(e.changed, v)
-			}
-		}
+		e.sweep(inr)
+		e.applySweep(vals)
 		outL, outP, tr := ex.FlushValues()
 		for i, lid := range outL {
 			vals[lid] = outP[i]

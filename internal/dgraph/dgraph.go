@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/mpi"
@@ -43,7 +44,11 @@ type Graph struct {
 	GhostOwner []int32
 
 	// boundary caches BoundaryVertices; interior its complement;
-	// boundaryMark the membership bitmap behind IsBoundaryVertex.
+	// boundaryMark the membership bitmap behind IsBoundaryVertex. The
+	// Once guards the lazy classification: sweep workers may ask
+	// IsBoundaryVertex concurrently before anything on the main
+	// goroutine has forced the split.
+	boundaryOnce sync.Once
 	boundary     []int32
 	interior     []int32
 	boundaryMark []bool
@@ -533,9 +538,7 @@ func (g *Graph) exchangeValues(lids []int32, payloads []int64) ([]int32, []int64
 // ghost neighbor — the vertices whose values other ranks ghost. The
 // result is cached after the first call.
 func (g *Graph) BoundaryVertices() []int32 {
-	if g.boundaryMark == nil {
-		g.classifyBoundary()
-	}
+	g.boundaryOnce.Do(g.classifyBoundary)
 	return g.boundary
 }
 
@@ -545,17 +548,13 @@ func (g *Graph) BoundaryVertices() []int32 {
 // analytics engines compute them while boundary messages are in
 // flight. The result is cached after the first call.
 func (g *Graph) InteriorVertices() []int32 {
-	if g.boundaryMark == nil {
-		g.classifyBoundary()
-	}
+	g.boundaryOnce.Do(g.classifyBoundary)
 	return g.interior
 }
 
 // IsBoundaryVertex reports whether owned vertex v has a ghost neighbor.
 func (g *Graph) IsBoundaryVertex(v int32) bool {
-	if g.boundaryMark == nil {
-		g.classifyBoundary()
-	}
+	g.boundaryOnce.Do(g.classifyBoundary)
 	return g.boundaryMark[v]
 }
 

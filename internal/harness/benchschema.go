@@ -33,8 +33,11 @@ type exchangeDoc struct {
 //     trajectory points from different substrates are never mixed;
 //   - a PipeDepth of at least 2 (the configured exchange-pipeline
 //     depth the run was measured at);
+//   - every row: a Threads count of at least 1 (the intra-rank thread
+//     budget the row's sweeps ran with), so trajectory points at
+//     different budgets are never silently mixed;
 //   - partition rows: a Reductions count and an EdgeCut;
-//   - analytics rows: Reductions and AllocsPerRound, the HC-wave
+//   - analytics rows: SweepSeconds, Reductions and AllocsPerRound, the HC-wave
 //     measurements (HCWaves, HCReductions, HCSecPerSource), and on
 //     async rows a PipelineDepth no smaller than the configured depth
 //     (the full pipeline must have been observed in flight during the
@@ -42,8 +45,8 @@ type exchangeDoc struct {
 //   - per graph, the async analytics row's HCReductions strictly below
 //     the sync row's — the multi-wave engine must actually retire the
 //     sequential loop's per-source Allreduces;
-//   - spmv rows: a Reductions count (the SpMV-Allreduce measurement),
-//     and on async rows the NormPiggyback flag.
+//   - spmv rows: SweepSeconds, a Reductions count (the SpMV-Allreduce
+//     measurement), and on async rows the NormPiggyback flag.
 //
 // Proc artifacts must carry all three paths; socket artifacts
 // (written by ExchangeSocket) are accepted with partition rows alone,
@@ -77,12 +80,18 @@ func ValidateExchangeJSON(path string) error {
 	for i, r := range doc.Rows {
 		where := fmt.Sprintf("%s: row %d (%s/%s/%s)", path, i, r.Path, r.Graph, r.Mode)
 		paths[r.Path]++
+		if r.Threads < 1 {
+			return fmt.Errorf("benchcheck: %s: threads %d, want >= 1 (intra-rank sweep budget)", where, r.Threads)
+		}
 		switch r.Path {
 		case "partition":
 			if r.Reductions == nil || r.EdgeCut == nil {
 				return fmt.Errorf("benchcheck: %s: missing reductions or edgeCut", where)
 			}
 		case "analytics":
+			if r.SweepSeconds == nil || *r.SweepSeconds < 0 {
+				return fmt.Errorf("benchcheck: %s: missing or negative sweepSeconds", where)
+			}
 			if r.Reductions == nil || r.AllocsPerRound == nil {
 				return fmt.Errorf("benchcheck: %s: missing reductions or allocsPerRound", where)
 			}
@@ -121,6 +130,9 @@ func ValidateExchangeJSON(path string) error {
 				syncHCRed[r.Graph] = *r.HCReductions
 			}
 		case "spmv":
+			if r.SweepSeconds == nil || *r.SweepSeconds < 0 {
+				return fmt.Errorf("benchcheck: %s: missing or negative sweepSeconds", where)
+			}
 			if r.Reductions == nil {
 				return fmt.Errorf("benchcheck: %s: missing reductions (SpMV-Allreduce measurement)", where)
 			}

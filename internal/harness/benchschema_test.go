@@ -83,25 +83,32 @@ func TestExchangeJSONSchemaRejects(t *testing.T) {
 			`transport "carrier-pigeon"`},
 		{"norows.json", `{"experiment":"exchange","transport":"proc","rows":[]}`, "no measurement rows"},
 		{"procpartonly.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[` +
-			`{"path":"partition","graph":"g","mode":"sync","reductions":1,"edgeCut":0.5}]}`, "no analytics rows"},
+			`{"path":"partition","graph":"g","mode":"sync","threads":1,"reductions":1,"edgeCut":0.5}]}`, "no analytics rows"},
 		{"socketnopart.json", `{"experiment":"exchange","transport":"socket","pipeDepth":2,"rows":[` +
-			`{"path":"spmv","mode":"sync","reductions":1}]}`, "no partition rows"},
+			`{"path":"spmv","mode":"sync","threads":1,"sweepSeconds":0.1,"reductions":1}]}`, "no partition rows"},
 		{"socketbadpart.json", `{"experiment":"exchange","transport":"socket","pipeDepth":2,"rows":[` +
-			`{"path":"partition","graph":"g","mode":"sync"}]}`, "missing reductions or edgeCut"},
+			`{"path":"partition","graph":"g","mode":"sync","threads":1}]}`, "missing reductions or edgeCut"},
 		{"nodepth.json", `{"experiment":"exchange","transport":"proc","rows":[{"path":"spmv","mode":"sync"}]}`, "pipeDepth 0"},
-		{"spmvnored.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[{"path":"spmv","mode":"sync"}]}`, "missing reductions"},
-		{"shallowpipe.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[{"path":"analytics","mode":"async-delta",` +
+		{"nothreads.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[` +
+			`{"path":"partition","graph":"g","mode":"sync","reductions":1,"edgeCut":0.5}]}`, "threads 0"},
+		{"spmvnored.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[` +
+			`{"path":"spmv","mode":"sync","threads":1,"sweepSeconds":0.1}]}`, "missing reductions"},
+		{"spmvnosweep.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[` +
+			`{"path":"spmv","mode":"sync","threads":1,"reductions":1}]}`, "sweepSeconds"},
+		{"nosweep.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[{"path":"analytics","mode":"sync","threads":4,` +
+			`"reductions":1,"allocsPerRound":0,"hcWaves":1,"hcReductions":5,"hcSecPerSource":0.1}]}`, "sweepSeconds"},
+		{"shallowpipe.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[{"path":"analytics","mode":"async-delta","threads":1,"sweepSeconds":0.1,` +
 			`"reductions":1,"allocsPerRound":0,"pipelineDepth":1,"hcWaves":1,"hcReductions":0,"hcSecPerSource":0.1}]}`, "pipelineDepth 1"},
-		{"nohc.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[{"path":"analytics","mode":"sync",` +
+		{"nohc.json", `{"experiment":"exchange","transport":"proc","pipeDepth":2,"rows":[{"path":"analytics","mode":"sync","threads":1,"sweepSeconds":0.1,` +
 			`"reductions":1,"allocsPerRound":0}]}`, "missing hcWaves"},
-		{"wrongwaves.json", `{"experiment":"exchange","transport":"proc","pipeDepth":8,"rows":[{"path":"analytics","mode":"async-delta",` +
+		{"wrongwaves.json", `{"experiment":"exchange","transport":"proc","pipeDepth":8,"rows":[{"path":"analytics","mode":"async-delta","threads":1,"sweepSeconds":0.1,` +
 			`"reductions":1,"allocsPerRound":0,"pipelineDepth":8,"hcWaves":2,"hcReductions":0,"hcSecPerSource":0.1}]}`, "hcWaves 2, want 4"},
-		{"nosyncbaseline.json", `{"experiment":"exchange","transport":"proc","pipeDepth":4,"rows":[{"path":"analytics","graph":"g","mode":"async-delta",` +
+		{"nosyncbaseline.json", `{"experiment":"exchange","transport":"proc","pipeDepth":4,"rows":[{"path":"analytics","graph":"g","mode":"async-delta","threads":1,"sweepSeconds":0.1,` +
 			`"reductions":1,"allocsPerRound":0,"pipelineDepth":4,"hcWaves":2,"hcReductions":0,"hcSecPerSource":0.1}]}`,
 			"no preceding sync analytics row"},
 		{"hcnotfewer.json", `{"experiment":"exchange","transport":"proc","pipeDepth":4,"rows":[` +
-			`{"path":"analytics","graph":"g","mode":"sync","reductions":1,"allocsPerRound":0,"hcWaves":1,"hcReductions":5,"hcSecPerSource":0.1},` +
-			`{"path":"analytics","graph":"g","mode":"async-delta","reductions":1,"allocsPerRound":0,"pipelineDepth":4,"hcWaves":2,"hcReductions":5,"hcSecPerSource":0.1}]}`,
+			`{"path":"analytics","graph":"g","mode":"sync","threads":1,"sweepSeconds":0.1,"reductions":1,"allocsPerRound":0,"hcWaves":1,"hcReductions":5,"hcSecPerSource":0.1},` +
+			`{"path":"analytics","graph":"g","mode":"async-delta","threads":1,"sweepSeconds":0.1,"reductions":1,"allocsPerRound":0,"pipelineDepth":4,"hcWaves":2,"hcReductions":5,"hcSecPerSource":0.1}]}`,
 			"hcReductions 5 not below sync row's 5"},
 	}
 	for _, tc := range cases {
@@ -118,8 +125,8 @@ func TestExchangeJSONSchemaRejects(t *testing.T) {
 	// the same rows that fail a proc artifact above must validate when
 	// stamped with the socket substrate.
 	socketOK := write("socketpartonly.json", `{"experiment":"exchange","transport":"socket","pipeDepth":2,"rows":[`+
-		`{"path":"partition","graph":"g","mode":"sync","reductions":1,"edgeCut":0.5},`+
-		`{"path":"partition","graph":"g","mode":"async-delta","reductions":1,"edgeCut":0.5}]}`)
+		`{"path":"partition","graph":"g","mode":"sync","threads":1,"reductions":1,"edgeCut":0.5},`+
+		`{"path":"partition","graph":"g","mode":"async-delta","threads":1,"reductions":1,"edgeCut":0.5}]}`)
 	if err := ValidateExchangeJSON(socketOK); err != nil {
 		t.Errorf("partition-only socket artifact rejected: %v", err)
 	}

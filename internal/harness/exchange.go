@@ -81,10 +81,15 @@ func ExchangeSocket(c *mpi.Comm, cfg Config) error {
 	const parts = 16
 	var rows []ExchangeRow
 	fmt.Fprintf(w, "Partitioning path over the socket transport (%d ranks):\n", c.Size())
-	t := newTable(w, "Graph", "Ranks", "Mode", "Time(s)", "ExchElems", "Reduction", "Allreduces", "EdgeCut")
+	t := newTable(w, "Graph", "Ranks", "Threads", "Mode", "Time(s)", "ExchElems", "Reduction", "Allreduces", "EdgeCut")
 	for _, tg := range representatives(cfg.Scale, seed) {
 		var syncVol int64
 		for _, async := range []bool{false, true} {
+			// On external comms the communicator defines the thread
+			// budget (Config.ThreadsPerRank is ignored). The sync/async
+			// cut equality and the cross-substrate bit-identity both
+			// need serial partitioning, so the launcher should form the
+			// world with one thread — cmd/experiments' default.
 			_, rep, err := repro.XtraPuLPComm(c, tg.gen, repro.Config{
 				Parts: parts, RandomDist: true, Seed: seed,
 				AsyncExchange: async, PipeDepth: cfg.PipeDepth,
@@ -93,12 +98,12 @@ func ExchangeSocket(c *mpi.Comm, cfg Config) error {
 				return fmt.Errorf("exchange: %s async=%v: %w", tg.name, async, err)
 			}
 			mode, reduction := modeCells(async, &syncVol, rep.ExchangeVolume)
-			t.add(tg.name, fmt.Sprintf("%d", c.Size()), mode, secs(rep.TotalTime),
+			t.add(tg.name, fmt.Sprintf("%d", c.Size()), fmt.Sprintf("%d", c.Threads()), mode, secs(rep.TotalTime),
 				fmt.Sprintf("%d", rep.ExchangeVolume), reduction,
 				fmt.Sprintf("%d", rep.ReductionOps),
 				fmt.Sprintf("%.3f", rep.Quality.EdgeCutRatio))
 			rows = append(rows, ExchangeRow{
-				Path: "partition", Graph: tg.name, Ranks: c.Size(), Mode: mode,
+				Path: "partition", Graph: tg.name, Ranks: c.Size(), Mode: mode, Threads: c.Threads(),
 				WallSeconds: rep.TotalTime.Seconds(), ExchElems: rep.ExchangeVolume,
 				Reductions: ptr(rep.ReductionOps), EdgeCut: ptr(rep.Quality.EdgeCutRatio),
 			})
@@ -123,7 +128,10 @@ type ExchangeRow struct {
 	// Layout is set for spmv rows (1d or 2d).
 	Layout string `json:"layout,omitempty"`
 	// Mode is sync or async-delta.
-	Mode        string  `json:"mode"`
+	Mode string `json:"mode"`
+	// Threads is the intra-rank thread budget the row's sweeps ran
+	// with (the partition path is always 1; see Config.Threads).
+	Threads     int     `json:"threads"`
 	WallSeconds float64 `json:"wallSeconds"`
 	// ExchElems is the total element volume all ranks sent.
 	ExchElems int64 `json:"exchElems"`
@@ -158,6 +166,11 @@ type ExchangeRow struct {
 	HCSecPerSource *float64 `json:"hcSecPerSource,omitempty"`
 	// EdgeCut is the partition quality (partition path).
 	EdgeCut *float64 `json:"edgeCut,omitempty"`
+	// SweepSeconds is the wall-clock time rank 0 spent inside the
+	// row's intra-rank parallel sweeps — relaxation and frontier
+	// expansion for analytics rows, the local row-sum kernel for spmv
+	// rows — excluding all communication. Partition rows leave it nil.
+	SweepSeconds *float64 `json:"sweepSeconds,omitempty"`
 }
 
 // ptr boxes a measured value for ExchangeRow's optional fields.
@@ -219,24 +232,27 @@ func exchangePartition(cfg Config, rows *[]ExchangeRow) error {
 	const parts = 16
 	ranks := scalePick(cfg.Scale, 4, 8)
 	fmt.Fprintln(cfg.W, "Partitioning path (label updates + size settles):")
-	t := newTable(cfg.W, "Graph", "Ranks", "Mode", "Time(s)", "ExchElems", "Reduction", "Allreduces", "EdgeCut")
+	t := newTable(cfg.W, "Graph", "Ranks", "Threads", "Mode", "Time(s)", "ExchElems", "Reduction", "Allreduces", "EdgeCut")
 	for _, tg := range representatives(cfg.Scale, seed) {
 		var syncVol int64
 		for _, async := range []bool{false, true} {
+			// ThreadsPerRank pinned serial: the comparison asserts the
+			// async path changes nothing but the transport, and the
+			// partitioner is bit-deterministic only at one thread.
 			_, rep, err := repro.XtraPuLPGen(tg.gen, repro.Config{
-				Parts: parts, Ranks: ranks, RandomDist: true, Seed: seed,
+				Parts: parts, Ranks: ranks, ThreadsPerRank: 1, RandomDist: true, Seed: seed,
 				AsyncExchange: async, PipeDepth: cfg.PipeDepth,
 			})
 			if err != nil {
 				return fmt.Errorf("exchange: %s async=%v: %w", tg.name, async, err)
 			}
 			mode, reduction := modeCells(async, &syncVol, rep.ExchangeVolume)
-			t.add(tg.name, fmt.Sprintf("%d", ranks), mode, secs(rep.TotalTime),
+			t.add(tg.name, fmt.Sprintf("%d", ranks), "1", mode, secs(rep.TotalTime),
 				fmt.Sprintf("%d", rep.ExchangeVolume), reduction,
 				fmt.Sprintf("%d", rep.ReductionOps),
 				fmt.Sprintf("%.3f", rep.Quality.EdgeCutRatio))
 			*rows = append(*rows, ExchangeRow{
-				Path: "partition", Graph: tg.name, Ranks: ranks, Mode: mode,
+				Path: "partition", Graph: tg.name, Ranks: ranks, Mode: mode, Threads: 1,
 				WallSeconds: rep.TotalTime.Seconds(), ExchElems: rep.ExchangeVolume,
 				Reductions: ptr(rep.ReductionOps), EdgeCut: ptr(rep.Quality.EdgeCutRatio),
 			})
@@ -338,8 +354,9 @@ func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 	ranks := scalePick(cfg.Scale, 4, 8)
 	prIters := scalePick(cfg.Scale, 10, 20)
 	hcSources := scalePick(cfg.Scale, 8, 24)
+	threads := cfg.threads()
 	fmt.Fprintf(cfg.W, "\nAnalytics path (PR + WCC + BFS value exchanges; HC with %d sources):\n", hcSources)
-	t := newTable(cfg.W, "Graph", "Ranks", "Mode", "Time(s)", "ExchElems", "Reduction", "Allreduces",
+	t := newTable(cfg.W, "Graph", "Ranks", "Threads", "Mode", "Time(s)", "Sweep(s)", "ExchElems", "Reduction", "Allreduces",
 		"Allocs/rnd", "PipeDepth", "HCWaves", "HCAllred", "HCs/src")
 	for _, tg := range representatives(cfg.Scale, seed)[:scalePick(cfg.Scale, 3, 6)] {
 		shared, err := tg.gen.Build()
@@ -351,9 +368,9 @@ func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 		var syncVol int64
 		for _, async := range []bool{false, true} {
 			var volume, reductions, depth, hcWaves, hcRed int64
-			var wall, hcWall time.Duration
+			var wall, hcWall, sweep time.Duration
 			var allocs float64
-			mpi.Run(ranks, func(c *mpi.Comm) {
+			mpi.RunThreads(ranks, threads, func(c *mpi.Comm) {
 				dg, err := dgraph.FromEdgeChunks(c, tg.gen.N, tg.gen.EdgesChunk(c.Rank(), c.Size()),
 					dgraph.PartsDist{Parts: placement})
 				if err != nil {
@@ -364,8 +381,8 @@ func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 				dg.SetTermEpoch(cfg.TermEpoch)
 				c.ResetStats()
 				start := time.Now()
-				analytics.PageRank(dg, prIters, 0.85)
-				analytics.WCC(dg)
+				_, prRes := analytics.PageRank(dg, prIters, 0.85)
+				_, wccRes := analytics.WCC(dg)
 				analytics.BFS(dg, 0)
 				elapsed := time.Since(start)
 				// HC separately: in sync mode the sequential loop pays
@@ -374,8 +391,9 @@ func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 				// termination and needs no eccentricities at all.
 				redBefore := c.Stats().ReductionOps
 				hcStart := time.Now()
-				analytics.HarmonicCentrality(dg, srcs)
+				_, hcRes := analytics.HarmonicCentrality(dg, srcs)
 				hcElapsed := time.Since(hcStart)
+				sweepTime := prRes.SweepTime + wccRes.SweepTime + hcRes.SweepTime
 				hcReduce := c.Stats().ReductionOps - redBefore
 				waves := int64(analytics.HCWaves(dg))
 				red := redBefore
@@ -388,6 +406,7 @@ func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 				if c.Rank() == 0 {
 					volume, reductions, wall, allocs, depth = v, red, elapsed, a, d
 					hcWaves, hcRed, hcWall = waves, hcReduce, hcElapsed
+					sweep = sweepTime
 				}
 			})
 			mode, reduction := modeCells(async, &syncVol, volume)
@@ -395,7 +414,7 @@ func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 			if len(srcs) > 0 {
 				hcPerSrc /= float64(len(srcs))
 			}
-			t.add(tg.name, fmt.Sprintf("%d", ranks), mode, secs(wall),
+			t.add(tg.name, fmt.Sprintf("%d", ranks), fmt.Sprintf("%d", threads), mode, secs(wall), secs(sweep),
 				fmt.Sprintf("%d", volume), reduction,
 				fmt.Sprintf("%d", reductions),
 				fmt.Sprintf("%.1f", allocs),
@@ -404,11 +423,11 @@ func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 				fmt.Sprintf("%d", hcRed),
 				fmt.Sprintf("%.4f", hcPerSrc))
 			row := ExchangeRow{
-				Path: "analytics", Graph: tg.name, Ranks: ranks, Mode: mode,
+				Path: "analytics", Graph: tg.name, Ranks: ranks, Mode: mode, Threads: threads,
 				WallSeconds: wall.Seconds(), ExchElems: volume,
 				Reductions: ptr(reductions), AllocsPerRound: ptr(allocs),
 				HCWaves: ptr(hcWaves), HCReductions: ptr(hcRed),
-				HCSecPerSource: ptr(hcPerSrc),
+				HCSecPerSource: ptr(hcPerSrc), SweepSeconds: ptr(sweep.Seconds()),
 			}
 			if async {
 				row.PipelineDepth = ptr(depth)
@@ -425,8 +444,9 @@ func exchangeSpMV(cfg Config, rows *[]ExchangeRow) error {
 	seed := cfg.seed()
 	ranks := scalePick(cfg.Scale, 4, 16)
 	iters := scalePick(cfg.Scale, 10, 100)
+	threads := cfg.threads()
 	fmt.Fprintln(cfg.W, "\nSpMV path (expand/fold phases):")
-	t := newTable(cfg.W, "Graph", "Ranks", "Layout", "Mode", "SentVals", "Reduction", "Allreduces", "NormRide")
+	t := newTable(cfg.W, "Graph", "Ranks", "Threads", "Layout", "Mode", "Sweep(s)", "SentVals", "Reduction", "Allreduces", "NormRide")
 	for _, tg := range representatives(cfg.Scale, seed)[:scalePick(cfg.Scale, 2, 4)] {
 		shared, err := tg.gen.Build()
 		if err != nil {
@@ -442,9 +462,9 @@ func exchangeSpMV(cfg Config, rows *[]ExchangeRow) error {
 				}
 				var volume, reductions int64
 				var piggyback bool
-				var wall time.Duration
+				var wall, sweep time.Duration
 				var runErr error
-				mpi.Run(ranks, func(c *mpi.Comm) {
+				mpi.RunThreads(ranks, threads, func(c *mpi.Comm) {
 					res, err := spmv.Run(c, shared, placement, spmv.Options{
 						Layout: l, Iterations: iters, Async: async,
 					})
@@ -458,20 +478,21 @@ func exchangeSpMV(cfg Config, rows *[]ExchangeRow) error {
 					if c.Rank() == 0 {
 						volume, wall = v, res.Time
 						reductions, piggyback = res.Reductions, res.NormPiggyback
+						sweep = res.MultiplyTime
 					}
 				})
 				if runErr != nil {
 					return fmt.Errorf("exchange: %s spmv %s: %w", tg.name, layout, runErr)
 				}
 				mode, reduction := modeCells(async, &syncVol, volume)
-				t.add(tg.name, fmt.Sprintf("%d", ranks), layout, mode,
+				t.add(tg.name, fmt.Sprintf("%d", ranks), fmt.Sprintf("%d", threads), layout, mode, secs(sweep),
 					fmt.Sprintf("%d", volume), reduction,
 					fmt.Sprintf("%d", reductions),
 					fmt.Sprintf("%v", piggyback))
 				row := ExchangeRow{
 					Path: "spmv", Graph: tg.name, Ranks: ranks, Layout: layout,
-					Mode: mode, WallSeconds: wall.Seconds(), ExchElems: volume,
-					Reductions: ptr(reductions),
+					Mode: mode, Threads: threads, WallSeconds: wall.Seconds(), ExchElems: volume,
+					Reductions: ptr(reductions), SweepSeconds: ptr(sweep.Seconds()),
 				}
 				if async {
 					row.NormPiggyback = ptr(piggyback)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dgraph"
+	"repro/internal/par"
 )
 
 // Scale selects experiment sizing.
@@ -67,7 +68,18 @@ type Config struct {
 	// 2; see repro.AnalyticsConfig.PipeDepth). Depths >= 4 run HC as
 	// PipeDepth/2 concurrent BFS waves.
 	PipeDepth int
+	// Threads is the intra-rank thread budget forwarded to the
+	// analytics and SpMV worlds of experiments that drive them
+	// (currently exchange). The repo-wide rule: 0 (or negative) selects
+	// one worker per core (par.DefaultThreads), an explicit 1 runs
+	// serial. The partitioning path stays pinned at one thread — its
+	// balance stage is bit-deterministic only serially, and the
+	// exchange comparison asserts identical cuts across modes.
+	Threads int
 }
+
+// threads returns the effective intra-rank thread budget of the run.
+func (c *Config) threads() int { return par.ResolveThreads(c.Threads) }
 
 // pipeDepth returns the effective exchange pipeline depth of the run
 // (the knob normalized to the engine default).

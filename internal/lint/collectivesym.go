@@ -18,6 +18,22 @@ var CollectiveSym = &Analyzer{
 	Run:  runCollectiveSym,
 }
 
+// parWorkerFuncs is the set of internal/par entry points that run a
+// caller-supplied body on worker goroutines. A collective or exchange
+// round op reachable inside such a body is a diagnosed deadlock shape:
+// the comm binds its collectives to the goroutine that created it, and
+// a worker entering one while its siblings sweep on would hang the
+// world — rounds must be driven from the main goroutine, between
+// sweeps (the phase discipline of analytics/overlap.go).
+var parWorkerFuncs = map[string]bool{
+	"For":               true,
+	"ForChunk":          true,
+	"ReduceInt64":       true,
+	"MaxInt64":          true,
+	"MaxFloat64":        true,
+	"SumFloat64Ordered": true,
+}
+
 // collectiveFuncs is the set of collective entry points: package-level
 // mpi collectives, Comm.Barrier, and every DeltaExchanger/Graph method
 // that internally performs a round of symmetric communication.
@@ -273,6 +289,23 @@ func (w *collectiveWalker) expr(e ast.Expr) {
 		switch x := n.(type) {
 		case *ast.CallExpr:
 			w.checkCall(x)
+			// A par fan-out runs its function-literal arguments on
+			// worker goroutines: collectives and round ops inside them
+			// deadlock (parWorkerFuncs). Walk those literals under the
+			// par guard and the remaining arguments normally, then stop
+			// the generic descent so the FuncLit case below does not
+			// re-walk the bodies unguarded.
+			if c, ok := calleeOf(w.pass.Info, x); ok && c.pkg == parPath && c.recv == "" && parWorkerFuncs[c.name] {
+				reason := "inside a par." + c.name + " worker body, off the comm's main goroutine"
+				for _, a := range x.Args {
+					if fl, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+						w.push(reason, func() { w.stmts(fl.Body.List) })
+					} else {
+						w.expr(a)
+					}
+				}
+				return false
+			}
 		case *ast.FuncLit:
 			// A literal inherits its lexical context: if it is declared
 			// under a rank-local guard, any collective it performs runs

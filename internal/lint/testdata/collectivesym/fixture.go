@@ -6,6 +6,7 @@ package fixture
 import (
 	"repro/internal/dgraph"
 	"repro/internal/mpi"
+	"repro/internal/par"
 )
 
 // condBarrier is the canonical bug: rank 0 enters the barrier, every
@@ -91,7 +92,68 @@ func condSocketBarrier(st *mpi.SocketTransport) {
 	st.Barrier()
 }
 
+// parBodyCollective: a collective inside a par worker body runs off
+// the comm's main goroutine while sibling workers sweep on — the
+// intra-rank deadlock shape the parallel-sweep refactor must never
+// reintroduce.
+func parBodyCollective(c *mpi.Comm, g *dgraph.Graph, vals []int64, n int) {
+	par.For(0, n, 2, func(i int) {
+		mpi.AllreduceScalar(c, int64(i), mpi.Sum) // want "par.For worker body"
+	})
+	par.ForChunk(0, n, 2, func(lo, hi, tid int) {
+		g.ExchangeInt64(nil, vals) // want "par.ForChunk worker body"
+	})
+}
+
+// parBodyRoundOp: DeltaExchanger round ops are collective too — a
+// worker posting or flushing a round while its siblings are still
+// sweeping hangs the world exactly like a bare collective.
+func parBodyRoundOp(ex *dgraph.DeltaExchanger, changed []int32, payload []int64, n int) {
+	par.ForChunk(0, n, 4, func(lo, hi, tid int) {
+		ex.BeginValues(changed, payload, nil) // want "par.ForChunk worker body"
+	})
+	_ = par.ReduceInt64(0, n, 4, func(i int) int64 {
+		ex.FlushValues() // want "par.ReduceInt64 worker body"
+		return 0
+	})
+}
+
+// parBodyNested: the guard survives into literals nested inside the
+// worker body.
+func parBodyNested(c *mpi.Comm, n int) {
+	par.For(0, n, 2, func(i int) {
+		f := func() {
+			c.Barrier() // want "par.For worker body"
+		}
+		f()
+	})
+}
+
 // symmetric shapes below must produce no findings.
+
+// parThenRound is the sanctioned schedule: sweep in parallel, then
+// drive the round from the main goroutine between sweeps.
+func parThenRound(g *dgraph.Graph, changed []int32, vals []int64, n int) {
+	par.ForChunk(0, n, 4, func(lo, hi, tid int) {
+		for i := lo; i < hi; i++ {
+			vals[i]++
+		}
+	})
+	g.ExchangeInt64(changed, vals)
+}
+
+// parOrderedFoldThenAllreduce: reductions fold locally on workers and
+// the collective runs after the join.
+func parOrderedFoldThenAllreduce(c *mpi.Comm, x []float64, scratch []float64) float64 {
+	s, _ := par.SumFloat64Ordered(0, len(x), 0, scratch, func(lo, hi int) float64 {
+		var t float64
+		for i := lo; i < hi; i++ {
+			t += x[i]
+		}
+		return t
+	})
+	return float64(mpi.AllreduceScalar(c, int64(s), mpi.Sum))
+}
 
 func symmetricRounds(ex *dgraph.DeltaExchanger, q []dgraph.Update) []dgraph.Update {
 	ex.Begin()

@@ -10,6 +10,7 @@ import (
 const (
 	mpiPath    = "repro/internal/mpi"
 	dgraphPath = "repro/internal/dgraph"
+	parPath    = "repro/internal/par"
 )
 
 // callee identifies a resolved call target: the defining package path,

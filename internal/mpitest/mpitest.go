@@ -13,7 +13,9 @@ package mpitest
 import (
 	"fmt"
 	"math"
+	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -54,6 +56,22 @@ func UnixSocketFactory(tb testing.TB, n int) []mpi.Transport {
 		}
 	})
 	return ts
+}
+
+// CrossThreadCounts returns the intra-rank thread counts the
+// cross-thread determinism matrices sweep: {1, 2, 4, 8} normally,
+// {1, 4} under -short, and {1, n} when REPRO_TEST_THREADS=n pins an
+// explicit budget (CI's ThreadsPerRank=4 race leg). The serial count
+// is always included — it is the reference every other count must
+// reproduce bit for bit.
+func CrossThreadCounts(short bool) []int {
+	if env, err := strconv.Atoi(os.Getenv("REPRO_TEST_THREADS")); err == nil && env > 0 {
+		return []int{1, env}
+	}
+	if short {
+		return []int{1, 4}
+	}
+	return []int{1, 2, 4, 8}
 }
 
 // Option configures RunTransportConformance.
@@ -343,7 +361,10 @@ const (
 // EngineConfig returns the partitioner configuration of the engine
 // determinism subtest; the multi-process worker must run exactly this.
 func EngineConfig(async bool) repro.Config {
-	return repro.Config{Parts: engineParts, RandomDist: true, Seed: enginePSeeed, AsyncExchange: async}
+	// ThreadsPerRank pinned serial: the subtest compares partitions
+	// across transports and processes, and the partitioner is only
+	// bit-deterministic at one thread.
+	return repro.Config{Parts: engineParts, ThreadsPerRank: 1, RandomDist: true, Seed: enginePSeeed, AsyncExchange: async}
 }
 
 // EngineGenerator returns the fixed graph generator of the engine

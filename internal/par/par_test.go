@@ -181,6 +181,198 @@ func TestQuickPrefixSums(t *testing.T) {
 	}
 }
 
+// Edge-case table shared by the reductions: empty and inverted ranges,
+// and thread counts exceeding the element count.
+func TestReductionEdgeCases(t *testing.T) {
+	ranges := []struct {
+		name       string
+		begin, end int
+		threads    int
+	}{
+		{"empty", 5, 5, 4},
+		{"inverted", 9, 3, 4},
+		{"threads-exceed-n", 0, 3, 16},
+		{"threads-zero", 0, 3, 0},
+		{"negative-threads", 0, 3, -2},
+	}
+	for _, tc := range ranges {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.end - tc.begin
+			wantSum := int64(0)
+			for i := tc.begin; i < tc.end; i++ {
+				wantSum += int64(i)
+			}
+			if got := ReduceInt64(tc.begin, tc.end, tc.threads, func(i int) int64 { return int64(i) }); got != wantSum {
+				t.Errorf("ReduceInt64 = %d, want %d", got, wantSum)
+			}
+			wantMax := int64(-100)
+			for i := tc.begin; i < tc.end; i++ {
+				if int64(i) > wantMax {
+					wantMax = int64(i)
+				}
+			}
+			if got := MaxInt64(tc.begin, tc.end, tc.threads, -100, func(i int) int64 { return int64(i) }); got != wantMax {
+				t.Errorf("MaxInt64 = %d, want %d", got, wantMax)
+			}
+			wantMaxF := -100.0
+			for i := tc.begin; i < tc.end; i++ {
+				if float64(i) > wantMaxF {
+					wantMaxF = float64(i)
+				}
+			}
+			if got := MaxFloat64(tc.begin, tc.end, tc.threads, -100, func(i int) float64 { return float64(i) }); got != wantMaxF {
+				t.Errorf("MaxFloat64 = %v, want %v", got, wantMaxF)
+			}
+			sum, _ := SumFloat64Ordered(tc.begin, tc.end, tc.threads, nil, func(lo, hi int) float64 {
+				var s float64
+				for i := lo; i < hi; i++ {
+					s += float64(i)
+				}
+				return s
+			})
+			if n <= 0 && sum != 0 {
+				t.Errorf("SumFloat64Ordered on empty range = %v, want 0", sum)
+			}
+			if n > 0 && sum != float64(wantSum) {
+				t.Errorf("SumFloat64Ordered = %v, want %v", sum, float64(wantSum))
+			}
+		})
+	}
+}
+
+// The load-bearing property of the ordered reduction: the fold is
+// bit-identical across thread counts, because the chunk decomposition
+// depends only on the range. Values are chosen so an unordered fold
+// would visibly drift (mixed magnitudes make float addition
+// non-associative).
+func TestSumFloat64OrderedBitIdenticalAcrossThreads(t *testing.T) {
+	const n = 3*floatFoldGrain + 17
+	vals := make([]float64, n)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range vals {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		vals[i] = float64(int64(x%2000)-1000) * 1e-3
+		if i%7 == 0 {
+			vals[i] *= 1e12
+		}
+	}
+	body := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	ref, scratch := SumFloat64Ordered(0, n, 1, nil, body)
+	for _, threads := range []int{2, 4, 8} {
+		var got float64
+		got, scratch = SumFloat64Ordered(0, n, threads, scratch, body)
+		if got != ref {
+			t.Fatalf("threads=%d: sum %v differs from threads=1 sum %v", threads, got, ref)
+		}
+	}
+}
+
+// The pooled scratch must be reused, not reallocated, once grown.
+func TestSumFloat64OrderedScratchReused(t *testing.T) {
+	const n = 5 * floatFoldGrain
+	body := func(lo, hi int) float64 { return float64(hi - lo) }
+	_, scratch := SumFloat64Ordered(0, n, 1, nil, body)
+	allocs := testing.AllocsPerRun(50, func() {
+		_, scratch = SumFloat64Ordered(0, n, 1, scratch, body)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SumFloat64Ordered allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// MergeInto with a pooled destination must be allocation-free in
+// steady state (lanes and dst both keep their capacity).
+func TestQueuesMergeIntoAllocFree(t *testing.T) {
+	q := NewQueues[int64](4)
+	var dst []int64
+	fill := func() {
+		for tid := 0; tid < 4; tid++ {
+			for i := 0; i < 100; i++ {
+				q.Push(tid, int64(tid*1000+i))
+			}
+		}
+	}
+	fill()
+	dst = q.MergeInto(dst[:0])
+	allocs := testing.AllocsPerRun(50, func() {
+		fill()
+		dst = q.MergeInto(dst[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state MergeInto allocated %.1f times per run, want 0", allocs)
+	}
+	if len(dst) != 400 {
+		t.Fatalf("merged %d records, want 400", len(dst))
+	}
+}
+
+// Property: Merge and MergeInto emit lanes in thread-id order with
+// push order preserved inside each lane, for arbitrary push schedules.
+func TestQuickMergeTidOrderStable(t *testing.T) {
+	f := func(raw []uint16, threadsRaw uint8) bool {
+		threads := int(threadsRaw%8) + 1
+		q := NewQueues[uint16](threads)
+		perLane := make([][]uint16, threads)
+		for i, v := range raw {
+			tid := i % threads
+			q.Push(tid, v)
+			perLane[tid] = append(perLane[tid], v)
+		}
+		var want []uint16
+		for _, l := range perLane {
+			want = append(want, l...)
+		}
+		got := q.MergeInto(nil)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Refill and Merge must agree with MergeInto.
+		for i, v := range raw {
+			q.Push(i%threads, v)
+		}
+		got2 := q.Merge()
+		if len(got2) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got2[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveThreads(t *testing.T) {
+	if got := ResolveThreads(0); got != DefaultThreads() {
+		t.Fatalf("ResolveThreads(0) = %d, want DefaultThreads %d", got, DefaultThreads())
+	}
+	if got := ResolveThreads(-3); got != DefaultThreads() {
+		t.Fatalf("ResolveThreads(-3) = %d, want DefaultThreads %d", got, DefaultThreads())
+	}
+	for _, n := range []int{1, 2, 16} {
+		if got := ResolveThreads(n); got != n {
+			t.Fatalf("ResolveThreads(%d) = %d", n, got)
+		}
+	}
+}
+
 func BenchmarkForOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		For(0, 1024, 4, func(int) {})

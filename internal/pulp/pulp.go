@@ -33,7 +33,11 @@ type Options struct {
 	VertImbalance, EdgeImbalance float64
 	// SingleConstraint skips the edge-balancing stage.
 	SingleConstraint bool
-	// Threads bounds intra-process parallelism (<=0: GOMAXPROCS).
+	// Threads bounds intra-process parallelism. The repo-wide rule:
+	// 0 (or negative) selects one worker per core (par.DefaultThreads),
+	// an explicit 1 runs serial. PuLP's moves read neighbor parts
+	// updated concurrently by other workers, so runs are deterministic
+	// only at Threads = 1.
 	Threads int
 	// Seed drives the randomized initialization.
 	Seed uint64
@@ -49,7 +53,7 @@ func DefaultOptions(p int) Options {
 		InitIters:     3,
 		VertImbalance: 0.10,
 		EdgeImbalance: 0.10,
-		Threads:       1,
+		Threads:       0, // one worker per core; see Options.Threads
 		Seed:          1,
 	}
 }
@@ -126,12 +130,7 @@ func Partition(g *graph.Graph, opt Options) ([]int32, Report, error) {
 }
 
 // threads returns the worker budget.
-func (s *solver) threads() int {
-	if s.opt.Threads > 0 {
-		return s.opt.Threads
-	}
-	return par.DefaultThreads()
-}
+func (s *solver) threads() int { return par.ResolveThreads(s.opt.Threads) }
 
 // recount rebuilds exact part tallies from assignments.
 func (s *solver) recount() {

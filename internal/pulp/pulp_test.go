@@ -77,6 +77,7 @@ func TestSingleConstraintSkipsEdgeStage(t *testing.T) {
 func TestDeterministicSingleThread(t *testing.T) {
 	g := gen.RMAT(9, 8, 13).MustBuild()
 	opt := DefaultOptions(4)
+	opt.Threads = 1 // determinism is only promised serial
 	a, _, _ := Partition(g, opt)
 	b, _, _ := Partition(g, opt)
 	for v := range a {

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mpi"
+	"repro/internal/par"
 )
 
 // Layout selects the nonzero-to-rank mapping.
@@ -99,6 +100,11 @@ type Result struct {
 	// Checksum is the final ∞-norm of the iterated vector (identical on
 	// every rank; used to verify layout-independence of the numerics).
 	Checksum float64
+	// MultiplyTime is the wall clock this rank spent inside the local
+	// row-sum kernel (localMultiply) across all iterations — the
+	// compute the ThreadsPerRank knob parallelizes, excluding all
+	// communication.
+	MultiplyTime time.Duration
 	// Reductions is the number of Allreduce operations this rank
 	// performed during Run: iterations+1 for the synchronous engine
 	// (one norm per iteration plus the checksum), a small constant for
@@ -116,7 +122,26 @@ type Result struct {
 type matrix struct {
 	c  *mpi.Comm
 	p  int
+	me int
 	pr int // processor grid rows (1 for 1D)
+
+	// Intra-rank parallel sweep state: worker count (Comm.Threads()),
+	// the stored chunk bodies par.ForChunk fans out (bound once in
+	// build, so the hot loops allocate no closures), the per-sweep
+	// inputs those bodies read, and the accumulated kernel time. Every
+	// parallel loop writes disjoint indices from phase-frozen inputs,
+	// so results are bit-identical at every thread count.
+	threads    int
+	mulBody    func(lo, hi, tid int)
+	foldBody   func(lo, hi, tid int)
+	selfBody   func(lo, hi, tid int)
+	divBody    func(lo, hi, tid int)
+	foldDstIdx []int
+	foldSeg    []float64
+	divDst     []float64
+	divSrc     []float64
+	divNorm    float64
+	mulTime    time.Duration
 
 	// Owned vector entries, sorted by gid.
 	vecGIDs []int64
@@ -217,7 +242,14 @@ func build(c *mpi.Comm, g *graph.Graph, parts []int32, layout Layout) (*matrix, 
 	if layout == TwoD {
 		pr, pc = gridDims(p)
 	}
-	m := &matrix{c: c, p: p, pr: pr}
+	m := &matrix{c: c, p: p, me: me, pr: pr, threads: c.Threads()}
+	if m.threads < 1 {
+		m.threads = 1
+	}
+	m.mulBody = m.mulChunk
+	m.foldBody = m.foldAddChunk
+	m.selfBody = m.foldSelfChunk
+	m.divBody = m.divChunk
 
 	// Owned vector entries.
 	for v := int64(0); v < g.N; v++ {
@@ -423,26 +455,75 @@ func (m *matrix) multiply() int64 {
 	}
 	pos := 0
 	for s := 0; s < m.p; s++ {
-		for _, yi := range m.foldRecv[s] {
-			m.y[yi] += frecv[pos]
-			pos++
-		}
+		n := len(m.foldRecv[s])
+		m.foldDstIdx, m.foldSeg = m.foldRecv[s], frecv[pos:pos+n]
+		par.ForChunk(0, n, m.threads, m.foldBody)
+		pos += n
 	}
 	return volume
 }
 
 // localMultiply computes the partial row sums from the filled x
 // buffer — the compute kernel both engines share, so the cross-engine
-// bit-identical-checksum guarantee cannot drift.
+// bit-identical-checksum guarantee cannot drift. Rows fan out across
+// the rank's worker threads; each row's inner sum stays a serial
+// ascending accumulation and each row writes its own partial slot, so
+// the partials are bit-identical at every thread count.
 //
 //repro:hotpath
 func (m *matrix) localMultiply() {
-	for ri := range m.rowGIDs {
+	start := time.Now()
+	par.ForChunk(0, len(m.rowGIDs), m.threads, m.mulBody)
+	m.mulTime += time.Since(start)
+}
+
+// mulChunk is localMultiply's per-thread body: the CSR row loop over
+// one contiguous row chunk.
+//
+//repro:hotpath
+func (m *matrix) mulChunk(lo, hi, _ int) {
+	for ri := lo; ri < hi; ri++ {
 		var sum float64
 		for e := m.rowPtr[ri]; e < m.rowPtr[ri+1]; e++ {
 			sum += m.xbuf[m.colIdx[e]]
 		}
 		m.partial[ri] = sum
+	}
+}
+
+// foldAddChunk accumulates one source's received fold segment:
+// y[foldDstIdx[j]] += foldSeg[j]. Within a source the destination
+// indices are distinct, so the adds are disjoint; sources are folded
+// serially in ascending rank order by the callers, which is what keeps
+// each y element's float accumulation order fixed.
+//
+//repro:hotpath
+func (m *matrix) foldAddChunk(lo, hi, _ int) {
+	dst, seg := m.foldDstIdx, m.foldSeg
+	for j := lo; j < hi; j++ {
+		m.y[dst[j]] += seg[j]
+	}
+}
+
+// foldSelfChunk is foldAddChunk for the self share: partials indexed
+// through the send schedule instead of a received segment.
+//
+//repro:hotpath
+func (m *matrix) foldSelfChunk(lo, hi, _ int) {
+	send, recv := m.foldSend[m.me], m.foldRecv[m.me]
+	for j := lo; j < hi; j++ {
+		m.y[recv[j]] += m.partial[send[j]]
+	}
+}
+
+// divChunk performs the piggyback's deferred normalization on one
+// xbuf segment: divDst[j] = divSrc[j] / divNorm, disjoint per index.
+//
+//repro:hotpath
+func (m *matrix) divChunk(lo, hi, _ int) {
+	dst, src, norm := m.divDst, m.divSrc, m.divNorm
+	for j := lo; j < hi; j++ {
+		dst[j] = src[j] / norm
 	}
 }
 
@@ -501,18 +582,15 @@ func (m *matrix) multiplyAsync() int64 {
 	}
 	for s := 0; s < m.p; s++ {
 		if s == me {
-			for j, ri := range m.foldSend[me] {
-				m.y[m.foldRecv[me][j]] += m.partial[ri]
-			}
+			par.ForChunk(0, len(m.foldSend[me]), m.threads, m.selfBody)
 			continue
 		}
 		if len(m.foldRecv[s]) == 0 {
 			continue
 		}
 		seg := mpi.Irecv[float64](m.c, s).Await()
-		for j, yi := range m.foldRecv[s] {
-			m.y[yi] += seg[j]
-		}
+		m.foldDstIdx, m.foldSeg = m.foldRecv[s], seg
+		par.ForChunk(0, len(m.foldRecv[s]), m.threads, m.foldBody)
 	}
 	return volume
 }
@@ -556,12 +634,11 @@ func (m *matrix) expandPiggyback(me int) int64 {
 	for i, xi := range m.expandSend[me] {
 		m.xbuf[m.colOff[me]+i] = m.x[xi] / norm
 	}
+	m.divNorm = norm
 	for si, s := range m.expandIn {
 		seg := m.normSegs[si]
-		dst := m.xbuf[m.colOff[s]:m.colOff[s+1]]
-		for j := range dst {
-			dst[j] = seg[j] / norm
-		}
+		m.divDst, m.divSrc = m.xbuf[m.colOff[s]:m.colOff[s+1]], seg
+		par.ForChunk(0, m.colOff[s+1]-m.colOff[s], m.threads, m.divBody)
 		m.normSegs[si] = nil // release the transfer copy
 	}
 	return volume
@@ -591,13 +668,10 @@ func Run(c *mpi.Comm, g *graph.Graph, parts []int32, opt Options) (Result, error
 	for it := 0; it < opt.Iterations; it++ {
 		res.CommVolume += m.multiply()
 		// Normalize by the global ∞-norm to keep the iteration bounded
-		// (power iteration on the adjacency matrix).
-		var local float64
-		for _, v := range m.y {
-			if a := math.Abs(v); a > local {
-				local = a
-			}
-		}
+		// (power iteration on the adjacency matrix). Max is order-
+		// independent, so the parallel reduction is exact.
+		local := par.MaxFloat64(0, len(m.y), m.threads, 0,
+			func(i int) float64 { return math.Abs(m.y[i]) })
 		if m.normPiggyback {
 			// Deferred: keep y unnormalized and remember the local norm
 			// contribution — the next expand ships it and divides on
@@ -610,9 +684,7 @@ func Run(c *mpi.Comm, g *graph.Graph, parts []int32, opt Options) (Result, error
 		if norm == 0 {
 			norm = 1
 		}
-		for i, v := range m.y {
-			m.x[i] = v / norm
-		}
+		par.For(0, len(m.y), m.threads, func(i int) { m.x[i] = m.y[i] / norm })
 	}
 	if m.normPiggyback && opt.Iterations > 0 {
 		// Settle the last iteration's deferred normalization: the one
@@ -622,19 +694,14 @@ func Run(c *mpi.Comm, g *graph.Graph, parts []int32, opt Options) (Result, error
 		if norm == 0 {
 			norm = 1
 		}
-		for i, v := range m.x {
-			m.x[i] = v / norm
-		}
+		par.For(0, len(m.x), m.threads, func(i int) { m.x[i] = m.x[i] / norm })
 	}
 	res.Time = time.Since(start)
-	var local float64
-	for _, v := range m.x {
-		if a := math.Abs(v); a > local {
-			local = a
-		}
-	}
+	local := par.MaxFloat64(0, len(m.x), m.threads, 0,
+		func(i int) float64 { return math.Abs(m.x[i]) })
 	res.Checksum = mpi.AllreduceScalar(c, local, mpi.Max)
 	res.Reductions = c.Stats().ReductionOps - redBase
 	res.NormPiggyback = m.normPiggyback
+	res.MultiplyTime = m.mulTime
 	return res, nil
 }

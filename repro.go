@@ -19,6 +19,8 @@ package repro
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mpi"
 	"repro/internal/multilevel"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/pulp"
 )
@@ -74,7 +77,13 @@ type Config struct {
 	Parts int
 	// Ranks is the number of simulated MPI ranks (default 1).
 	Ranks int
-	// ThreadsPerRank is the intra-rank thread budget (default 1).
+	// ThreadsPerRank is the intra-rank thread budget. The repo-wide
+	// rule: 0 (or negative) selects one worker per core
+	// (par.DefaultThreads), an explicit 1 runs serial. The partitioner's
+	// propagation RNG streams are keyed by thread id, so the partition
+	// depends on the thread count — deterministic for a fixed count,
+	// different across counts. Pin an explicit value when partitions
+	// must reproduce across machines.
 	ThreadsPerRank int
 	// RandomDist selects the hashed (random) vertex distribution
 	// instead of block; the paper observes random scales better for
@@ -163,10 +172,7 @@ func XtraPuLPGen(g *Generator, cfg Config) ([]int32, Report, error) {
 	if ranks < 1 {
 		ranks = 1
 	}
-	threads := cfg.ThreadsPerRank
-	if threads < 1 {
-		threads = 1
-	}
+	threads := par.ResolveThreads(cfg.ThreadsPerRank)
 	var parts []int32
 	var rep Report
 	var runErr error
@@ -256,7 +262,10 @@ func XtraPuLPComm(c *mpi.Comm, g *Generator, cfg Config) ([]int32, Report, error
 // for the variables and their defaults), dials every peer with the
 // retrying rendezvous, and returns this rank's communicator plus a
 // closer that tears the transport down. threads is the intra-rank
-// thread budget (values below 1 mean 1). The communicator is ready for
+// thread budget; 0 (or negative) defers to the REPRO_THREADS
+// environment variable when it holds a positive integer (so a launcher
+// can set the budget for every worker it spawns), and otherwise to one
+// worker per core (par.DefaultThreads). The communicator is ready for
 // XtraPuLPComm and the other external-world entry points; callers that
 // print or write output should do so from rank 0 only
 // (Comm.Rank() == 0).
@@ -270,7 +279,11 @@ func SocketComm(threads int) (*mpi.Comm, func() error, error) {
 		return nil, nil, fmt.Errorf("repro: rendezvous: %w", err)
 	}
 	if threads < 1 {
-		threads = 1
+		if env, err := strconv.Atoi(os.Getenv("REPRO_THREADS")); err == nil && env > 0 {
+			threads = env
+		} else {
+			threads = par.DefaultThreads()
+		}
 	}
 	return mpi.NewComm(tr, threads), tr.Close, nil
 }
@@ -307,10 +320,14 @@ func Methods() []string {
 func Partition(method string, g *Graph, p int, seed uint64) ([]int32, error) {
 	switch method {
 	case MethodXtraPuLP:
-		parts, _, err := XtraPuLP(g, Config{Parts: p, Ranks: 4, RandomDist: true, Seed: seed})
+		// ThreadsPerRank pinned: the method defaults promise the same
+		// partition for the same seed on every machine, and the
+		// propagation RNG streams are thread-id keyed.
+		parts, _, err := XtraPuLP(g, Config{Parts: p, Ranks: 4, ThreadsPerRank: 1, RandomDist: true, Seed: seed})
 		return parts, err
 	case MethodPuLP:
 		opt := pulp.DefaultOptions(p)
+		opt.Threads = 1 // method defaults promise machine-independent partitions
 		opt.Seed = seed
 		parts, _, err := pulp.Partition(g, opt)
 		return parts, err

@@ -98,7 +98,10 @@ func TestAsyncDeltaExchangeMatchesSyncDeterministically(t *testing.T) {
 	}
 	for _, gn := range gens {
 		for _, ranks := range []int{1, 2, 3, 4, 8} {
-			base := Config{Parts: 8, Ranks: ranks, RandomDist: true, Seed: 7}
+			// ThreadsPerRank pinned serial: the partitioner's balance
+			// sweeps read live atomic tallies, so bit-equality across
+			// modes is only promised at one thread.
+			base := Config{Parts: 8, Ranks: ranks, ThreadsPerRank: 1, RandomDist: true, Seed: 7}
 			sparts, srep, err := XtraPuLPGen(gn, base)
 			if err != nil {
 				t.Fatalf("%s ranks=%d sync: %v", gn.Name, ranks, err)
@@ -144,7 +147,7 @@ func TestAsyncDeltaExchangeMatchesSyncDeterministically(t *testing.T) {
 // between sync's one-per-iteration and auto mode's recounts-only.
 func TestSizeEpochExplicitOnCompleteTopology(t *testing.T) {
 	gn := RMAT(10, 8, 1)
-	base := Config{Parts: 8, Ranks: 4, RandomDist: true, Seed: 7}
+	base := Config{Parts: 8, Ranks: 4, ThreadsPerRank: 1, RandomDist: true, Seed: 7}
 	sparts, srep, err := XtraPuLPGen(gn, base)
 	if err != nil {
 		t.Fatal(err)
