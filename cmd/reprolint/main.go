@@ -4,17 +4,32 @@
 // //lint:ignore directives. CI runs it before the tests; run it
 // locally with scripts/lint.sh. See docs/INVARIANTS.md for the
 // contracts it enforces.
+//
+// Flags:
+//
+//	-json     emit findings as a JSON array on stdout (for CI
+//	          artifacts and tooling) instead of compiler-style lines
+//	-ignores  audit mode: list every //lint:ignore directive in the
+//	          tree instead of running the analyzers; stale directives
+//	          (naming analyzers that do not exist) and bare ones are
+//	          errors, so suppressions cannot outlive their checks
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/lint"
 )
 
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	ignores := flag.Bool("ignores", false, "audit //lint:ignore directives instead of running analyzers")
+	flag.Parse()
+
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -28,15 +43,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "reprolint:", err)
 		os.Exit(2)
 	}
-	found := 0
+
+	if *ignores {
+		os.Exit(auditIgnores(pkgs))
+	}
+
+	var diags []lint.Diagnostic
 	for _, pkg := range pkgs {
-		for _, d := range lint.RunAnalyzers(pkg, lint.All) {
+		diags = append(diags, lint.RunAnalyzers(pkg, lint.All)...)
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
 			fmt.Println(d)
-			found++
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "reprolint: %d finding(s)\n", found)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "reprolint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// auditIgnores lists every suppression in the loaded packages and
+// returns the exit code: 1 if any directive is bare or names an
+// analyzer the suite does not have.
+func auditIgnores(pkgs []*lint.Package) int {
+	stale := 0
+	total := 0
+	for _, pkg := range pkgs {
+		for _, a := range lint.AuditIgnores(pkg, lint.All) {
+			total++
+			switch {
+			case a.Bare:
+				stale++
+				fmt.Printf("%s: BARE — missing analyzer name and reason\n", a.Pos)
+			case len(a.Unknown) > 0:
+				stale++
+				fmt.Printf("%s: STALE [%s] — no analyzer named %s in the suite (%s)\n",
+					a.Pos, strings.Join(a.Analyzers, ","), strings.Join(a.Unknown, ", "), a.Reason)
+			default:
+				fmt.Printf("%s: [%s] %s\n", a.Pos, strings.Join(a.Analyzers, ","), a.Reason)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "reprolint: %d ignore directive(s), %d stale/bare\n", total, stale)
+	if stale > 0 {
+		return 1
+	}
+	return 0
 }

@@ -28,6 +28,7 @@ package analytics
 
 import (
 	"math"
+	"slices"
 	"time"
 
 	"repro/internal/dgraph"
@@ -63,6 +64,9 @@ type Result struct {
 // a tally frame folded in global rank order, so iterations perform no
 // reduction at all on complete rank neighborhoods. Ranks are
 // bit-identical across all modes.
+//
+//repro:deterministic
+//repro:timing
 func PageRank(g *dgraph.Graph, iters int, damping float64) ([]float64, Result) {
 	start := time.Now()
 	n := float64(g.NGlobal)
@@ -194,6 +198,9 @@ func PageRank(g *dgraph.Graph, iters int, damping float64) ([]float64, Result) {
 // WCC labels every vertex with the minimum global id reachable from it
 // (hook-free min-label propagation) and returns owned labels plus the
 // component count.
+//
+//repro:deterministic
+//repro:timing
 func WCC(g *dgraph.Graph) ([]int64, Result) {
 	start := time.Now()
 	labels := make([]int64, g.NTotal())
@@ -228,6 +235,9 @@ func WCC(g *dgraph.Graph) ([]int64, Result) {
 // identical on every rank — the LP analogue of WCC's component count).
 // Result.Iterations reports the rounds actually executed, which is
 // below iters when propagation reaches a fixed point early.
+//
+//repro:deterministic
+//repro:timing
 func LabelProp(g *dgraph.Graph, iters int) ([]int64, Result) {
 	start := time.Now()
 	labels := make([]int64, g.NTotal())
@@ -281,9 +291,18 @@ func globalDistinct(g *dgraph.Graph, labels []int64) int64 {
 	for _, l := range labels {
 		local[l] = struct{}{}
 	}
+	// Sort the locally distinct labels before filling the send buffer:
+	// filling in map iteration order would make the wire bytes (the
+	// order within each destination's segment) differ per run, breaking
+	// frame-level replay even though the final count is unaffected.
+	distinctLocal := make([]int64, 0, len(local))
+	for l := range local {
+		distinctLocal = append(distinctLocal, l)
+	}
+	slices.Sort(distinctLocal)
 	counts := make([]int, nprocs)
 	dest := func(l int64) int { return int(uint64(l) % uint64(nprocs)) }
-	for l := range local {
+	for _, l := range distinctLocal {
 		counts[dest(l)]++
 	}
 	offsets := make([]int, nprocs+1)
@@ -293,7 +312,7 @@ func globalDistinct(g *dgraph.Graph, labels []int64) int64 {
 	sendBuf := make([]int64, offsets[nprocs])
 	cursor := make([]int, nprocs)
 	copy(cursor, offsets[:nprocs])
-	for l := range local {
+	for _, l := range distinctLocal {
 		d := dest(l)
 		sendBuf[cursor[d]] = l
 		cursor[d]++
@@ -310,6 +329,9 @@ func globalDistinct(g *dgraph.Graph, labels []int64) int64 {
 // h-index refinement (each vertex's core estimate becomes the h-index
 // of its neighbors' estimates), which converges to the exact coreness.
 // maxIters bounds the rounds, matching the paper's approximate variant.
+//
+//repro:deterministic
+//repro:timing
 func KCore(g *dgraph.Graph, maxIters int) ([]int64, Result) {
 	start := time.Now()
 	core := make([]int64, g.NTotal())

@@ -29,6 +29,8 @@ import (
 // reads a one-round-stale ghost copy can only re-discover a vertex its
 // owner already leveled — the owner keeps the first (correct) level
 // and drops the redundant push.
+//
+//repro:deterministic
 func BFS(g *dgraph.Graph, srcGID int64) (levels []int64, ecc int64) {
 	return bfsRun(g, newEngine(g), srcGID)
 }
@@ -148,6 +150,8 @@ func (e *engine) expandChunk(lo, hi, tid int) {
 // expandFrontier runs one parallel frontier-expansion sweep and
 // appends the discoveries to rd: owned vertices to rd.next, ghosts to
 // rd.ghostFound with level depth+1.
+//
+//repro:timing
 func (e *engine) expandFrontier(rd *bfsRound, all []int64, frontier []int32, depth int64, filter int8) {
 	start := time.Now()
 	e.ball, e.bfrontier, e.bdepth, e.bfilter = all, frontier, depth, filter
@@ -266,6 +270,9 @@ func bfsPipelined(g *dgraph.Graph, e *engine, all []int64, frontier []int32) {
 // i+1's, per-wave termination counters ride the tally frames, and no
 // per-source eccentricity Allreduce is paid. Centralities are
 // bit-identical across engines, wave counts, and pipeline depths.
+//
+//repro:deterministic
+//repro:timing
 func HarmonicCentrality(g *dgraph.Graph, sources []int64) ([]float64, Result) {
 	start := time.Now()
 	hc := make([]float64, g.NLocal)
@@ -294,6 +301,9 @@ func HarmonicCentrality(g *dgraph.Graph, sources []int64) ([]float64, Result) {
 // the substitution rationale); both are executed to preserve the
 // communication pattern. Returns owned membership flags (1 = in the
 // pivot's SCC) and the component size.
+//
+//repro:deterministic
+//repro:timing
 func SCC(g *dgraph.Graph) ([]int64, Result) {
 	start := time.Now()
 
@@ -343,6 +353,8 @@ func SCC(g *dgraph.Graph) ([]int64, Result) {
 // RunAll executes the paper's six analytics in Fig. 8's order (HC, KC,
 // LP, PR, SCC, WCC) with scaled default parameters and returns their
 // results.
+//
+//repro:deterministic
 func RunAll(g *dgraph.Graph, hcSources int) []Result {
 	srcs := HCSourceList(hcSources, g.NGlobal)
 	_, hc := HarmonicCentrality(g, srcs)
@@ -361,6 +373,8 @@ func RunAll(g *dgraph.Graph, hcSources int) []Result {
 // are coprime; the dedupe makes the no-source-counted-twice guarantee
 // unconditional, and a request for more distinct sources than vertices
 // stops at nGlobal.
+//
+//repro:deterministic
 func HCSourceList(n int, nGlobal int64) []int64 {
 	srcs := make([]int64, 0, n)
 	seen := make(map[int64]struct{}, n)
@@ -381,6 +395,8 @@ func HCSourceList(n int, nGlobal int64) []int64 {
 // largest eccentricity seen. Root selection is deterministic (smallest
 // gid on the farthest level) so every rank agrees without extra
 // communication beyond the existing reductions.
+//
+//repro:deterministic
 func ApproxDiameter(g *dgraph.Graph, rounds int, startGID int64) int64 {
 	if g.NGlobal == 0 || rounds <= 0 {
 		return 0

@@ -101,9 +101,13 @@ func ctCompare(t *testing.T, label string, ref, got []ctRank) {
 // order regardless of which worker finished first.
 func TestAnalyticsCrossThreadDeterminism(t *testing.T) {
 	ref := ctRun(t, mpitest.ProcFactory, 1, false)
-	factories := map[string]mpitest.Factory{"proc": mpitest.ProcFactory, "socket": mpitest.UnixSocketFactory}
+	factories := []struct {
+		name    string
+		factory mpitest.Factory
+	}{{"proc", mpitest.ProcFactory}, {"socket", mpitest.UnixSocketFactory}}
 	threadCounts := mpitest.CrossThreadCounts(testing.Short())
-	for name, factory := range factories {
+	for _, nf := range factories {
+		name, factory := nf.name, nf.factory
 		for _, threads := range threadCounts {
 			for _, async := range []bool{false, true} {
 				label := fmt.Sprintf("%s/threads=%d/async=%v", name, threads, async)

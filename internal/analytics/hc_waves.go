@@ -94,6 +94,8 @@ func (w *hcWave) reset(g *dgraph.Graph, src int64) {
 // concurrently on g: half the exchange pipeline depth on the async
 // engine (each wave keeps one push and one refresh round in flight),
 // 1 on the synchronous engine.
+//
+//repro:deterministic
 func HCWaves(g *dgraph.Graph) int {
 	if !g.AsyncExchange() {
 		return 1

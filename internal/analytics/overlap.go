@@ -141,6 +141,8 @@ func (e *engine) relaxChunk(lo, hi, tid int) {
 
 // sweep fans list across the engine's threads and merges the
 // per-thread update queues into e.recs in thread-id order.
+//
+//repro:timing
 func (e *engine) sweep(list []int32) {
 	start := time.Now()
 	e.list = list

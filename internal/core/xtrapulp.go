@@ -64,6 +64,9 @@ type state struct {
 // collective call: every rank of g.Comm must invoke it with identical
 // options. It returns the part assignment for this rank's owned and
 // ghost vertices (length g.NTotal()) and a run report.
+//
+//repro:deterministic
+//repro:timing
 func Partition(g *dgraph.Graph, opt Options) ([]int32, Report, error) {
 	if err := opt.validate(); err != nil {
 		return nil, Report{}, err

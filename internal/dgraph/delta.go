@@ -600,6 +600,7 @@ func (ex *DeltaExchanger) post(kind roundKind, tallyLen int, ownTally []int64) u
 			}
 		}
 	}
+	//lint:ignore hotpathalloc ensureDrainer allocates only on its first call after construction or Close; steady-state rounds return at its nil check
 	ex.ensureDrainer()
 	s := ex.seq
 	ex.seq++

@@ -18,6 +18,8 @@ import (
 //
 // Each row reports final quality and time so the contribution of each
 // mechanism is visible in isolation.
+//
+//repro:deterministic
 func Ablation(cfg Config) error {
 	seed := cfg.seed()
 	ranks := scalePick(cfg.Scale, 4, 8)

@@ -21,6 +21,9 @@ import (
 // XtraPuLP (block-initialized, as the paper does for this experiment).
 // For XtraPuLP the partitioning time itself is included as a column,
 // matching the paper's end-to-end accounting.
+//
+//repro:deterministic
+//repro:timing
 func Fig8(cfg Config) error {
 	seed := cfg.seed()
 	n := scalePick(cfg.Scale, int64(1<<13), int64(1<<16))
@@ -91,6 +94,8 @@ func Fig8(cfg Config) error {
 // under 1D and 2D layouts derived from Block, Random, METIS-like, and
 // XtraPuLP partitions, over representative graphs and rank counts,
 // with the speedup of 2D-XtraPuLP over 1D-Random.
+//
+//repro:deterministic
 func Table3(cfg Config) error {
 	seed := cfg.seed()
 	iters := scalePick(cfg.Scale, 20, 100)

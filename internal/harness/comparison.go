@@ -14,6 +14,9 @@ import (
 // multi-rank XtraPuLP, single-node PuLP, and the METIS-like multilevel
 // baseline computing 16 parts over all four graph classes, with
 // XtraPuLP's speedup relative to PuLP.
+//
+//repro:deterministic
+//repro:timing
 func Table2(cfg Config) error {
 	seed := cfg.seed()
 	const parts = 16
@@ -55,6 +58,8 @@ func Table2(cfg Config) error {
 // Fig3 reproduces the Cluster-1 relative speedup study: XtraPuLP
 // speedup versus its own single-rank time while ranks grow, for the
 // six representative graphs.
+//
+//repro:deterministic
 func Fig3(cfg Config) error {
 	seed := cfg.seed()
 	const parts = 16
@@ -84,6 +89,8 @@ func Fig3(cfg Config) error {
 // scaled max per-part cut for XtraPuLP, PuLP, and the METIS-like
 // baseline while the part count doubles from 2 to 64 (paper: 256) over
 // the six representative graphs.
+//
+//repro:deterministic
 func Fig4(cfg Config) error {
 	seed := cfg.seed()
 	partCounts := scalePick(cfg.Scale, []int{2, 4, 8, 16, 32}, []int{2, 4, 8, 16, 32, 64, 128, 256})
@@ -132,6 +139,8 @@ func Fig4(cfg Config) error {
 // Fig5 reproduces the quality-versus-ranks study on the WDC proxy:
 // edge cut ratio, scaled max cut ratio, and edge imbalance of a fixed
 // part count while the rank count grows.
+//
+//repro:deterministic
 func Fig5(cfg Config) error {
 	seed := cfg.seed()
 	parts := scalePick(cfg.Scale, 16, 64)
@@ -160,6 +169,9 @@ func Fig5(cfg Config) error {
 // against the KaHIP-like partitioner (§V.C): edge cut and execution
 // time for XtraPuLP (edge stages disabled), PuLP, METIS-like, and
 // KaHIP-like, all at a 3% balance constraint.
+//
+//repro:deterministic
+//repro:timing
 func Fig6(cfg Config) error {
 	seed := cfg.seed()
 	partCounts := scalePick(cfg.Scale, []int{2, 8, 32}, []int{2, 4, 8, 16, 32, 64, 128, 256})
@@ -230,6 +242,8 @@ func Fig6(cfg Config) error {
 // Fig7 reproduces the multiplier parameter sweep: average edge cut,
 // max per-part cut, vertex balance, and edge balance over the (X, Y)
 // grid, averaged across representative graphs and part counts.
+//
+//repro:deterministic
 func Fig7(cfg Config) error {
 	seed := cfg.seed()
 	vals := scalePick(cfg.Scale,

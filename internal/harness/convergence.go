@@ -14,6 +14,8 @@ import (
 // and the global move count — making the §III.C balance dynamics
 // (early overshoot, progressive tightening) directly observable.
 // It supplements the paper's aggregate Fig. 7 view.
+//
+//repro:deterministic
 func Convergence(cfg Config) error {
 	seed := cfg.seed()
 	n := scalePick(cfg.Scale, int64(1<<13), int64(1<<16))

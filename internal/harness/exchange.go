@@ -46,6 +46,8 @@ import (
 //
 // With Config.JSONPath set, the same measurements are written as JSON
 // (BENCH_exchange.json) for machine consumption.
+//
+//repro:deterministic
 func Exchange(cfg Config) error {
 	var rows []ExchangeRow
 	if err := exchangePartition(cfg, &rows); err != nil {
@@ -72,6 +74,8 @@ func Exchange(cfg Config) error {
 // substrate. Edge cuts are bit-identical to the proc substrate at the
 // same seed and world size: the transport is below the engine's
 // determinism line.
+//
+//repro:deterministic
 func ExchangeSocket(c *mpi.Comm, cfg Config) error {
 	w := cfg.W
 	if c.Rank() != 0 || w == nil {
@@ -349,6 +353,8 @@ func measureValueRoundAllocs(c *mpi.Comm, dg *dgraph.Graph) (float64, int64) {
 // a separate Harmonic Centrality measurement comparing the sequential
 // BFS-per-source loop (sync mode) against the multi-wave engine (async
 // mode, Config.PipeDepth/2 concurrent waves).
+//
+//repro:timing
 func exchangeAnalytics(cfg Config, rows *[]ExchangeRow) error {
 	seed := cfg.seed()
 	ranks := scalePick(cfg.Scale, 4, 8)

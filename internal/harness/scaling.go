@@ -11,6 +11,8 @@ import (
 // Table1 regenerates the paper's Table I: per-graph statistics (n, m,
 // average and max degree, approximate diameter) for every proxy class
 // plus the synthetic scaling families.
+//
+//repro:deterministic
 func Table1(cfg Config) error {
 	seed := cfg.seed()
 	graphs := corpus(cfg.Scale, seed)
@@ -39,6 +41,8 @@ func Table1(cfg Config) error {
 // Fig1 reproduces the strong-scaling study: partitioning time for the
 // WDC12 proxy and same-sized RMAT, RandER, and RandHD graphs while the
 // rank count grows, computing a fixed number of parts.
+//
+//repro:deterministic
 func Fig1(cfg Config) error {
 	seed := cfg.seed()
 	n := scalePick(cfg.Scale, int64(1<<13), int64(1<<16))
@@ -75,6 +79,8 @@ func Fig1(cfg Config) error {
 // Fig2 reproduces the weak-scaling study: vertices per rank held
 // constant while ranks double; average degree varies over {16, 32,
 // 64}; the number of parts equals the rank count.
+//
+//repro:deterministic
 func Fig2(cfg Config) error {
 	seed := cfg.seed()
 	perRank := scalePick(cfg.Scale, int64(1<<11), int64(1<<13))
@@ -111,6 +117,8 @@ func Fig2(cfg Config) error {
 // Trillion reproduces §V.A.2 at machine scale: the largest RandER,
 // RandHD, and RMAT instances that fit, partitioned at the maximum rank
 // count (the paper's 2^34-vertex / 2^40-edge runs on 8192 nodes).
+//
+//repro:deterministic
 func Trillion(cfg Config) error {
 	seed := cfg.seed()
 	n := scalePick(cfg.Scale, int64(1<<15), int64(1<<19))

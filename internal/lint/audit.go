@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// jsonDiagnostic is the machine-readable form of one finding, stable
+// for CI artifact consumers and the GitHub problem matcher.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON emits findings as a JSON array (never null: an empty run
+// writes []), one object per diagnostic, sorted as RunAnalyzers
+// returned them.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// IgnoreAudit is one //lint:ignore directive, as reported by the
+// -ignores audit mode: where it is, what it suppresses, and whether it
+// is malformed or stale.
+type IgnoreAudit struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+	// Bare marks a directive missing its analyzer list or reason.
+	Bare bool
+	// Unknown lists named analyzers that do not exist in the suite: a
+	// stale ignore suppresses nothing and outlives the check it was
+	// written for (or hides a typo that never suppressed anything).
+	Unknown []string
+}
+
+// AuditIgnores collects every lint:ignore directive of a package and
+// cross-checks the analyzer names against the given suite (plus the
+// framework's own "reprolint" name, used for bare-ignore findings).
+func AuditIgnores(pkg *Package, analyzers []*Analyzer) []IgnoreAudit {
+	known := map[string]bool{"reprolint": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []IgnoreAudit
+	for _, f := range pkg.Files {
+		for _, ig := range parseIgnores(pkg.Fset, f) {
+			a := IgnoreAudit{Pos: ig.pos, Reason: ig.reason, Bare: ig.bare}
+			for name := range ig.analyzers {
+				a.Analyzers = append(a.Analyzers, name)
+				if !known[name] {
+					a.Unknown = append(a.Unknown, name)
+				}
+			}
+			sort.Strings(a.Analyzers)
+			sort.Strings(a.Unknown)
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}

@@ -95,8 +95,37 @@ func runCollectiveSym(pass *Pass) {
 	if strings.TrimSuffix(pass.Pkg.Path(), "-test") == mpiPath {
 		return
 	}
+	// Interprocedural layer: a same-package helper that performs a
+	// collective (directly, or through up to maxHelperDepth further
+	// helpers) makes every call TO it a collective call site — wrapping
+	// the Barrier in a function must not launder the asymmetry.
+	directName := map[*types.Func]string{}
+	seed := func(fn *types.Func, decl *ast.FuncDecl) bool {
+		found := ""
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if found != "" {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if c, ok := calleeOf(pass.Info, call); ok && collectiveFuncs[c] {
+				found = c.name
+				if c.recv != "" {
+					found = c.recv + "." + c.name
+				}
+			}
+			return true
+		})
+		if found != "" {
+			directName[fn] = found
+		}
+		return found != ""
+	}
+	performers := pass.Graph.propagate(pass.Files, seed)
 	for _, unit := range funcUnits(pass.Files) {
-		w := &collectiveWalker{pass: pass}
+		w := &collectiveWalker{pass: pass, performers: performers, directName: directName}
 		w.stmts(unit.decl.Body.List)
 	}
 }
@@ -104,8 +133,26 @@ func runCollectiveSym(pass *Pass) {
 // collectiveWalker walks one function body carrying the stack of
 // rank-local conditions guarding the current statement.
 type collectiveWalker struct {
-	pass    *Pass
-	reasons []string // active rank-local guards, innermost last
+	pass       *Pass
+	reasons    []string // active rank-local guards, innermost last
+	performers map[*types.Func]*types.Func
+	directName map[*types.Func]string
+}
+
+// performedCollective names the collective a helper reaches, following
+// the witness chain the propagation recorded.
+func (w *collectiveWalker) performedCollective(fn *types.Func) string {
+	for hops := 0; hops <= maxHelperDepth; hops++ {
+		if name, ok := w.directName[fn]; ok {
+			return name
+		}
+		next, ok := w.performers[fn]
+		if !ok || next == nil {
+			break
+		}
+		fn = next
+	}
+	return "a collective"
 }
 
 func (w *collectiveWalker) guarded() (string, bool) {
@@ -320,11 +367,11 @@ func (w *collectiveWalker) expr(e ast.Expr) {
 }
 
 func (w *collectiveWalker) checkCall(call *ast.CallExpr) {
-	c, ok := calleeOf(w.pass.Info, call)
-	if !ok || !collectiveFuncs[c] {
+	reason, guarded := w.guarded()
+	if !guarded {
 		return
 	}
-	if reason, guarded := w.guarded(); guarded {
+	if c, ok := calleeOf(w.pass.Info, call); ok && collectiveFuncs[c] {
 		name := c.name
 		if c.recv != "" {
 			name = c.recv + "." + name
@@ -332,6 +379,17 @@ func (w *collectiveWalker) checkCall(call *ast.CallExpr) {
 		w.pass.Reportf(call.Pos(),
 			"collective %s reachable only under rank-local condition (%s): every rank must make the same collective calls in the same order",
 			name, reason)
+		return
+	}
+	// Interprocedural: a guarded call to a same-package helper that
+	// performs a collective somewhere down its call chain is the same
+	// deadlock, one wrapper removed.
+	if fn := calleeFunc(w.pass.Info, call); fn != nil {
+		if _, performs := w.performers[fn]; performs {
+			w.pass.Reportf(call.Pos(),
+				"call to %s, which performs collective %s, reachable only under rank-local condition (%s): every rank must make the same collective calls in the same order",
+				fn.Name(), w.performedCollective(fn), reason)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -23,14 +24,69 @@ var HotPathAlloc = &Analyzer{
 }
 
 func runHotPathAlloc(pass *Pass) {
+	probed := map[*types.Func][]allocFinding{}
 	for _, unit := range funcUnits(pass.Files) {
 		if hasDirective(unit.decl, "//repro:hotpath") {
-			checkHotPath(pass, unit.decl)
+			checkHotPath(pass, unit.decl, func(pos token.Pos, format string, args ...any) {
+				pass.Reportf(pos, format, args...)
+			})
+			checkHotPathHelpers(pass, unit.decl, probed)
 		}
 	}
 }
 
-func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
+// allocFinding is one allocation a helper probe found.
+type allocFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// checkHotPathHelpers closes the "wrap the allocation in a helper"
+// evasion: every direct same-package callee of a //repro:hotpath
+// function is probed with the same allocation rules (cap-guard growth,
+// self-append, and panic paths still allowed), and a helper that
+// allocates is reported at the hot-path call site. One level deep by
+// design — a helper that itself needs helpers on the hot path should
+// carry its own //repro:hotpath annotation, which checks it directly.
+func checkHotPathHelpers(pass *Pass, fd *ast.FuncDecl, probed map[*types.Func][]allocFinding) {
+	info := pass.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// Failure paths may allocate: don't descend into panic args.
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		decl := pass.Graph.DeclOf(fn)
+		if decl == nil || hasDirective(decl, "//repro:hotpath") {
+			return true // not same-package, or already checked directly
+		}
+		finds, done := probed[fn]
+		if !done {
+			checkHotPath(pass, decl, func(pos token.Pos, format string, args ...any) {
+				finds = append(finds, allocFinding{pos, fmt.Sprintf(format, args...)})
+			})
+			probed[fn] = finds
+		}
+		if len(finds) > 0 {
+			f := finds[0]
+			pass.Reportf(call.Pos(),
+				"hot-path call to %s, which allocates at %s (%s): helpers reached from a //repro:hotpath function must follow the same allocation discipline",
+				fn.Name(), pass.Fset.Position(f.pos), f.msg)
+		}
+		return true
+	})
+}
+
+func checkHotPath(pass *Pass, fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
 	info := pass.Info
 
 	// Parameter objects, for the `return append(param, ...)` allowance
@@ -159,7 +215,7 @@ func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
 		if b, okB := have.Underlying().(*types.Basic); okB && b.Info()&types.IsUntyped != 0 {
 			return
 		}
-		pass.Reportf(pos, "%s boxes %s into %s: interface conversion allocates on the hot path", what, have, want)
+		report(pos, "%s boxes %s into %s: interface conversion allocates on the hot path", what, have, want)
 	}
 
 	walk = func(n ast.Node, c ctx) {
@@ -193,14 +249,14 @@ func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
 					return
 				case "make", "new":
 					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && !c.inCapGuard && !c.inPanic {
-						pass.Reportf(x.Pos(), "%s allocates on the hot path (allowed only inside a cap/len growth guard)", id.Name)
+						report(x.Pos(), "%s allocates on the hot path (allowed only inside a cap/len growth guard)", id.Name)
 					}
 				case "append":
 					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && !c.inPanic {
 						okHere := allowedAppends[x] || c.inCapGuard ||
 							(c.inReturn && len(x.Args) > 0 && paramRooted(x.Args[0]))
 						if !okHere {
-							pass.Reportf(x.Pos(), "append result does not feed back into its base: growth escapes the self-append discipline and may allocate every round")
+							report(x.Pos(), "append result does not feed back into its base: growth escapes the self-append discipline and may allocate every round")
 						}
 					}
 				}
@@ -209,7 +265,7 @@ func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
 			if callee, ok := calleeOf(info, x); ok {
 				if callee.pkg == "fmt" && !c.inPanic {
 					isFmt = true
-					pass.Reportf(x.Pos(), "fmt.%s allocates (boxing + formatting) on the hot path", callee.name)
+					report(x.Pos(), "fmt.%s allocates (boxing + formatting) on the hot path", callee.name)
 				}
 			}
 			// Implicit boxing at the call boundary (the fmt finding
@@ -239,28 +295,28 @@ func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
 				if t := info.TypeOf(x); t != nil {
 					switch t.Underlying().(type) {
 					case *types.Slice, *types.Map:
-						pass.Reportf(x.Pos(), "composite %s literal allocates on the hot path", t)
+						report(x.Pos(), "composite %s literal allocates on the hot path", t)
 					}
 				}
 			}
 		case *ast.UnaryExpr:
 			if x.Op == token.AND && !c.inPanic {
 				if _, isLit := ast.Unparen(x.X).(*ast.CompositeLit); isLit {
-					pass.Reportf(x.Pos(), "&composite literal escapes to the heap on the hot path")
+					report(x.Pos(), "&composite literal escapes to the heap on the hot path")
 				}
 			}
 		case *ast.FuncLit:
 			if !c.inPanic {
-				pass.Reportf(x.Pos(), "function literal allocates a closure on the hot path")
+				report(x.Pos(), "function literal allocates a closure on the hot path")
 			}
 			return // don't double-report its body
 		case *ast.GoStmt:
-			pass.Reportf(x.Pos(), "go statement allocates a goroutine on the hot path")
+			report(x.Pos(), "go statement allocates a goroutine on the hot path")
 		case *ast.BinaryExpr:
 			if x.Op == token.ADD && !c.inPanic {
 				if t := info.TypeOf(x); t != nil {
 					if b, okB := t.Underlying().(*types.Basic); okB && b.Info()&types.IsString != 0 && b.Info()&types.IsUntyped == 0 {
-						pass.Reportf(x.Pos(), "string concatenation allocates on the hot path")
+						report(x.Pos(), "string concatenation allocates on the hot path")
 					}
 				}
 			}

@@ -17,6 +17,19 @@
 //     no heap-allocating constructs.
 //   - errcheck: a curated unchecked-error check for the artifact and
 //     file-handling paths.
+//   - maporder: map-iteration order must not reach wire frames, float
+//     folds, or report fields (the rank-local-count bug shape).
+//   - floatfold: float sums fold in a fixed order — par workers use
+//     chunk-ordered reductions, receive loops fold in rank order, and
+//     sync.Once-guarded initializers are never called directly.
+//   - wallclock: no ambient time.Now/math/rand on the
+//     //repro:deterministic surface outside //repro:timing decls.
+//   - seedflow: RNG constructor seeds trace to a parameter, config
+//     field, or constant — never to the clock or a mutable global.
+//
+// The detlint four and collectivesym/hotpathalloc reason
+// interprocedurally through a per-package call graph (helper depth 4),
+// so moving a violation into a helper does not hide it.
 //
 // The suite is intentionally self-contained on the standard library's
 // go/ast + go/types (no golang.org/x/tools dependency): packages are
@@ -56,7 +69,11 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// All is the suite cmd/reprolint runs, in reporting order.
+// All is the suite cmd/reprolint runs, in reporting order. The first
+// six enforce the exchange engine's structural contracts; the detlint
+// family (maporder, floatfold, wallclock, seedflow) enforces the
+// determinism contract — results bit-identical across ranks, threads,
+// substrates, and runs at fixed seeds — at compile time.
 var All = []*Analyzer{
 	CollectiveSym,
 	ArenaEscape,
@@ -64,6 +81,10 @@ var All = []*Analyzer{
 	ExLifecycle,
 	HotPathAlloc,
 	ErrCheck,
+	MapOrder,
+	FloatFold,
+	WallClock,
+	SeedFlow,
 }
 
 // Diagnostic is one finding.
@@ -86,6 +107,12 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Graph is the package's call graph — the interprocedural layer:
+	// analyzers use it to see collectives, allocations, wall-clock
+	// reads, and shared-state writes through bounded-depth chains of
+	// same-package helper calls, closing the "wrap it in a function"
+	// evasion the intra-procedural checks had.
+	Graph *CallGraph
 
 	diags *[]Diagnostic
 }
@@ -142,6 +169,7 @@ func parseIgnores(fset *token.FileSet, file *ast.File) []*ignoreDirective {
 // findings of their own, and the rest are sorted by position.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	graph := buildCallGraph(pkg)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -149,6 +177,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Graph:    graph,
 			diags:    &diags,
 		}
 		a.Run(pass)

@@ -76,6 +76,12 @@ func TestExLifecycle(t *testing.T)   { runFixture(t, lint.ExLifecycle, "exlifecy
 func TestHotPathAlloc(t *testing.T)  { runFixture(t, lint.HotPathAlloc, "hotpathalloc") }
 func TestErrCheck(t *testing.T)      { runFixture(t, lint.ErrCheck, "errcheck") }
 
+// The detlint family: determinism-contract analyzers.
+func TestMapOrder(t *testing.T)  { runFixture(t, lint.MapOrder, "maporder") }
+func TestFloatFold(t *testing.T) { runFixture(t, lint.FloatFold, "floatfold") }
+func TestWallClock(t *testing.T) { runFixture(t, lint.WallClock, "wallclock") }
+func TestSeedFlow(t *testing.T)  { runFixture(t, lint.SeedFlow, "seedflow") }
+
 // TestIgnoreDirective checks that a reasoned //lint:ignore suppresses
 // exactly the named analyzer's finding on the next line.
 func TestIgnoreDirective(t *testing.T) { runFixture(t, lint.ErrCheck, "ignore") }

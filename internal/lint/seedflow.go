@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SeedFlow checks that every RNG constructed on the deterministic
+// surface is seeded from an explicit, caller-provided value: a
+// parameter, a receiver field, a constant, or an expression built
+// from those (including rng.Mix of rooted values). A generator whose
+// seed cannot be traced to a seed parameter or config field is either
+// ambient entropy in disguise (time.Now().UnixNano()) or a silent
+// constant that will collide across streams — both break the
+// fixed-seed reproducibility contract the harness's corpus runs rely
+// on.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "RNG construction on the deterministic surface must be seeded from a parameter, field, or constant — never ambient entropy",
+	Run:  runSeedFlow,
+}
+
+// rngCtors maps constructor callees to the index of their seed
+// argument.
+var rngCtors = map[callee]int{
+	{rngPath, "", "New"}:           0,
+	{rngPath, "", "NewStream"}:     0,
+	{"math/rand", "", "NewSource"}: 0,
+	{"math/rand/v2", "", "NewPCG"}: 0,
+}
+
+func runSeedFlow(pass *Pass) {
+	base := strings.TrimSuffix(pass.Pkg.Path(), "-test")
+	if base == rngPath {
+		return // the rng package is the mechanism, not a client
+	}
+	surface := deterministicSurface(pass)
+	if len(surface) == 0 {
+		return
+	}
+	for _, fn := range pass.Graph.funcsByDecl(pass.Files) {
+		if _, onSurface := surface[fn]; !onSurface {
+			continue
+		}
+		checkSeedFlow(pass, pass.Graph.DeclOf(fn))
+	}
+}
+
+func checkSeedFlow(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+
+	// rooted objects: parameters (of the declaration and of enclosing
+	// function literals) and the receiver. Field selectors on a rooted
+	// base are rooted transitively, so a config struct parameter roots
+	// cfg.Seed.
+	rooted := map[types.Object]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if o := info.Defs[name]; o != nil {
+					rooted[o] = true
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			addFields(lit.Type.Params)
+		}
+		return true
+	})
+
+	// isRooted decides whether an expression traces to a seed source.
+	var isRooted func(e ast.Expr) bool
+	isRooted = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.BasicLit:
+			return true
+		case *ast.Ident:
+			obj := objOf(info, x)
+			if obj == nil {
+				return false
+			}
+			if _, isConst := obj.(*types.Const); isConst {
+				return true
+			}
+			return rooted[obj]
+		case *ast.SelectorExpr:
+			// A package-qualified constant, or a field chain on a
+			// rooted base.
+			if obj := objOf(info, x.Sel); obj != nil {
+				if _, isConst := obj.(*types.Const); isConst {
+					return true
+				}
+			}
+			return isRooted(x.X)
+		case *ast.IndexExpr:
+			return isRooted(x.X)
+		case *ast.StarExpr:
+			return isRooted(x.X)
+		case *ast.BinaryExpr:
+			return isRooted(x.X) && isRooted(x.Y)
+		case *ast.UnaryExpr:
+			return isRooted(x.X)
+		case *ast.CallExpr:
+			// Conversions of rooted values stay rooted; rng.Mix mixes
+			// rooted values into a rooted value.
+			if c, ok := calleeOf(info, x); ok {
+				if c.pkg == rngPath && (c.name == "Mix" || c.name == "New" || c.name == "NewStream") {
+					for _, a := range x.Args {
+						if !isRooted(a) {
+							return false
+						}
+					}
+					return true
+				}
+				return false
+			}
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				return isRooted(x.Args[0])
+			}
+			return false
+		}
+		return false
+	}
+
+	// Forward pass: a local assigned only from rooted expressions is
+	// rooted. Two sweeps handle simple forward chains (a := seed;
+	// b := a + 1) without full dataflow.
+	for sweep := 0; sweep < 2; sweep++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, l := range as.Lhs {
+				id, ok := ast.Unparen(l).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := objOf(info, id)
+				if obj == nil {
+					continue
+				}
+				if isRooted(as.Rhs[i]) {
+					rooted[obj] = true
+				} else if as.Tok == token.ASSIGN {
+					// Reassigned from a non-rooted value: taint.
+					delete(rooted, obj)
+				}
+			}
+			return true
+		})
+	}
+
+	ambient := func(e ast.Expr) string {
+		found := ""
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if c, ok := calleeOf(info, call); ok {
+				if c.pkg == "time" || isAmbientRand(c) {
+					found = c.pkg + "." + c.name
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c, ok := calleeOf(info, call)
+		if !ok {
+			return true
+		}
+		seedIdx, isCtor := rngCtors[c]
+		if !isCtor || seedIdx >= len(call.Args) {
+			return true
+		}
+		seed := call.Args[seedIdx]
+		if isRooted(seed) {
+			return true
+		}
+		if amb := ambient(seed); amb != "" {
+			pass.Reportf(seed.Pos(),
+				"%s.%s seeded from ambient entropy (%s): seeds on the deterministic surface must come from a seed parameter or config field so runs are replayable",
+				c.pkg[strings.LastIndex(c.pkg, "/")+1:], c.name, amb)
+			return true
+		}
+		pass.Reportf(seed.Pos(),
+			"%s.%s seed does not trace to a seed parameter, receiver field, or constant: thread the run's seed (or rng.Mix of it) to this construction site",
+			c.pkg[strings.LastIndex(c.pkg, "/")+1:], c.name)
+		return true
+	})
+}

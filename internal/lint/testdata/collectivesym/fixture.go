@@ -174,3 +174,36 @@ func rankInsideCondExpr(c *mpi.Comm, v int64) {
 		_ = v
 	}
 }
+
+// barrierHelper wraps a collective in a same-package helper: calls to
+// it are collective calls for symmetry purposes.
+func barrierHelper(c *mpi.Comm) {
+	c.Barrier()
+}
+
+// condHelperCall is the interprocedural shape of the canonical bug:
+// the collective hides one call level down, but only rank 0 gets
+// there.
+func condHelperCall(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		barrierHelper(c) // want "barrierHelper, which performs collective"
+	}
+	barrierHelper(c)
+}
+
+// symmetricHelperCall reaches the same helper on every rank: clean.
+func symmetricHelperCall(c *mpi.Comm) {
+	barrierHelper(c)
+}
+
+// deepHelperChain pushes the collective two hops down; propagation is
+// bounded but covers this depth.
+func deepHelperChain(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		hopOne(c) // want "hopOne, which performs collective"
+	}
+	hopOne(c)
+}
+
+func hopOne(c *mpi.Comm) { hopTwo(c) }
+func hopTwo(c *mpi.Comm) { c.Barrier() }

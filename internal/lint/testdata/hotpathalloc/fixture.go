@@ -79,3 +79,26 @@ func appendInto(dst []int64, vals []int64) []int64 {
 func unannotated() []int64 {
 	return make([]int64, 4)
 }
+
+// allocHelper hides an allocation behind a same-package call.
+func allocHelper(n int) []int64 {
+	return make([]int64, n)
+}
+
+// cleanHelper allocates nothing.
+func cleanHelper(vals []int64) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// viaHelper is the interprocedural evasion: the hot path itself is
+// clean, but its helper allocates every call.
+//
+//repro:hotpath
+func viaHelper(r *ring, n int) {
+	r.scratch = allocHelper(n) // want "hot-path call to allocHelper, which allocates at"
+	_ = cleanHelper(r.scratch) // helpers that do not allocate are fine
+}

@@ -1,0 +1,78 @@
+// Package fixture reproduces unseeded-RNG shapes for the seedflow
+// analyzer: generators on the deterministic surface whose seed does
+// not trace to a caller-provided value. Type-checked only.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Config carries the run's seed the way harness configs do.
+type Config struct {
+	Seed uint64
+}
+
+// SeedFromParam threads the caller's seed: clean.
+//
+//repro:deterministic
+func SeedFromParam(seed uint64, n int) []uint64 {
+	r := rng.New(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}
+
+// SeedFromConfigField roots through a struct field chain: clean.
+//
+//repro:deterministic
+func SeedFromConfigField(cfg *Config, stream uint64) *rng.Rand {
+	return rng.NewStream(cfg.Seed, stream)
+}
+
+// SeedFromMix derives per-stream seeds with rng.Mix of rooted values:
+// clean.
+//
+//repro:deterministic
+func SeedFromMix(seed uint64, vertex int64) *rng.Rand {
+	return rng.New(rng.Mix(seed ^ uint64(vertex)))
+}
+
+// SeedFromClock is ambient entropy in disguise.
+//
+//repro:deterministic
+func SeedFromClock() *rng.Rand {
+	return rng.New(uint64(time.Now().UnixNano())) // want "rng.New seeded from ambient entropy"
+}
+
+// SeedFromGlobal does not trace to a parameter, field, or constant.
+var globalCounter uint64
+
+//repro:deterministic
+func SeedFromGlobal() *rng.Rand {
+	globalCounter++
+	return rng.New(globalCounter) // want "seed does not trace to a seed parameter"
+}
+
+// MathRandFromClock covers the stdlib constructors too.
+//
+//repro:deterministic
+func MathRandFromClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.NewSource seeded from ambient entropy"
+}
+
+// MathRandFromParam is the seeded stdlib form: clean.
+//
+//repro:deterministic
+func MathRandFromParam(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// OffSurface constructs an RNG outside the contract: not checked.
+func OffSurface() *rng.Rand {
+	return rng.New(uint64(time.Now().UnixNano()))
+}

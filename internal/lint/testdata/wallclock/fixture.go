@@ -1,0 +1,69 @@
+// Package fixture reproduces ambient-entropy-on-the-surface shapes
+// for the wallclock analyzer: wall-clock reads and runtime-seeded
+// math/rand draws inside functions bound by the bit-identity
+// contract, plus the //repro:timing instrumentation allowlist.
+// Type-checked only.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Compute is on the deterministic surface and reads the clock into a
+// value: different bits every run.
+//
+//go:noinline
+//repro:deterministic
+func Compute(vals []int64) int64 {
+	salt := time.Now().UnixNano() // want "time.Now on the deterministic surface"
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum + salt
+}
+
+// Timed is surface code whose clock reads are declared
+// instrumentation-only: allowlisted.
+//
+//repro:deterministic
+//repro:timing
+func Timed(vals []int64) (int64, time.Duration) {
+	start := time.Now()
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum, time.Since(start)
+}
+
+// Shuffle draws from the shared, runtime-seeded source on the
+// surface; //repro:timing does not excuse randomness.
+//
+//repro:deterministic
+//repro:timing
+func Shuffle(vals []int64) {
+	for i := range vals {
+		j := rand.Intn(i + 1) // want "ambient math/rand.Intn on the deterministic surface"
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+}
+
+// helper is unannotated but reached from Root: it inherits the
+// obligation through the call graph.
+func helper() int64 {
+	return time.Now().Unix() // want "time.Now on the deterministic surface .reached from //repro:deterministic Root."
+}
+
+// Root is the annotated entry point calling helper.
+//
+//repro:deterministic
+func Root() int64 {
+	return helper()
+}
+
+// Offline is not on the surface at all: clock reads are fine here.
+func Offline() int64 {
+	return time.Now().Unix()
+}

@@ -11,6 +11,8 @@ const (
 	mpiPath    = "repro/internal/mpi"
 	dgraphPath = "repro/internal/dgraph"
 	parPath    = "repro/internal/par"
+	wirePath   = "repro/internal/wire"
+	rngPath    = "repro/internal/rng"
 )
 
 // callee identifies a resolved call target: the defining package path,
@@ -174,6 +176,205 @@ func objOf(info *types.Info, id *ast.Ident) types.Object {
 		return o
 	}
 	return info.Defs[id]
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or nil for builtins, conversions, and dynamic calls through function
+// values. Unlike calleeOf it returns the object itself, which is what
+// the interprocedural layer keys its call graph on.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[f.Sel]
+		}
+	case *ast.Ident:
+		obj = info.Uses[f]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// CallGraph is the per-package call graph behind the interprocedural
+// analyses: for every function declared in the package it records the
+// same-package functions it calls directly. Calls through function
+// values, interfaces, and other packages are not edges — the analyses
+// that consume the graph treat those conservatively at the call site.
+type CallGraph struct {
+	decls   map[*types.Func]*ast.FuncDecl
+	callees map[*types.Func][]*types.Func
+}
+
+// maxHelperDepth bounds cross-function propagation: a property (a
+// collective performed, a wall-clock read, an allocation) is visible
+// through at most this many nested same-package helper calls. The
+// bound keeps the analyses linear and the diagnostics explainable; a
+// helper chain deeper than this is its own code smell.
+const maxHelperDepth = 4
+
+// buildCallGraph indexes one package's declared functions and their
+// direct same-package call edges, in source order, deduplicated.
+func buildCallGraph(pkg *Package) *CallGraph {
+	g := &CallGraph{
+		decls:   map[*types.Func]*ast.FuncDecl{},
+		callees: map[*types.Func][]*types.Func{},
+	}
+	for _, unit := range funcUnits(pkg.Files) {
+		fn, ok := pkg.Info.Defs[unit.decl.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		g.decls[fn] = unit.decl
+	}
+	for fn, decl := range g.decls {
+		seen := map[*types.Func]bool{}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pkg.Info, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, local := g.decls[callee]; local {
+				seen[callee] = true
+				g.callees[fn] = append(g.callees[fn], callee)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// DeclOf returns the declaration of a package function, or nil for
+// functions declared elsewhere.
+func (g *CallGraph) DeclOf(fn *types.Func) *ast.FuncDecl {
+	if g == nil {
+		return nil
+	}
+	return g.decls[fn]
+}
+
+// Callees returns fn's direct same-package callees.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func {
+	if g == nil {
+		return nil
+	}
+	return g.callees[fn]
+}
+
+// funcsByDecl returns a deterministic (declaration source order) list
+// of the package's functions, so analyses iterating the graph report
+// in stable order.
+func (g *CallGraph) funcsByDecl(files []*ast.File) []*types.Func {
+	byDecl := map[*ast.FuncDecl]*types.Func{}
+	for fn, d := range g.decls {
+		byDecl[d] = fn
+	}
+	var out []*types.Func
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := byDecl[fd]; ok {
+					out = append(out, fn)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// propagate computes, for every package function, whether it reaches a
+// function satisfying seed within maxHelperDepth call-graph hops. The
+// returned map carries, per reaching function, the first hop of one
+// witness path ("" for functions satisfying seed directly) — enough to
+// name the helper in a diagnostic without storing whole paths.
+func (g *CallGraph) propagate(files []*ast.File, seed func(fn *types.Func, decl *ast.FuncDecl) bool) map[*types.Func]*types.Func {
+	reach := map[*types.Func]*types.Func{}
+	order := g.funcsByDecl(files)
+	for _, fn := range order {
+		if seed(fn, g.decls[fn]) {
+			reach[fn] = nil
+		}
+	}
+	for depth := 0; depth < maxHelperDepth; depth++ {
+		changed := false
+		for _, fn := range order {
+			if _, done := reach[fn]; done {
+				continue
+			}
+			for _, callee := range g.callees[fn] {
+				if _, hit := reach[callee]; hit {
+					reach[fn] = callee
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return reach
+}
+
+// surfaceDirective marks a function as part of the deterministic
+// surface: its results are bound by the repo's bit-identity contract
+// (across ranks, threads, substrates, and runs at fixed seeds).
+// timingDirective allowlists a surface function's wall-clock reads as
+// instrumentation-only (they feed Time/SweepTime report fields, never
+// values).
+const (
+	surfaceDirective = "//repro:deterministic"
+	timingDirective  = "//repro:timing"
+)
+
+// deterministicSurface returns every function on the package's
+// deterministic surface: those annotated //repro:deterministic plus
+// everything reachable from one within maxHelperDepth same-package
+// calls. The map value is the annotated root a function inherits the
+// obligation from (itself when directly annotated).
+func deterministicSurface(pass *Pass) map[*types.Func]*types.Func {
+	roots := map[*types.Func]bool{}
+	for fn, decl := range pass.Graph.decls {
+		if hasDirective(decl, surfaceDirective) {
+			roots[fn] = true
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	surface := map[*types.Func]*types.Func{}
+	var visit func(fn, root *types.Func, depth int)
+	visit = func(fn, root *types.Func, depth int) {
+		if _, seen := surface[fn]; seen {
+			return
+		}
+		surface[fn] = root
+		if depth >= maxHelperDepth {
+			return
+		}
+		for _, callee := range pass.Graph.Callees(fn) {
+			visit(callee, root, depth+1)
+		}
+	}
+	for _, fn := range pass.Graph.funcsByDecl(pass.Files) {
+		if roots[fn] {
+			visit(fn, fn, 0)
+		}
+	}
+	return surface
 }
 
 // isBlank reports whether an expression is the blank identifier.

@@ -35,6 +35,8 @@ func buf64Class(n int) int {
 // buffer returns to the same bucket on recycle). n == 0 returns a
 // canonical non-nil empty slice so message.i64 stays a valid
 // discriminator.
+//
+//repro:hotpath
 func (p *pool64) get(n int) []int64 {
 	if n == 0 {
 		return empty64
@@ -50,6 +52,7 @@ func (p *pool64) get(n int) []int64 {
 		return b[:n]
 	}
 	p.mu.Unlock()
+	//lint:ignore hotpathalloc pool-miss allocation refills the bucket; steady state reuses recycled buffers
 	return make([]int64, n, 1<<c)
 }
 

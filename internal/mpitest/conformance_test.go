@@ -23,16 +23,24 @@ func TestUnixSocketTransportConformance(t *testing.T) {
 	RunTransportConformance(t, UnixSocketFactory, WithChaos())
 }
 
-// faultFactories are the worlds the fault-injection tests run over.
-func faultFactories() map[string]Factory {
-	return map[string]Factory{"proc": ProcFactory, "socket": UnixSocketFactory}
+// faultFactories are the worlds the fault-injection tests run over, in
+// a fixed order so the subtests (and any frames they send) run the
+// same way every time.
+type namedFactory struct {
+	name    string
+	factory Factory
+}
+
+func faultFactories() []namedFactory {
+	return []namedFactory{{"proc", ProcFactory}, {"socket", UnixSocketFactory}}
 }
 
 // TestFaultDroppedFrame checks that a lost frame surfaces as the
 // round-tag skew panic on the next receive — a detected protocol
 // error, never silent corruption or a hang.
 func TestFaultDroppedFrame(t *testing.T) {
-	for name, factory := range faultFactories() {
+	for _, nf := range faultFactories() {
+		name, factory := nf.name, nf.factory
 		t.Run(name, func(t *testing.T) {
 			defer wantPanic(t, "pipelined rounds skewed")()
 			ts := Faulty(factory(t, 2), func(rank int, ft *FaultyTransport) {
@@ -55,7 +63,8 @@ func TestFaultDroppedFrame(t *testing.T) {
 // TestFaultDuplicatedFrame checks that a repeated frame surfaces as a
 // skew panic when the receiver moves to the next round.
 func TestFaultDuplicatedFrame(t *testing.T) {
-	for name, factory := range faultFactories() {
+	for _, nf := range faultFactories() {
+		name, factory := nf.name, nf.factory
 		t.Run(name, func(t *testing.T) {
 			defer wantPanic(t, "pipelined rounds skewed")()
 			ts := Faulty(factory(t, 2), func(rank int, ft *FaultyTransport) {
@@ -82,7 +91,8 @@ func TestFaultDuplicatedFrame(t *testing.T) {
 func TestFaultDelayedFrames(t *testing.T) {
 	ref := EngineReference(t)
 	gen := EngineGenerator()
-	for name, factory := range faultFactories() {
+	for _, nf := range faultFactories() {
+		name, factory := nf.name, nf.factory
 		t.Run(name, func(t *testing.T) {
 			ts := Faulty(factory(t, engineRanks), func(rank int, ft *FaultyTransport) {
 				ft.Delay = 100 * time.Microsecond

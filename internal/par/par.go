@@ -34,6 +34,8 @@ func ResolveThreads(n int) int {
 // For runs body(i) for every i in [begin, end) using the given number of
 // worker goroutines with contiguous static chunks (OpenMP "schedule
 // (static)"). With threads <= 1 or a small range it runs inline.
+//
+//repro:deterministic
 func For(begin, end int, threads int, body func(i int)) {
 	n := end - begin
 	if n <= 0 {
@@ -77,6 +79,8 @@ func For(begin, end int, threads int, body func(i int)) {
 // one chunk per worker thread. This is the idiom for loops that carry
 // thread-local state (queues, count arrays): the body receives its
 // thread id and processes its whole chunk.
+//
+//repro:deterministic
 func ForChunk(begin, end int, threads int, body func(lo, hi, tid int)) {
 	n := end - begin
 	if n <= 0 {
@@ -113,6 +117,8 @@ func ForChunk(begin, end int, threads int, body func(lo, hi, tid int)) {
 }
 
 // ReduceInt64 computes the sum of body(i) over [begin, end) in parallel.
+//
+//repro:deterministic
 func ReduceInt64(begin, end int, threads int, body func(i int) int64) int64 {
 	var total atomic.Int64
 	ForChunk(begin, end, threads, func(lo, hi, _ int) {
@@ -127,6 +133,8 @@ func ReduceInt64(begin, end int, threads int, body func(i int) int64) int64 {
 
 // MaxInt64 computes the maximum of body(i) over [begin, end) in parallel.
 // It returns the provided identity when the range is empty.
+//
+//repro:deterministic
 func MaxInt64(begin, end int, threads int, identity int64, body func(i int) int64) int64 {
 	if end <= begin {
 		return identity
@@ -169,6 +177,8 @@ const floatFoldGrain = 4096
 // previous call (or nil) and it is grown only until steady state,
 // keeping hot loops at AllocsPerRun == 0. body must itself sum its
 // [lo, hi) sub-range in ascending index order.
+//
+//repro:deterministic
 func SumFloat64Ordered(begin, end, threads int, partials []float64, body func(lo, hi int) float64) (float64, []float64) {
 	n := end - begin
 	if n <= 0 {
@@ -252,6 +262,8 @@ func growFloats(buf []float64, n int) []float64 {
 // MaxFloat64 computes the maximum of body(i) over [begin, end) in
 // parallel, returning identity on an empty range. Max is
 // order-independent, so unlike summation it needs no ordered fold.
+//
+//repro:deterministic
 func MaxFloat64(begin, end int, threads int, identity float64, body func(i int) float64) float64 {
 	if end <= begin {
 		return identity

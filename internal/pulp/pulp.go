@@ -82,6 +82,9 @@ type solver struct {
 }
 
 // Partition computes a p-way partition of g with PuLP-MM.
+//
+//repro:deterministic
+//repro:timing
 func Partition(g *graph.Graph, opt Options) ([]int32, Report, error) {
 	if opt.NumParts < 1 {
 		return nil, Report{}, fmt.Errorf("pulp: NumParts = %d", opt.NumParts)

@@ -471,6 +471,7 @@ func (m *matrix) multiply() int64 {
 // the partials are bit-identical at every thread count.
 //
 //repro:hotpath
+//repro:timing
 func (m *matrix) localMultiply() {
 	start := time.Now()
 	par.ForChunk(0, len(m.rowGIDs), m.threads, m.mulBody)
@@ -646,6 +647,9 @@ func (m *matrix) expandPiggyback(me int) int64 {
 
 // Run executes opt.Iterations chained multiplies (x ← A x / ‖A x‖∞)
 // and reports timing, traffic, and a layout-independent checksum.
+//
+//repro:deterministic
+//repro:timing
 func Run(c *mpi.Comm, g *graph.Graph, parts []int32, opt Options) (Result, error) {
 	if opt.Iterations <= 0 {
 		opt.Iterations = 100

@@ -53,6 +53,8 @@ var (
 // AppendFrame appends the encoding of one frame to dst and returns the
 // extended buffer. It validates kind and the payload bound so an
 // encoder bug cannot produce a frame its own decoder rejects.
+//
+//repro:deterministic
 func AppendFrame(dst []byte, kind byte, tag uint32, payload []int64) []byte {
 	if kind != KindData && kind != KindColl && kind != KindHello && kind != KindPing {
 		panic(fmt.Sprintf("wire: AppendFrame with unknown kind %d", kind))
@@ -85,6 +87,8 @@ func FrameSize(nWords int) int {
 // payload is freshly allocated (decoders on the hot receive path use
 // ReadFrame, which draws from the transport's pool instead). Decode
 // never panics and never reads past the frame it returns.
+//
+//repro:deterministic
 func Decode(b []byte) (kind byte, tag uint32, payload []int64, n int, err error) {
 	nWords, vn := binary.Uvarint(b)
 	if vn == 0 {
@@ -131,6 +135,8 @@ type Reader interface {
 // becomes ErrTruncated. Any other malformed input (oversized length,
 // unknown kind) is an error, never a panic, and never reads past the
 // rejected header.
+//
+//repro:deterministic
 func ReadFrame(r Reader, alloc func(n int) []int64) (kind byte, tag uint32, payload []int64, err error) {
 	nWords, err := binary.ReadUvarint(r)
 	if err != nil {

@@ -2,13 +2,42 @@
 # reprolint: the project's static-analysis suite (internal/lint).
 # Enforces the exchange engine's contracts — collective symmetry,
 # arena-view lifetimes, Begin*/Flush* pairing and pipeline bounds,
-# exchanger lifecycle, //repro:hotpath allocation freedom, and checked
-# artifact errors. See docs/INVARIANTS.md for the rule catalogue.
+# exchanger lifecycle, //repro:hotpath allocation freedom, checked
+# artifact errors — and the determinism contract via the detlint
+# family (maporder, floatfold, wallclock, seedflow). See
+# docs/INVARIANTS.md for the rule catalogue.
 #
 # Mirrors the CI reprolint job: findings are errors, and the tests do
 # not run until the tree is clean.
-set -eu
+#
+# Exit-code discipline: every step runs even when an earlier one
+# fails, and the script exits nonzero if ANY step failed. The previous
+# `set -e` version stopped at the first failure, so a reprolint
+# finding hid the vulncheck result (and a formatting of the script
+# that put govulncheck last could mask reprolint's code entirely);
+# accumulating into rc keeps each step's verdict visible and the final
+# exit honest.
+set -u
 cd "$(dirname "$0")/.."
 
-go run ./cmd/reprolint ./...
-echo "reprolint: tree is clean"
+rc=0
+
+go run ./cmd/reprolint ./... || rc=1
+
+# Suppressions must stay live: a directive naming a nonexistent
+# analyzer outlived its check (or never worked).
+go run ./cmd/reprolint -ignores ./... >/dev/null || rc=1
+
+# Known-vulnerability scan, pinned so local runs and CI resolve the
+# same scanner (and the build does not chase @latest). Skippable for
+# offline work: REPRO_SKIP_VULNCHECK=1 scripts/lint.sh
+if [ "${REPRO_SKIP_VULNCHECK:-0}" != "1" ]; then
+	go run golang.org/x/vuln/cmd/govulncheck@v1.1.4 ./... || rc=1
+fi
+
+if [ "$rc" -eq 0 ]; then
+	echo "reprolint: tree is clean"
+else
+	echo "reprolint: FAILED (see findings above)" >&2
+fi
+exit "$rc"
